@@ -1,0 +1,56 @@
+//! Ablation: efficiency versus interval size — the curve the tuning step
+//! samples to find each node's `n_j` (Section III), plus the resulting
+//! balanced assignment for the paper's network.
+
+use eks_bench::header;
+use eks_cluster::{paper_network, tune_device, AchievedModel};
+use eks_core::partition::{balance_workloads, parallel_efficiency, NodeRate};
+use eks_gpusim::grid::launch_efficiency;
+use eks_hashes::HashAlgo;
+use eks_kernels::Tool;
+
+fn main() {
+    header("Ablation — tuning curve and balanced assignment");
+    let net = paper_network(2e-3);
+    let tunings: Vec<_> = net
+        .all_devices()
+        .iter()
+        .map(|d| {
+            (
+                d.name,
+                tune_device(d, Tool::OurApproach, HashAlgo::Md5, AchievedModel::Analytic),
+            )
+        })
+        .collect();
+
+    println!("efficiency vs interval size (launch overhead 0.2 ms):");
+    print!("{:<24}", "device");
+    let sizes = [1u128 << 16, 1 << 20, 1 << 24, 1 << 28, 1 << 32];
+    for s in sizes {
+        print!("{:>12}", format!("2^{}", s.trailing_zeros()));
+    }
+    println!("{:>14}", "n_j (99%)");
+    for (name, t) in &tunings {
+        print!("{name:<24}");
+        for s in sizes {
+            print!("{:>11.1}%", launch_efficiency(s, t.achieved_mkeys, 0.2) * 100.0);
+        }
+        println!("{:>14}", t.min_batch);
+    }
+
+    // The balanced assignment N_j = N_max · X_j / X_max.
+    let rates: Vec<NodeRate> = tunings
+        .iter()
+        .map(|(_, t)| NodeRate::new(t.achieved_mkeys, t.min_batch))
+        .collect();
+    let assignment = balance_workloads(&rates);
+    println!("\nbalanced per-round assignment (N_j = N_max · X_j / X_max):");
+    for ((name, _), nj) in tunings.iter().zip(&assignment.sizes) {
+        println!("  {name:<24}{nj:>14} keys");
+    }
+    println!(
+        "round total {} keys, predicted parallel efficiency {:.4}",
+        assignment.round_total(),
+        parallel_efficiency(&assignment.sizes, &rates)
+    );
+}

@@ -1,0 +1,107 @@
+//! Deterministic workload generation for benches and stress tests:
+//! seeded random planted keys, digest tables and intervals, so every
+//! bench run measures the same work.
+
+use eks_hashes::HashAlgo;
+use eks_keyspace::{Interval, Key, KeySpace};
+
+/// A tiny deterministic generator (SplitMix64) — no external state, stable
+/// across platforms, good enough for workload sampling.
+#[derive(Debug, Clone)]
+pub struct Rng(u64);
+
+impl Rng {
+    /// Seeded generator.
+    pub fn new(seed: u64) -> Self {
+        Self(seed)
+    }
+
+    /// Next 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, bound)`.
+    pub fn below(&mut self, bound: u128) -> u128 {
+        assert!(bound > 0);
+        (self.next_u64() as u128) % bound
+    }
+}
+
+/// Plant `n` random keys in `space` and return `(keys, digests)`.
+pub fn planted_targets(
+    space: &KeySpace,
+    algo: HashAlgo,
+    n: usize,
+    seed: u64,
+) -> (Vec<Key>, Vec<Vec<u8>>) {
+    let mut rng = Rng::new(seed);
+    let mut keys = Vec::with_capacity(n);
+    let mut digests = Vec::with_capacity(n);
+    for _ in 0..n {
+        let id = rng.below(space.size());
+        let key = space.key_at(id);
+        digests.push(algo.hash(key.as_bytes()));
+        keys.push(key);
+    }
+    (keys, digests)
+}
+
+/// `n` random same-length sub-intervals of `space`, for scan benches.
+pub fn random_intervals(space: &KeySpace, len: u128, n: usize, seed: u64) -> Vec<Interval> {
+    let mut rng = Rng::new(seed);
+    let span = space.size().saturating_sub(len).max(1);
+    (0..n)
+        .map(|_| Interval::new(rng.below(span), len))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eks_keyspace::{Charset, Order};
+
+    fn space() -> KeySpace {
+        KeySpace::new(Charset::lowercase(), 1, 5, Order::FirstCharFastest).unwrap()
+    }
+
+    #[test]
+    fn same_seed_same_workload() {
+        let s = space();
+        let (k1, d1) = planted_targets(&s, HashAlgo::Md5, 10, 42);
+        let (k2, d2) = planted_targets(&s, HashAlgo::Md5, 10, 42);
+        assert_eq!(k1, k2);
+        assert_eq!(d1, d2);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let s = space();
+        let (k1, _) = planted_targets(&s, HashAlgo::Md5, 10, 1);
+        let (k2, _) = planted_targets(&s, HashAlgo::Md5, 10, 2);
+        assert_ne!(k1, k2);
+    }
+
+    #[test]
+    fn planted_keys_are_members() {
+        let s = space();
+        let (keys, digests) = planted_targets(&s, HashAlgo::Sha1, 20, 7);
+        for (k, d) in keys.iter().zip(&digests) {
+            assert!(s.id_of(k).is_some());
+            assert_eq!(&HashAlgo::Sha1.hash(k.as_bytes()), d);
+        }
+    }
+
+    #[test]
+    fn intervals_fit_the_space() {
+        let s = space();
+        for iv in random_intervals(&s, 1000, 50, 9) {
+            assert!(iv.end() <= s.size());
+            assert_eq!(iv.len, 1000);
+        }
+    }
+}

@@ -1,0 +1,547 @@
+//! Subcommand implementations.
+
+use crate::args::Args;
+use eks_cluster::{paper_network, simulate_search, tune_device, AchievedModel, SimParams};
+use eks_cracker::{crack_parallel, mine, HashTarget, MiningJob, ParallelConfig, TargetSet};
+use eks_gpusim::codegen::lower;
+use eks_gpusim::device::DeviceCatalog;
+use eks_gpusim::sched::{simulate, SimConfig};
+use eks_gpusim::throughput::theoretical_mkeys;
+use eks_hashes::{from_hex, to_hex, HashAlgo};
+use eks_kernels::{Tool, ToolKernel};
+use eks_keyspace::{Charset, KeySpace, Order};
+
+/// Dispatch a subcommand.
+pub fn run(command: &str, args: &Args) -> Result<(), String> {
+    match command {
+        "crack" => cmd_crack(args),
+        "hash" => cmd_hash(args),
+        "mine" => cmd_mine(args),
+        "analyze" => cmd_analyze(args),
+        "devices" => cmd_devices(),
+        "disasm" => cmd_disasm(args),
+        "profile" => cmd_profile(args),
+        "audit" => cmd_audit(args),
+        "strength" => cmd_strength(args),
+        "simulate" => cmd_simulate(args),
+        "tune" => cmd_tune(args),
+        "help" | "--help" | "-h" => {
+            print_help();
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?}")),
+    }
+}
+
+fn print_help() {
+    println!("eks — exhaustive key search on (simulated) clusters of GPUs");
+    println!();
+    println!("commands:");
+    println!("  crack    --algo md5|sha1|ntlm --digest HEX [--charset lower|upper|digits|alpha|alnum|print]");
+    println!("           [--min N] [--max N] [--threads N] [--all] [--salt-prefix S] [--salt-suffix S]");
+    println!("           [--mask \"?u?l?l?d?d\"] [--words w1,w2,... [--suffix-digits N]]");
+    println!("  hash     --algo md5|sha1 PLAINTEXT       compute a digest");
+    println!("  mine     [--difficulty BITS] [--header STR] [--threads N]");
+    println!("  analyze  [--algo md5|sha1]               kernel instruction counts + throughput");
+    println!("  devices                                  the paper's GPU catalog (Table VII)");
+    println!("  disasm   [--algo md5|sha1] [--cc 3.0] [--tool ours|barswf|cryptohaze]");
+    println!("  profile  [--algo md5|sha1|ntlm] [--device 660]   simulated profiler report");
+    println!("  audit    --digests h1,h2,... [--accounts a,b,...] [--charset ...] [--max N]");
+    println!("  strength PASSWORD [--algo md5] [--charset alnum] [--max N]   time-to-crack");
+    println!("  simulate [--keys N] [--algo md5|sha1]    whole-network DES (Table IX)");
+    println!("           [--topology \"A(660) -> B(550Ti, cpu:4)\"]   custom cluster");
+    println!("  tune     [--threads N]                   tune devices and this host's CPU");
+}
+
+fn parse_algo(args: &Args) -> Result<HashAlgo, String> {
+    match args.get_or("algo", "md5") {
+        "md5" => Ok(HashAlgo::Md5),
+        "sha1" => Ok(HashAlgo::Sha1),
+        "ntlm" => Ok(HashAlgo::Ntlm),
+        other => Err(format!("unsupported --algo {other:?} (md5, sha1 or ntlm)")),
+    }
+}
+
+fn parse_charset(args: &Args) -> Result<Charset, String> {
+    Ok(match args.get_or("charset", "lower") {
+        "lower" => Charset::lowercase(),
+        "upper" => Charset::uppercase(),
+        "digits" => Charset::digits(),
+        "alpha" => Charset::alpha(),
+        "alnum" => Charset::alphanumeric(),
+        "print" => Charset::printable_ascii(),
+        custom => Charset::from_bytes(custom.as_bytes())
+            .map_err(|e| format!("invalid custom charset: {e}"))?,
+    })
+}
+
+fn cmd_crack(args: &Args) -> Result<(), String> {
+    let algo = parse_algo(args)?;
+    let digest_hex = args
+        .get("digest")
+        .ok_or("crack requires --digest <hex>")?;
+    let digest = from_hex(digest_hex).ok_or("digest is not valid hex")?;
+    if digest.len() != algo.digest_len() {
+        return Err(format!(
+            "digest length {} does not match {} ({} bytes)",
+            digest.len(),
+            algo.name(),
+            algo.digest_len()
+        ));
+    }
+    let threads: usize = args.get_parse_or("threads", 8)?;
+
+    // Mask attack: --mask "?u?l?l?d?d".
+    if let Some(mask) = args.get("mask") {
+        let space = eks_keyspace::MaskSpace::parse(mask).map_err(|e| e.to_string())?;
+        println!("mask {mask}: {} candidates, {threads} threads", space.size());
+        let targets = TargetSet::new(algo, &[digest]);
+        let config = ParallelConfig { threads, chunk: 1 << 12, first_hit_only: !args.has("all") };
+        let report = eks_cracker::crack_space_parallel(&space, &targets, config);
+        return finish_report(report);
+    }
+
+    // Hybrid attack: --words w1,w2,... [--suffix-digits N].
+    if let Some(words) = args.get("words") {
+        let list: Vec<&[u8]> = words.split(',').map(|w| w.as_bytes()).collect();
+        let digits: u32 = args.get_parse_or("suffix-digits", 2)?;
+        let space = eks_keyspace::HybridSpace::with_digit_suffixes(&list, digits)
+            .map_err(|e| format!("{e:?}"))?;
+        println!(
+            "hybrid: {} words x digit suffixes 0..={digits} = {} candidates",
+            space.word_count(),
+            space.size()
+        );
+        let targets = TargetSet::new(algo, &[digest]);
+        let config = ParallelConfig { threads, chunk: 256, first_hit_only: !args.has("all") };
+        let report = eks_cracker::crack_space_parallel(&space, &targets, config);
+        return finish_report(report);
+    }
+
+    let charset = parse_charset(args)?;
+    let min: u32 = args.get_parse_or("min", 1)?;
+    let max: u32 = args.get_parse_or("max", 5)?;
+    let space = KeySpace::new(charset, min, max, Order::FirstCharFastest)
+        .map_err(|e| e.to_string())?;
+    println!(
+        "searching {} candidates ({} lengths {min}..={max}) with {threads} threads",
+        space.size(),
+        algo.name()
+    );
+
+    let salted = args.get("salt-prefix").is_some() || args.get("salt-suffix").is_some();
+    if salted {
+        // Salted targets go through the streaming path, one at a time.
+        let prefix = args.get_or("salt-prefix", "").as_bytes().to_vec();
+        let suffix = args.get_or("salt-suffix", "").as_bytes().to_vec();
+        let target = HashTarget::salted(algo, &digest, &prefix, &suffix);
+        let mut found = None;
+        space.iter(space.interval()).for_each_key(|id, key| {
+            if target.matches(key) {
+                found = Some((id, key.clone()));
+                false
+            } else {
+                true
+            }
+        });
+        return match found {
+            Some((id, key)) => {
+                println!("FOUND: \"{key}\" (identifier {id})");
+                Ok(())
+            }
+            None => Err("not found in this keyspace".into()),
+        };
+    }
+
+    let targets = TargetSet::new(algo, &[digest]);
+    let config = ParallelConfig {
+        threads,
+        chunk: 1 << 14,
+        first_hit_only: !args.has("all"),
+    };
+    let report = crack_parallel(&space, &targets, space.interval(), config);
+    finish_report(report)
+}
+
+fn finish_report(report: eks_cracker::ParallelReport) -> Result<(), String> {
+    if report.hits.is_empty() {
+        return Err(format!(
+            "not found; tested {} keys at {:.2} MKey/s",
+            report.tested, report.mkeys_per_s
+        ));
+    }
+    for (id, key, _) in &report.hits {
+        println!("FOUND: \"{key}\" (identifier {id})");
+    }
+    println!(
+        "tested {} keys in {:.3} s ({:.2} MKey/s)",
+        report.tested, report.elapsed_s, report.mkeys_per_s
+    );
+    Ok(())
+}
+
+fn cmd_hash(args: &Args) -> Result<(), String> {
+    let algo = parse_algo(args)?;
+    let plaintext = args.positional(1).ok_or("hash requires a plaintext argument")?;
+    println!("{}", to_hex(&algo.hash_long(plaintext.as_bytes())));
+    Ok(())
+}
+
+fn cmd_mine(args: &Args) -> Result<(), String> {
+    let difficulty: u32 = args.get_parse_or("difficulty", 16)?;
+    let threads: usize = args.get_parse_or("threads", 8)?;
+    let header = args.get_or("header", "eks-block-header").as_bytes().to_vec();
+    let job = MiningJob { header, difficulty_bits: difficulty };
+    println!("mining: {difficulty} leading zero bits, {threads} threads");
+    let start = std::time::Instant::now();
+    match mine(&job, 0..u32::MAX as u64, threads) {
+        Some(r) => {
+            println!(
+                "nonce {} after {} tests in {:.3} s",
+                r.nonce,
+                r.tested,
+                start.elapsed().as_secs_f64()
+            );
+            println!("hash  {}", to_hex(&r.digest));
+            Ok(())
+        }
+        None => Err("nonce space exhausted".into()),
+    }
+}
+
+fn cmd_analyze(args: &Args) -> Result<(), String> {
+    let algo = parse_algo(args)?;
+    println!("{} kernel, per architecture:", algo.name());
+    println!(
+        "{:<6}{:>8}{:>8}{:>10}{:>8}{:>8}{:>10}",
+        "cc", "IADD", "LOP", "SHR/SHL", "IMAD", "PRMT", "R"
+    );
+    use eks_gpusim::arch::ComputeCapability;
+    for cc in [ComputeCapability::Sm1x, ComputeCapability::Sm21, ComputeCapability::Sm30] {
+        let tk = ToolKernel::build(Tool::OurApproach, algo, cc);
+        let k = lower(&tk.ir, tk.options);
+        println!(
+            "{:<6}{:>8}{:>8}{:>10}{:>8}{:>8}{:>10.2}",
+            cc.label(),
+            k.counts.iadd(),
+            k.counts.lop(),
+            k.counts.shift(),
+            k.counts.imad(),
+            k.counts.prmt(),
+            k.counts.ratio()
+        );
+    }
+    println!();
+    println!("{:<24}{:>14}{:>14}{:>8}", "device", "theoretical", "simulated", "eff");
+    for dev in DeviceCatalog::paper_devices() {
+        let tk = ToolKernel::build(Tool::OurApproach, algo, dev.cc);
+        let k = lower(&tk.ir, tk.options);
+        let theo = theoretical_mkeys(&dev, &k.counts) * k.keys_per_iteration as f64;
+        let sim = simulate(&k, SimConfig::for_cc(dev.cc)).device_mkeys(&dev);
+        println!(
+            "{:<24}{:>9.1} MK/s{:>9.1} MK/s{:>7.1}%",
+            dev.name,
+            theo,
+            sim,
+            sim / theo * 100.0
+        );
+    }
+    Ok(())
+}
+
+fn cmd_disasm(args: &Args) -> Result<(), String> {
+    let algo = parse_algo(args)?;
+    use eks_gpusim::arch::ComputeCapability;
+    let cc = match args.get_or("cc", "3.0") {
+        "1.x" | "1.*" | "1.1" => ComputeCapability::Sm1x,
+        "2.0" => ComputeCapability::Sm20,
+        "2.1" => ComputeCapability::Sm21,
+        "3.0" => ComputeCapability::Sm30,
+        "3.5" => ComputeCapability::Sm35,
+        other => return Err(format!("unknown --cc {other:?}")),
+    };
+    let tool = match args.get_or("tool", "ours") {
+        "ours" => Tool::OurApproach,
+        "barswf" => Tool::BarsWf,
+        "cryptohaze" => Tool::Cryptohaze,
+        other => return Err(format!("unknown --tool {other:?}")),
+    };
+    let tk = ToolKernel::build(tool, algo, cc);
+    let k = lower(&tk.ir, tk.options);
+    print!("{}", eks_gpusim::disasm(&k));
+    Ok(())
+}
+
+fn cmd_profile(args: &Args) -> Result<(), String> {
+    let algo = parse_algo(args)?;
+    let device = eks_gpusim::device::DeviceCatalog::find(args.get_or("device", "660"))
+        .ok_or("unknown --device")?;
+    let tk = ToolKernel::build(Tool::OurApproach, algo, device.cc);
+    let k = lower(&tk.ir, tk.options);
+    let cfg = SimConfig::for_cc(device.cc);
+    let sim = simulate(&k, cfg);
+    println!("{} on {} (simulated):", algo.name(), device.name);
+    let report = eks_gpusim::ProfilerReport::new(&k, &sim, cfg.warps);
+    print!("{}", report.render());
+    println!("throughput        : {:.1} MKey/s", sim.device_mkeys(&device));
+    Ok(())
+}
+
+fn cmd_audit(args: &Args) -> Result<(), String> {
+    let algo = parse_algo(args)?;
+    let digests_arg = args.get("digests").ok_or("audit requires --digests h1,h2,...")?;
+    let accounts: Vec<String> = match args.get("accounts") {
+        Some(a) => a.split(',').map(|s| s.to_string()).collect(),
+        None => (1..).map(|i| format!("account{i}")).take(digests_arg.split(',').count()).collect(),
+    };
+    let digests: Vec<Vec<u8>> = digests_arg
+        .split(',')
+        .map(|h| from_hex(h).ok_or(format!("bad hex digest {h:?}")))
+        .collect::<Result<_, _>>()?;
+    if accounts.len() != digests.len() {
+        return Err("--accounts and --digests must have the same length".into());
+    }
+    let charset = parse_charset(args)?;
+    let min: u32 = args.get_parse_or("min", 1)?;
+    let max: u32 = args.get_parse_or("max", 4)?;
+    let space = KeySpace::new(charset, min, max, Order::FirstCharFastest)
+        .map_err(|e| e.to_string())?;
+    let entries: Vec<eks_cracker::AuditEntry> = accounts
+        .into_iter()
+        .zip(digests)
+        .map(|(account, digest)| eks_cracker::AuditEntry { account, digest })
+        .collect();
+    let mut session = eks_cracker::AuditSession::new(algo, entries, &space);
+    println!("auditing over {} candidates:", space.size());
+    let report = session.run(&space, |_| {});
+    print!("{}", report.render());
+    Ok(())
+}
+
+fn cmd_strength(args: &Args) -> Result<(), String> {
+    let algo = parse_algo(args)?;
+    let password = args.positional(1).ok_or("strength requires a password argument")?;
+    let charset = match args.get("charset") {
+        Some(_) => parse_charset(args)?,
+        None => Charset::alphanumeric(),
+    };
+    let min: u32 = args.get_parse_or("min", 1)?;
+    let max: u32 = args.get_parse_or("max", 8)?;
+    let space = KeySpace::new(charset, min, max, Order::FirstCharFastest)
+        .map_err(|e| e.to_string())?;
+    let key = eks_keyspace::Key::from_bytes(password.as_bytes());
+    println!(
+        "password {password:?} vs the {} keyspace ({} candidates):",
+        algo.name(),
+        space.size()
+    );
+    let net = paper_network(2e-3);
+    println!("{:<24}{:>14}{:>16}{:>16}", "attacker", "MKey/s", "time to reach", "full sweep");
+    for dev in eks_gpusim::device::DeviceCatalog::paper_devices() {
+        match eks_cluster::estimate_against_device(&key, &space, algo, &dev) {
+            Some(e) => println!(
+                "{:<24}{:>14.0}{:>16}{:>16}",
+                dev.name,
+                e.attacker_mkeys,
+                eks_cluster::StrengthEstimate::render_duration(e.time_to_reach_s),
+                eks_cluster::StrengthEstimate::render_duration(e.full_sweep_s)
+            ),
+            None => {
+                println!("password is outside this keyspace — it survives this sweep outright");
+                return Ok(());
+            }
+        }
+    }
+    if let Some(e) = eks_cluster::estimate_against_cluster(&key, &space, algo, &net) {
+        println!(
+            "{:<24}{:>14.0}{:>16}{:>16}",
+            "whole paper network",
+            e.attacker_mkeys,
+            eks_cluster::StrengthEstimate::render_duration(e.time_to_reach_s),
+            eks_cluster::StrengthEstimate::render_duration(e.full_sweep_s)
+        );
+    }
+    Ok(())
+}
+
+fn cmd_devices() -> Result<(), String> {
+    println!("{:<24}{:>6}{:>8}{:>12}{:>6}", "device", "MPs", "cores", "clock MHz", "cc");
+    for d in DeviceCatalog::paper_devices() {
+        println!(
+            "{:<24}{:>6}{:>8}{:>12}{:>6}",
+            d.name, d.mp_count, d.cores, d.clock_mhz, d.cc.label()
+        );
+    }
+    Ok(())
+}
+
+fn cmd_simulate(args: &Args) -> Result<(), String> {
+    let algo = parse_algo(args)?;
+    let keys: f64 = args.get_parse_or("keys", 5e11)?;
+    if keys <= 0.0 || !keys.is_finite() {
+        return Err("--keys must be positive".into());
+    }
+    let (net, label) = match args.get("topology") {
+        Some(t) => (eks_cluster::parse_topology(t, 2e-3)?, t.to_string()),
+        None => (
+            paper_network(2e-3),
+            "A(540M) -> B(660, 550Ti), A -> C(8600M) -> D(8800)".to_string(),
+        ),
+    };
+    let r = simulate_search(&net, Tool::OurApproach, algo, keys, SimParams::default());
+    println!("network: {label}");
+    println!("keys            : {keys:.3e}");
+    println!("makespan        : {:.1} s (simulated)", r.makespan_s);
+    println!("throughput      : {:.1} MKey/s", r.achieved_mkeys);
+    println!("sum theoretical : {:.1} MKey/s", r.sum_theoretical_mkeys);
+    println!("efficiency      : {:.3}", r.table9_efficiency());
+    Ok(())
+}
+
+fn cmd_tune(args: &Args) -> Result<(), String> {
+    let threads: usize = args.get_parse_or("threads", 4)?;
+    println!("{:<24}{:>14}{:>14}{:>14}", "worker", "theoretical", "achieved", "n_j (99%)");
+    for d in DeviceCatalog::paper_devices() {
+        let t = tune_device(&d, Tool::OurApproach, HashAlgo::Md5, AchievedModel::Analytic);
+        println!(
+            "{:<24}{:>9.1} MK/s{:>9.1} MK/s{:>14}",
+            d.name, t.theoretical_mkeys, t.achieved_mkeys, t.min_batch
+        );
+    }
+    let cpu = eks_cluster::tuning::measure_cpu_mkeys(threads, HashAlgo::Md5);
+    println!("{:<24}{:>14}{:>9.1} MK/s  (measured on this host)", format!("local CPU x{threads}"), "", cpu);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &[&str]) -> Args {
+        Args::parse(s.iter().map(|x| x.to_string())).unwrap()
+    }
+
+    #[test]
+    fn crack_round_trip() {
+        let digest = to_hex(&HashAlgo::Md5.hash(b"cab"));
+        let a = args(&["crack", "--algo", "md5", "--digest", &digest, "--max", "3", "--threads", "2"]);
+        assert!(run("crack", &a).is_ok());
+    }
+
+    #[test]
+    fn crack_salted_round_trip() {
+        let digest = to_hex(&HashAlgo::Sha1.hash_long(b"s-ab"));
+        let a = args(&[
+            "crack", "--algo", "sha1", "--digest", &digest, "--max", "2", "--salt-prefix", "s-",
+        ]);
+        assert!(run("crack", &a).is_ok());
+    }
+
+    #[test]
+    fn crack_rejects_bad_digest() {
+        let a = args(&["crack", "--digest", "zz"]);
+        assert!(run("crack", &a).is_err());
+        let a = args(&["crack", "--digest", "aabb"]);
+        assert!(run("crack", &a).is_err(), "wrong length");
+    }
+
+    #[test]
+    fn crack_reports_not_found() {
+        // An impossible digest over a tiny space.
+        let a = args(&["crack", "--digest", &"00".repeat(16), "--max", "2", "--threads", "1"]);
+        assert!(run("crack", &a).is_err());
+    }
+
+    #[test]
+    fn hash_command() {
+        let a = args(&["hash", "abc", "--algo", "md5"]);
+        assert!(run("hash", &a).is_ok());
+        let a = args(&["hash"]);
+        assert!(run("hash", &a).is_err());
+    }
+
+    #[test]
+    fn mine_low_difficulty() {
+        let a = args(&["mine", "--difficulty", "8", "--threads", "2"]);
+        assert!(run("mine", &a).is_ok());
+    }
+
+    #[test]
+    fn informational_commands() {
+        assert!(run("devices", &args(&["devices"])).is_ok());
+        assert!(run("help", &args(&["help"])).is_ok());
+        let a = args(&["simulate", "--keys", "1e9"]);
+        assert!(run("simulate", &a).is_ok());
+    }
+
+    #[test]
+    fn simulate_custom_topology() {
+        let a = args(&["simulate", "--keys", "1e9", "--topology", "A(660) -> B(550Ti)"]);
+        assert!(run("simulate", &a).is_ok());
+        let bad = args(&["simulate", "--topology", "A(madeup)"]);
+        assert!(run("simulate", &bad).is_err());
+    }
+
+    #[test]
+    fn disasm_lists_kernels() {
+        assert!(run("disasm", &args(&["disasm", "--cc", "3.0"])).is_ok());
+        assert!(run("disasm", &args(&["disasm", "--cc", "9.9"])).is_err());
+        assert!(run("disasm", &args(&["disasm", "--tool", "barswf", "--cc", "1.x"])).is_ok());
+    }
+
+    #[test]
+    fn profile_and_audit_commands() {
+        assert!(run("profile", &args(&["profile", "--device", "550"])).is_ok());
+        assert!(run("profile", &args(&["profile", "--device", "voodoo2"])).is_err());
+        let d1 = to_hex(&HashAlgo::Md5.hash(b"cab"));
+        let d2 = to_hex(&HashAlgo::Md5.hash(b"zzzzzzzz")); // survivor
+        let a = args(&[
+            "audit", "--digests", &format!("{d1},{d2}"), "--accounts", "alice,bob", "--max", "3",
+        ]);
+        assert!(run("audit", &a).is_ok());
+        let bad = args(&["audit", "--digests", "zz"]);
+        assert!(run("audit", &bad).is_err());
+    }
+
+    #[test]
+    fn strength_command() {
+        assert!(run("strength", &args(&["strength", "Cat42"])).is_ok());
+        assert!(run("strength", &args(&["strength", "p@ss!"])).is_ok(), "out of space is informative");
+        assert!(run("strength", &args(&["strength"])).is_err(), "needs a password");
+    }
+
+    #[test]
+    fn unknown_command_errors() {
+        assert!(run("frobnicate", &args(&["frobnicate"])).is_err());
+    }
+
+    #[test]
+    fn mask_attack_via_cli() {
+        let digest = to_hex(&HashAlgo::Md5.hash(b"Ab1"));
+        let a = args(&["crack", "--digest", &digest, "--mask", "?u?l?d", "--threads", "2"]);
+        assert!(run("crack", &a).is_ok());
+        let bad = args(&["crack", "--digest", &digest, "--mask", "?z"]);
+        assert!(run("crack", &bad).is_err());
+    }
+
+    #[test]
+    fn hybrid_attack_via_cli() {
+        let digest = to_hex(&HashAlgo::Md5.hash(b"cat7"));
+        let a = args(&["crack", "--digest", &digest, "--words", "dog,cat", "--suffix-digits", "1"]);
+        assert!(run("crack", &a).is_ok());
+    }
+
+    #[test]
+    fn ntlm_crack_via_cli() {
+        let digest = to_hex(&HashAlgo::Ntlm.hash(b"cab"));
+        let a = args(&["crack", "--algo", "ntlm", "--digest", &digest, "--max", "3", "--threads", "2"]);
+        assert!(run("crack", &a).is_ok());
+    }
+
+    #[test]
+    fn custom_charset() {
+        let digest = to_hex(&HashAlgo::Md5.hash(b"cb"));
+        let a = args(&["crack", "--digest", &digest, "--charset", "abc", "--max", "2"]);
+        assert!(run("crack", &a).is_ok());
+    }
+}

@@ -1,0 +1,37 @@
+//! `eks` — the exhaustive-key-search command line.
+//!
+//! ```text
+//! eks crack    --algo md5 --digest <hex> [--charset lower] [--min 1] [--max 5]
+//!              [--threads 8] [--salt-prefix S] [--salt-suffix S]
+//! eks hash     --algo md5 <plaintext>
+//! eks mine     [--difficulty 16] [--header STR] [--threads 8]
+//! eks analyze  [--algo md5]
+//! eks devices
+//! eks simulate [--keys 5e11] [--algo md5]
+//! eks tune     [--threads 4]
+//! ```
+
+mod args;
+mod commands;
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let parsed = match args::Args::parse(argv) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let command = parsed.positional(0).unwrap_or("help").to_string();
+    match commands::run(&command, &parsed) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("run `eks help` for usage");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,197 @@
+//! The minimum fault-tolerance model sketched in Section III / VII:
+//! "monitor the activity of nodes and recalculate the partitioning of the
+//! search space each time a set of nodes becomes temporarily inactive",
+//! with the caveat the paper flags — "the inactivity of a dispatching
+//! node would block the contribution of all the nodes in the dispatching
+//! sub tree".
+//!
+//! Built on the DES: the search runs on the full network until the
+//! failure instant, the dead subtree's outstanding work is requeued after
+//! a detection timeout, and the remainder is repartitioned over the
+//! survivors.
+
+use crate::des::{simulate_search, NetworkReport, SimParams};
+use crate::spec::ClusterNode;
+use eks_hashes::HashAlgo;
+use eks_kernels::Tool;
+
+/// A node failure during a search.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FailureEvent {
+    /// Name of the node that dies (its whole subtree goes with it).
+    pub node: String,
+    /// Fraction of the search completed when the failure hits (0..1).
+    pub at_fraction: f64,
+    /// Seconds of heartbeat silence before the master declares the node
+    /// dead and repartitions.
+    pub detection_timeout_s: f64,
+}
+
+/// Report of a search that survived a failure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FailureReport {
+    /// Total completion time including detection and repartitioning.
+    pub makespan_s: f64,
+    /// What the same search would have taken without the failure.
+    pub baseline_makespan_s: f64,
+    /// `makespan / baseline`.
+    pub slowdown: f64,
+    /// Devices lost with the subtree.
+    pub lost_devices: usize,
+    /// Devices that finished the search.
+    pub surviving_devices: usize,
+    /// Keys requeued from the dead subtree's outstanding assignment.
+    pub requeued_keys: f64,
+    /// Phase reports (before, after).
+    pub phase_before: NetworkReport,
+    pub phase_after: NetworkReport,
+}
+
+/// Simulate a search of `total_keys` interrupted by `failure`.
+///
+/// # Panics
+/// Panics when the failed node does not exist, is the root, or when no
+/// devices survive.
+pub fn simulate_search_with_failure(
+    root: &ClusterNode,
+    tool: Tool,
+    algo: HashAlgo,
+    total_keys: f64,
+    params: SimParams,
+    failure: &FailureEvent,
+) -> FailureReport {
+    assert!(
+        (0.0..1.0).contains(&failure.at_fraction),
+        "failure fraction must be in [0, 1)"
+    );
+    assert!(root.find(&failure.node).is_some(), "unknown node {}", failure.node);
+    assert_ne!(root.name, failure.node, "root failure kills the search");
+
+    let baseline = simulate_search(root, tool, algo, total_keys, params);
+
+    // Phase 1: the whole network works until the failure instant.
+    let keys_before = total_keys * failure.at_fraction;
+    let phase_before = if keys_before > 0.0 {
+        simulate_search(root, tool, algo, keys_before, params)
+    } else {
+        NetworkReport {
+            total_keys: 0.0,
+            makespan_s: 0.0,
+            achieved_mkeys: 0.0,
+            sum_achieved_mkeys: baseline.sum_achieved_mkeys,
+            sum_theoretical_mkeys: baseline.sum_theoretical_mkeys,
+            device_busy: Vec::new(),
+        }
+    };
+
+    // The dead subtree's outstanding assignment (one dispatch round's
+    // share) is lost in flight and must be requeued. Approximate the
+    // subtree's share by its fraction of the aggregate throughput.
+    let dead = root.find(&failure.node).expect("checked above");
+    let lost_devices = dead.all_devices().len() + dead.all_cpus().len();
+    let dead_fraction = {
+        let mut survivor = root.clone();
+        survivor.remove_subtree(&failure.node);
+        let all = simulate_search(root, tool, algo, 1.0, params).sum_achieved_mkeys;
+        let alive = simulate_search(&survivor, tool, algo, 1.0, params).sum_achieved_mkeys;
+        (all - alive) / all
+    };
+    let round_keys = total_keys / params.rounds as f64;
+    let requeued = round_keys * dead_fraction;
+
+    // Phase 2: the survivors take the remaining keys plus the requeue.
+    let mut survivor = root.clone();
+    assert!(survivor.remove_subtree(&failure.node));
+    let surviving_devices = survivor.all_devices().len() + survivor.all_cpus().len();
+    assert!(surviving_devices > 0, "no devices survive the failure");
+    let keys_after = total_keys - keys_before + requeued;
+    let phase_after = simulate_search(&survivor, tool, algo, keys_after, params);
+
+    let makespan =
+        phase_before.makespan_s + failure.detection_timeout_s + phase_after.makespan_s;
+    FailureReport {
+        makespan_s: makespan,
+        baseline_makespan_s: baseline.makespan_s,
+        slowdown: makespan / baseline.makespan_s,
+        lost_devices,
+        surviving_devices,
+        requeued_keys: requeued,
+        phase_before,
+        phase_after,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::paper_network;
+
+    fn failure(node: &str, at: f64) -> FailureEvent {
+        FailureEvent { node: node.to_string(), at_fraction: at, detection_timeout_s: 1.0 }
+    }
+
+    fn run(node: &str, at: f64) -> FailureReport {
+        let net = paper_network(2e-3);
+        simulate_search_with_failure(
+            &net,
+            Tool::OurApproach,
+            HashAlgo::Md5,
+            5e11,
+            SimParams::default(),
+            &failure(node, at),
+        )
+    }
+
+    #[test]
+    fn leaf_failure_slows_but_completes() {
+        let r = run("D", 0.5);
+        assert!(r.slowdown > 1.0, "slowdown {}", r.slowdown);
+        assert_eq!(r.lost_devices, 1);
+        assert_eq!(r.surviving_devices, 4);
+        assert!(r.requeued_keys > 0.0);
+    }
+
+    #[test]
+    fn dispatcher_failure_takes_its_subtree() {
+        // The paper's caveat: losing C also loses D.
+        let r = run("C", 0.5);
+        assert_eq!(r.lost_devices, 2);
+        assert_eq!(r.surviving_devices, 3);
+        let leaf = run("D", 0.5);
+        assert!(r.slowdown > leaf.slowdown, "losing C+D hurts more than D");
+    }
+
+    #[test]
+    fn earlier_failures_hurt_more() {
+        let early = run("B", 0.1);
+        let late = run("B", 0.9);
+        assert!(early.makespan_s > late.makespan_s);
+    }
+
+    #[test]
+    fn losing_the_fastest_node_hurts_most() {
+        // B holds the GTX 660 + 550 Ti (most of the network throughput).
+        let b = run("B", 0.5);
+        let d = run("D", 0.5);
+        assert!(b.slowdown > d.slowdown);
+    }
+
+    #[test]
+    fn all_keys_are_still_covered() {
+        let r = run("C", 0.3);
+        let covered = r.phase_before.total_keys + r.phase_after.total_keys - r.requeued_keys;
+        assert!((covered - 5e11).abs() < 1.0, "covered {covered}");
+    }
+
+    #[test]
+    #[should_panic]
+    fn unknown_node_rejected() {
+        run("Z", 0.5);
+    }
+
+    #[test]
+    #[should_panic]
+    fn root_failure_rejected() {
+        run("A", 0.5);
+    }
+}

@@ -1,0 +1,300 @@
+//! A real multi-threaded cluster runtime.
+//!
+//! The DES predicts *performance*; this module executes the same
+//! hierarchical dispatch for *real*: the thread tree mirrors the node
+//! tree, every device gets a worker thread, intervals are split by the
+//! tuned throughput ratios (`N_j = N_max · X_j / X_max`), and each worker
+//! genuinely cracks its interval on the CPU via `eks-cracker`. A shared
+//! stop flag implements the paper's periodic stop-condition check.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+use eks_hashes::HashAlgo;
+use eks_keyspace::{Interval, Key, KeySpace};
+use eks_kernels::Tool;
+
+use eks_cracker::engine::crack_interval;
+use eks_cracker::target::TargetSet;
+
+use crate::spec::ClusterNode;
+use crate::tuning::{tune_device, AchievedModel};
+
+/// Result of a real cluster search.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterSearchResult {
+    /// All hits, in identifier order: `(id, key, target index)`.
+    pub hits: Vec<(u128, Key, usize)>,
+    /// Candidates actually tested across the whole tree.
+    pub tested: u128,
+    /// Per-device `(node/device, tested)` accounting, tree order.
+    pub per_device: Vec<(String, u128)>,
+}
+
+/// Execute a search over the cluster: every node becomes a thread scope,
+/// every device a worker thread; `first_hit_only` stops the whole tree at
+/// the first match.
+pub fn run_cluster_search(
+    root: &ClusterNode,
+    space: &KeySpace,
+    targets: &TargetSet,
+    interval: Interval,
+    first_hit_only: bool,
+) -> ClusterSearchResult {
+    let stop = AtomicBool::new(false);
+    let mut result = search_node(root, space, targets, interval, &stop, first_hit_only);
+    result.hits.sort_by_key(|(id, _, _)| *id);
+    if first_hit_only {
+        // Several workers can race to a hit before observing the stop
+        // flag; keep the canonical (lowest-identifier) one — the merge
+        // step of the pattern.
+        result.hits.truncate(1);
+    }
+    result
+}
+
+/// Dispatch weight of a subtree: the sum of its devices' and CPU
+/// workers' tuned rates.
+fn subtree_rate(node: &ClusterNode, algo: HashAlgo) -> f64 {
+    let gpus: f64 = node
+        .devices
+        .iter()
+        .map(|s| tune_device(&s.device, Tool::OurApproach, algo, AchievedModel::Analytic).achieved_mkeys)
+        .sum();
+    let cpus: f64 = node
+        .cpus
+        .iter()
+        .map(|c| crate::tuning::tune_cpu(c, algo).achieved_mkeys)
+        .sum();
+    gpus + cpus + node.children.iter().map(|c| subtree_rate(c, algo)).sum::<f64>()
+}
+
+fn search_node(
+    node: &ClusterNode,
+    space: &KeySpace,
+    targets: &TargetSet,
+    interval: Interval,
+    stop: &AtomicBool,
+    first_hit_only: bool,
+) -> ClusterSearchResult {
+    let algo = targets.algo();
+    // Weights: one per local device, one per child subtree.
+    let mut weights: Vec<f64> = node
+        .devices
+        .iter()
+        .map(|s| {
+            tune_device(&s.device, Tool::OurApproach, algo, AchievedModel::Analytic).achieved_mkeys
+        })
+        .collect();
+    weights.extend(node.cpus.iter().map(|c| crate::tuning::tune_cpu(c, algo).achieved_mkeys));
+    weights.extend(node.children.iter().map(|c| subtree_rate(c, algo)));
+    if weights.is_empty() {
+        return ClusterSearchResult { hits: Vec::new(), tested: 0, per_device: Vec::new() };
+    }
+    let parts = interval.split_weighted(&weights);
+    let n_devices = node.devices.len();
+    let n_cpus = node.cpus.len();
+
+    let mut results: Vec<Option<ClusterSearchResult>> = Vec::new();
+    crossbeam::scope(|scope| {
+        let mut handles = Vec::new();
+        for (i, part) in parts.iter().enumerate() {
+            let part = *part;
+            if i < n_devices {
+                let label = format!("{}/{}", node.name, node.devices[i].device.name);
+                handles.push(scope.spawn(move |_| {
+                    let out = crack_interval(space, targets, part, stop, first_hit_only);
+                    if first_hit_only && !out.hits.is_empty() {
+                        stop.store(true, Ordering::Relaxed);
+                    }
+                    ClusterSearchResult {
+                        tested: out.tested,
+                        per_device: vec![(label, out.tested)],
+                        hits: out.hits,
+                    }
+                }));
+            } else if i < n_devices + n_cpus {
+                // A CPU worker fans its share out over its own threads.
+                let cpu = &node.cpus[i - n_devices];
+                let label = format!("{}/{}", node.name, cpu.name);
+                let threads = cpu.threads;
+                handles.push(scope.spawn(move |_| {
+                    let sub = part.split_even(threads);
+                    let mut merged =
+                        ClusterSearchResult { hits: Vec::new(), tested: 0, per_device: Vec::new() };
+                    crossbeam::scope(|inner| {
+                        let hs: Vec<_> = sub
+                            .iter()
+                            .map(|p| {
+                                let p = *p;
+                                inner.spawn(move |_| {
+                                    let out =
+                                        crack_interval(space, targets, p, stop, first_hit_only);
+                                    if first_hit_only && !out.hits.is_empty() {
+                                        stop.store(true, Ordering::Relaxed);
+                                    }
+                                    out
+                                })
+                            })
+                            .collect();
+                        for h in hs {
+                            let out = h.join().expect("cpu worker panicked");
+                            merged.tested += out.tested;
+                            merged.hits.extend(out.hits);
+                        }
+                    })
+                    .expect("cpu scope panicked");
+                    merged.per_device = vec![(label, merged.tested)];
+                    merged
+                }));
+            } else {
+                let child = &node.children[i - n_devices - n_cpus];
+                handles.push(scope.spawn(move |_| {
+                    search_node(child, space, targets, part, stop, first_hit_only)
+                }));
+            }
+        }
+        results = handles.into_iter().map(|h| Some(h.join().expect("worker panicked"))).collect();
+    })
+    .expect("node scope panicked");
+
+    let mut merged = ClusterSearchResult { hits: Vec::new(), tested: 0, per_device: Vec::new() };
+    for r in results.into_iter().flatten() {
+        merged.hits.extend(r.hits);
+        merged.tested += r.tested;
+        merged.per_device.extend(r.per_device);
+    }
+    merged
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::paper_network;
+    use eks_keyspace::{Charset, Order};
+
+    fn space() -> KeySpace {
+        KeySpace::new(Charset::lowercase(), 1, 4, Order::FirstCharFastest).unwrap()
+    }
+
+    fn targets(words: &[&[u8]]) -> TargetSet {
+        let ds: Vec<Vec<u8>> = words.iter().map(|w| HashAlgo::Md5.hash_long(w)).collect();
+        TargetSet::new(HashAlgo::Md5, &ds)
+    }
+
+    #[test]
+    fn cluster_cracks_a_real_password() {
+        let net = paper_network(1e-3);
+        let s = space();
+        let t = targets(&[b"gpus"]);
+        let r = run_cluster_search(&net, &s, &t, s.interval(), true);
+        assert_eq!(r.hits.len(), 1);
+        assert_eq!(r.hits[0].1.as_bytes(), b"gpus");
+    }
+
+    #[test]
+    fn full_sweep_covers_every_key_exactly_once() {
+        let net = paper_network(1e-3);
+        let s = space();
+        let t = targets(&[b"zzzz"]); // last key: forces a full sweep
+        let r = run_cluster_search(&net, &s, &t, s.interval(), false);
+        assert_eq!(r.tested, s.size(), "every key tested exactly once");
+        assert_eq!(r.hits.len(), 1);
+        assert_eq!(r.per_device.len(), 5, "five devices participated");
+    }
+
+    #[test]
+    fn multiple_targets_all_found() {
+        let net = paper_network(1e-3);
+        let s = space();
+        let t = targets(&[b"cat", b"dog", b"bird"]);
+        let r = run_cluster_search(&net, &s, &t, s.interval(), false);
+        let keys: Vec<&[u8]> = r.hits.iter().map(|(_, k, _)| k.as_bytes()).collect();
+        assert_eq!(keys.len(), 3);
+        for w in [&b"cat"[..], b"dog", b"bird"] {
+            assert!(keys.contains(&w));
+        }
+    }
+
+    #[test]
+    fn work_split_follows_throughput_ratios() {
+        let net = paper_network(1e-3);
+        let s = space();
+        let t = targets(&[b"zzzz"]);
+        let r = run_cluster_search(&net, &s, &t, s.interval(), false);
+        // The GTX 660 (fastest) must receive the largest share; the
+        // 8600M GT (slowest) the smallest.
+        let share = |pat: &str| {
+            r.per_device
+                .iter()
+                .find(|(n, _)| n.contains(pat))
+                .map(|(_, c)| *c)
+                .unwrap_or_else(|| panic!("{pat} missing"))
+        };
+        let gtx660 = share("660");
+        let m8600 = share("8600M");
+        assert!(gtx660 > 10 * m8600, "660 {gtx660} vs 8600M {m8600}");
+    }
+
+    #[test]
+    fn pruned_network_still_finds_the_key() {
+        let mut net = paper_network(1e-3);
+        assert!(net.remove_subtree("C"));
+        let s = space();
+        let t = targets(&[b"mice"]);
+        let r = run_cluster_search(&net, &s, &t, s.interval(), true);
+        assert_eq!(r.hits.len(), 1);
+        assert_eq!(r.hits[0].1.as_bytes(), b"mice");
+    }
+
+    #[test]
+    fn single_node_degenerate_cluster_works() {
+        let net = crate::spec::ClusterNode::device_node(
+            "solo",
+            vec![eks_gpusim::device::Device::geforce_gtx_660()],
+            0.0,
+        );
+        let s = space();
+        let t = targets(&[b"owl"]);
+        let r = run_cluster_search(&net, &s, &t, s.interval(), true);
+        assert_eq!(r.hits[0].1.as_bytes(), b"owl");
+    }
+
+    #[test]
+    fn hybrid_cpu_gpu_node_cracks() {
+        // Paper future work: "apply the proposed parallelization pattern
+        // to other architectures, including multicore CPUs".
+        let net = crate::spec::ClusterNode::device_node(
+            "hybrid",
+            vec![eks_gpusim::device::Device::geforce_gtx_660()],
+            0.0,
+        )
+        .with_cpu("host-cpu", 2);
+        let s = space();
+        let t = targets(&[b"fox"]);
+        let r = run_cluster_search(&net, &s, &t, s.interval(), true);
+        assert_eq!(r.hits[0].1.as_bytes(), b"fox");
+    }
+
+    #[test]
+    fn cpu_only_cluster_full_sweep() {
+        let net = crate::spec::ClusterNode::device_node("cpu-box", vec![], 0.0)
+            .with_cpu("cpu0", 2)
+            .with_cpu("cpu1", 2);
+        let s = space();
+        let t = targets(&[b"zzzz"]);
+        let r = run_cluster_search(&net, &s, &t, s.interval(), false);
+        assert_eq!(r.tested, s.size(), "cpu workers cover the space exactly");
+        assert_eq!(r.hits.len(), 1);
+        assert_eq!(r.per_device.len(), 2);
+    }
+
+    #[test]
+    fn empty_interval_is_fine() {
+        let net = paper_network(1e-3);
+        let s = space();
+        let t = targets(&[b"cat"]);
+        let r = run_cluster_search(&net, &s, &t, Interval::new(0, 0), true);
+        assert!(r.hits.is_empty());
+        assert_eq!(r.tested, 0);
+    }
+}

@@ -1,0 +1,208 @@
+//! A small textual topology description, so arbitrary clusters can be
+//! simulated without writing Rust:
+//!
+//! ```text
+//! A(540M) -> B(660, 550Ti); C(8600M) -> D(8800); A -> C
+//! ```
+//!
+//! * `Name(dev1, dev2, ...)` declares a node and its devices (device
+//!   names resolve by substring against the catalog; `cpu:N` adds an
+//!   `N`-thread CPU worker);
+//! * `X -> Y` makes `Y` a child of `X` (declaring `Y` inline is allowed);
+//! * statements separated by `;`;
+//! * the first declared node is the root.
+
+use crate::spec::ClusterNode;
+use eks_gpusim::device::DeviceCatalog;
+
+/// Parse a topology description into a cluster tree.
+///
+/// `link_latency_s` applies to every edge.
+pub fn parse_topology(text: &str, link_latency_s: f64) -> Result<ClusterNode, String> {
+    // First pass: collect node declarations and edges.
+    let mut order: Vec<String> = Vec::new();
+    let mut nodes: Vec<(String, ClusterNode)> = Vec::new();
+    let mut edges: Vec<(String, String)> = Vec::new();
+
+    let declare = |decl: &str,
+                       order: &mut Vec<String>,
+                       nodes: &mut Vec<(String, ClusterNode)>|
+     -> Result<String, String> {
+        let decl = decl.trim();
+        if decl.is_empty() {
+            return Err("empty node declaration".into());
+        }
+        let (name, devs) = match decl.find('(') {
+            Some(open) => {
+                let close = decl
+                    .rfind(')')
+                    .ok_or_else(|| format!("unclosed '(' in {decl:?}"))?;
+                (decl[..open].trim(), Some(&decl[open + 1..close]))
+            }
+            None => (decl, None),
+        };
+        if name.is_empty() {
+            return Err(format!("node in {decl:?} has no name"));
+        }
+        if let Some(devs) = devs {
+            if nodes.iter().any(|(n, _)| n == name) {
+                return Err(format!("node {name} declared twice"));
+            }
+            let mut node = ClusterNode::device_node(name, vec![], link_latency_s);
+            for spec in devs.split(',').map(str::trim).filter(|s| !s.is_empty()) {
+                if let Some(threads) = spec.strip_prefix("cpu:") {
+                    let t: usize = threads
+                        .parse()
+                        .map_err(|_| format!("bad cpu thread count in {spec:?}"))?;
+                    node = node.with_cpu(&format!("cpu-{t}t"), t);
+                } else {
+                    let d = DeviceCatalog::find(spec)
+                        .ok_or_else(|| format!("unknown device {spec:?}"))?;
+                    node.devices.push(crate::spec::GpuSlot { device: d });
+                }
+            }
+            order.push(name.to_string());
+            nodes.push((name.to_string(), node));
+        } else if !nodes.iter().any(|(n, _)| n == name) {
+            // Bare reference to an undeclared node: declare it empty.
+            order.push(name.to_string());
+            nodes.push((
+                name.to_string(),
+                ClusterNode::device_node(name, vec![], link_latency_s),
+            ));
+        }
+        Ok(name.to_string())
+    };
+
+    for stmt in text.split(';').map(str::trim).filter(|s| !s.is_empty()) {
+        let parts: Vec<&str> = stmt.split("->").collect();
+        let mut prev: Option<String> = None;
+        for part in parts {
+            let name = declare(part, &mut order, &mut nodes)?;
+            if let Some(p) = prev {
+                edges.push((p, name.clone()));
+            }
+            prev = Some(name);
+        }
+    }
+    if nodes.is_empty() {
+        return Err("no nodes declared".into());
+    }
+
+    // Validate edges: no duplicate parents, no cycles (a child appears as
+    // a child at most once; the root has no parent).
+    let root_name = order[0].clone();
+    let mut parent_of: Vec<(String, String)> = Vec::new();
+    for (p, c) in &edges {
+        if c == &root_name {
+            return Err(format!("the root {root_name} cannot be a child"));
+        }
+        if parent_of.iter().any(|(child, _)| child == c) {
+            return Err(format!("node {c} has two parents"));
+        }
+        if p == c {
+            return Err(format!("self-edge on {p}"));
+        }
+        parent_of.push((c.clone(), p.clone()));
+    }
+
+    // Build the tree bottom-up: attach children in reverse declaration
+    // order so every child is complete before its parent consumes it.
+    let mut store: Vec<(String, Option<ClusterNode>)> =
+        nodes.into_iter().map(|(n, node)| (n, Some(node))).collect();
+    for child_name in order.iter().rev() {
+        if let Some((_, parent_name)) = parent_of.iter().find(|(c, _)| c == child_name) {
+            let child = store
+                .iter_mut()
+                .find(|(n, _)| n == child_name)
+                .and_then(|(_, slot)| slot.take())
+                .ok_or_else(|| format!("node {child_name} used twice in the tree"))?;
+            let parent = store
+                .iter_mut()
+                .find(|(n, _)| n == parent_name)
+                .ok_or_else(|| format!("unknown parent {parent_name}"))?;
+            match parent.1.as_mut() {
+                Some(p) => p.children.push(child),
+                None => return Err(format!("parent {parent_name} already consumed (cycle?)")),
+            }
+        }
+    }
+    let root = store
+        .iter_mut()
+        .find(|(n, _)| n == &root_name)
+        .and_then(|(_, slot)| slot.take())
+        .ok_or("root was consumed — the topology contains a cycle")?;
+    // Orphans (declared but never attached and not the root) are an error:
+    // silently dropping devices would falsify the efficiency math.
+    let orphans: Vec<&String> = store
+        .iter()
+        .filter(|(n, slot)| slot.is_some() && *n != root_name)
+        .map(|(n, _)| n)
+        .collect();
+    if !orphans.is_empty() {
+        return Err(format!("nodes not connected to the root: {orphans:?}"));
+    }
+    Ok(root)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_paper_network() {
+        let net = parse_topology(
+            "A(540M) -> B(660, 550Ti); C(8600M) -> D(8800); A -> C",
+            2e-3,
+        )
+        .unwrap();
+        let reference = crate::spec::paper_network(2e-3);
+        assert_eq!(net.node_count(), reference.node_count());
+        assert_eq!(net.all_devices().len(), 5);
+        assert_eq!(net.find("B").unwrap().devices.len(), 2);
+        assert_eq!(net.find("C").unwrap().children[0].name, "D");
+    }
+
+    #[test]
+    fn inline_chains_work() {
+        let net = parse_topology("root(660) -> mid(550Ti) -> leaf(8800)", 1e-3).unwrap();
+        assert_eq!(net.depth(), 3);
+        assert_eq!(net.all_devices().len(), 3);
+    }
+
+    #[test]
+    fn cpu_workers_parse() {
+        let net = parse_topology("box(660, cpu:8)", 0.0).unwrap();
+        assert_eq!(net.devices.len(), 1);
+        assert_eq!(net.cpus.len(), 1);
+        assert_eq!(net.cpus[0].threads, 8);
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        assert!(parse_topology("", 0.0).is_err(), "empty");
+        assert!(parse_topology("A(nonexistent-gpu)", 0.0).is_err(), "unknown device");
+        assert!(parse_topology("A(660); B(660); A -> B; A -> B", 0.0).is_err(), "two parents");
+        assert!(parse_topology("A(660) -> A", 0.0).is_err(), "self edge");
+        assert!(parse_topology("A(660); B(660) -> A", 0.0).is_err(), "root as child");
+        assert!(parse_topology("A(660); B(660)", 0.0).is_err(), "orphan");
+        assert!(parse_topology("A(660", 0.0).is_err(), "unclosed paren");
+        assert!(parse_topology("A(660); A(550Ti)", 0.0).is_err(), "duplicate");
+        assert!(parse_topology("box(cpu:lots)", 0.0).is_err(), "bad cpu count");
+    }
+
+    #[test]
+    fn parsed_topology_simulates() {
+        use crate::des::{simulate_search, SimParams};
+        let net = parse_topology("A(660) -> B(550Ti, 540M)", 2e-3).unwrap();
+        let r = simulate_search(
+            &net,
+            eks_kernels::Tool::OurApproach,
+            eks_hashes::HashAlgo::Md5,
+            1e10,
+            SimParams::default(),
+        );
+        assert!(r.parallel_efficiency() > 0.8);
+        assert_eq!(r.device_busy.len(), 3);
+    }
+}

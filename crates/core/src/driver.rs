@@ -1,0 +1,152 @@
+//! Sequential search drivers over a [`SolutionSpace`].
+//!
+//! These implement the enumeration loop of Section III: build `f(i0)` once,
+//! then walk the interval with the `next` operator, testing each candidate.
+//! They are the reference semantics that every accelerated engine
+//! (`eks-cracker` on CPU threads, the simulated GPU kernels in
+//! `eks-kernels`) must agree with.
+
+use crate::space::{CandidateTest, SolutionSpace};
+
+/// Outcome of scanning one interval.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SearchOutcome<E> {
+    /// A candidate satisfied the test; contains its identifier and evidence.
+    Found { id: u128, evidence: E },
+    /// The interval was exhausted without a hit; reports candidates tested.
+    Exhausted { tested: u128 },
+}
+
+impl<E> SearchOutcome<E> {
+    /// The identifier of the hit, if any.
+    pub fn found_id(&self) -> Option<u128> {
+        match self {
+            SearchOutcome::Found { id, .. } => Some(*id),
+            SearchOutcome::Exhausted { .. } => None,
+        }
+    }
+
+    /// True when the search found a solution.
+    pub fn is_found(&self) -> bool {
+        matches!(self, SearchOutcome::Found { .. })
+    }
+}
+
+/// Scan `[start, start + len)` with `f` once and `next` thereafter,
+/// stopping at the first accepted candidate.
+pub fn search_interval<S, T>(
+    space: &S,
+    test: &T,
+    start: u128,
+    len: u128,
+) -> SearchOutcome<T::Evidence>
+where
+    S: SolutionSpace,
+    T: CandidateTest<S::Solution>,
+{
+    search_interval_with(space, test, start, len, |_| true)
+}
+
+/// Like [`search_interval`] but polls `keep_going` between candidates so a
+/// dispatcher can cancel in-flight work (the paper gathers periodically "to
+/// eventually terminate the search if a stop condition is met"). The poll
+/// receives the count of candidates tested so far.
+pub fn search_interval_with<S, T, P>(
+    space: &S,
+    test: &T,
+    start: u128,
+    len: u128,
+    mut keep_going: P,
+) -> SearchOutcome<T::Evidence>
+where
+    S: SolutionSpace,
+    T: CandidateTest<S::Solution>,
+    P: FnMut(u128) -> bool,
+{
+    if len == 0 {
+        return SearchOutcome::Exhausted { tested: 0 };
+    }
+    let mut candidate = space.generate(start);
+    let mut tested: u128 = 0;
+    let mut id = start;
+    loop {
+        if let Some(evidence) = test.test(id, &candidate) {
+            return SearchOutcome::Found { id, evidence };
+        }
+        tested += 1;
+        if tested == len {
+            return SearchOutcome::Exhausted { tested };
+        }
+        if !keep_going(tested) {
+            return SearchOutcome::Exhausted { tested };
+        }
+        space.advance(id, &mut candidate);
+        id += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Naturals;
+
+    impl SolutionSpace for Naturals {
+        type Solution = u128;
+        fn size(&self) -> Option<u128> {
+            None
+        }
+        fn generate(&self, id: u128) -> u128 {
+            id
+        }
+        fn advance(&self, _id: u128, s: &mut u128) {
+            *s += 1;
+        }
+    }
+
+    fn equals(target: u128) -> impl Fn(u128, &u128) -> Option<u128> {
+        move |_id, c| (*c == target).then_some(*c)
+    }
+
+    #[test]
+    fn finds_target_inside_interval() {
+        let out = search_interval(&Naturals, &equals(57), 50, 20);
+        assert_eq!(out.found_id(), Some(57));
+        assert!(out.is_found());
+    }
+
+    #[test]
+    fn misses_target_outside_interval() {
+        let out = search_interval(&Naturals, &equals(100), 50, 20);
+        assert_eq!(out, SearchOutcome::Exhausted { tested: 20 });
+        assert!(!out.is_found());
+    }
+
+    #[test]
+    fn finds_target_at_interval_edges() {
+        assert_eq!(search_interval(&Naturals, &equals(50), 50, 20).found_id(), Some(50));
+        assert_eq!(search_interval(&Naturals, &equals(69), 50, 20).found_id(), Some(69));
+    }
+
+    #[test]
+    fn empty_interval_tests_nothing() {
+        let out = search_interval(&Naturals, &equals(0), 0, 0);
+        assert_eq!(out, SearchOutcome::Exhausted { tested: 0 });
+    }
+
+    #[test]
+    fn cancellation_stops_early() {
+        let out = search_interval_with(&Naturals, &equals(1_000_000), 0, 1_000_000, |tested| {
+            tested < 10
+        });
+        assert_eq!(out, SearchOutcome::Exhausted { tested: 10 });
+    }
+
+    #[test]
+    fn cancellation_does_not_skip_hit_on_last_polled_candidate() {
+        // Target is the 10th candidate (id 9); the poll fires after it's
+        // already been tested.
+        let out = search_interval_with(&Naturals, &equals(9), 0, 100, |tested| tested < 10);
+        assert_eq!(out.found_id(), Some(9));
+    }
+}

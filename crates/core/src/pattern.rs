@@ -1,0 +1,86 @@
+//! The master/worker dispatch pattern of Section III.
+//!
+//! A master task scatters minimal generation data (an identifier interval)
+//! to each computing node, waits, gathers results and optionally merges
+//! them. Workers may themselves be dispatchers for a subtree, in which case
+//! the subtree behaves like a node whose throughput is the sum of its
+//! children's and whose minimum efficient batch is `Σ N_j`.
+//!
+//! This module defines the transport-agnostic traits; `eks-cluster`
+//! provides a discrete-event implementation and a threaded implementation.
+
+/// What a worker sends back after scanning its interval.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkerReport<E> {
+    /// The interval that was assigned, as `(start, len)`.
+    pub interval: (u128, u128),
+    /// Candidates actually tested (may be < len if cancelled).
+    pub tested: u128,
+    /// Hits found inside the interval.
+    pub hits: Vec<(u128, E)>,
+}
+
+impl<E> WorkerReport<E> {
+    /// An exhausted-interval report with no hits.
+    pub fn exhausted(interval: (u128, u128)) -> Self {
+        Self { interval, tested: interval.1, hits: Vec::new() }
+    }
+
+    /// True when the full interval was scanned.
+    pub fn complete(&self) -> bool {
+        self.tested == self.interval.1
+    }
+}
+
+/// A computing node (leaf or subtree root) the master can drive.
+pub trait Worker {
+    /// Evidence type for hits.
+    type Evidence;
+
+    /// Scan `[start, start + len)` and report.
+    fn run(&mut self, start: u128, len: u128) -> WorkerReport<Self::Evidence>;
+
+    /// Peak throughput in candidates per second, as estimated by tuning.
+    fn throughput(&self) -> f64;
+
+    /// Minimum batch size for the target efficiency, from tuning.
+    fn min_batch(&self) -> u128;
+}
+
+/// Decision returned by the master's merge step after each gather.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MergeOutcome<E> {
+    /// Keep dispatching further intervals.
+    Continue,
+    /// Stop: the search goal is met (e.g. first preimage found).
+    Stop(Vec<(u128, E)>),
+}
+
+/// A master task driving a set of workers over a search space.
+pub trait Master {
+    /// Evidence type for hits.
+    type Evidence;
+
+    /// Run the search over `[start, start + total)`, dispatching balanced
+    /// intervals until exhaustion or until the merge step stops it.
+    fn dispatch(&mut self, start: u128, total: u128) -> Vec<(u128, Self::Evidence)>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exhausted_report_is_complete() {
+        let r: WorkerReport<()> = WorkerReport::exhausted((10, 5));
+        assert!(r.complete());
+        assert_eq!(r.tested, 5);
+        assert!(r.hits.is_empty());
+    }
+
+    #[test]
+    fn partial_report_is_incomplete() {
+        let r = WorkerReport::<()> { interval: (0, 10), tested: 3, hits: vec![] };
+        assert!(!r.complete());
+    }
+}

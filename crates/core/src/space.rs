@@ -1,0 +1,170 @@
+//! The abstract problem definition of Section III-A.
+//!
+//! An exhaustive search requires a bijection `f` from natural numbers into
+//! the (finite or countable) solution set `S`, and a test function
+//! `C : S -> {0, 1}`. The `next` operator maps `(i, f(i))` to `f(i + 1)`
+//! in place; it is usually much cheaper than recomputing `f(i + 1)` from
+//! scratch, which is the whole point of enumerating with it.
+
+/// A countable space of candidate solutions with a cheap successor operator.
+///
+/// Identifiers are `u128` so that realistic password keyspaces fit: the set
+/// of strings of length ≤ 20 over a 95-symbol charset has ≈ `2^132` members,
+/// but every interval a node ever receives fits comfortably in `u128`
+/// (the paper caps lengths at 20 and practical searches at ≤ 10 symbols).
+pub trait SolutionSpace {
+    /// The candidate solution type.
+    type Solution;
+
+    /// Number of candidates in the space, or `None` when it exceeds `u128`.
+    fn size(&self) -> Option<u128>;
+
+    /// The bijection `f(id)`: build the candidate for `id` from scratch.
+    fn generate(&self, id: u128) -> Self::Solution;
+
+    /// The `next` operator: transform `f(id)` into `f(id + 1)` in place.
+    ///
+    /// `id` is the identifier of the *current* value stored in `solution`.
+    /// Implementations must satisfy `next(i, f(i)) == f(i + 1)` for every
+    /// `i` with `i + 1` inside the space.
+    fn advance(&self, id: u128, solution: &mut Self::Solution);
+
+    /// Inverse of `generate`, when available: recover `id` from a solution.
+    ///
+    /// The default returns `None`; bijective spaces should override it so
+    /// round-trip properties can be tested.
+    fn identify(&self, _solution: &Self::Solution) -> Option<u128> {
+        None
+    }
+}
+
+/// The test function `C : S -> {0, 1}` applied to each candidate.
+///
+/// `C` may be arbitrarily complex; for password cracking it hashes the
+/// candidate and compares the digest with the target.
+pub trait CandidateTest<S> {
+    /// Evidence returned for an accepted candidate (e.g. the matched hash).
+    type Evidence;
+
+    /// Evaluate the candidate; `Some(evidence)` means `C(s) = 1`.
+    fn test(&self, id: u128, candidate: &S) -> Option<Self::Evidence>;
+}
+
+impl<S, E, F> CandidateTest<S> for F
+where
+    F: Fn(u128, &S) -> Option<E>,
+{
+    type Evidence = E;
+
+    fn test(&self, id: u128, candidate: &S) -> Option<E> {
+        self(id, candidate)
+    }
+}
+
+/// The optional merge step run by the master after gathering results.
+///
+/// It is mandatory for problems where `C` returning 1 is necessary but not
+/// sufficient (the paper's example: each node returns its local minimum and
+/// the master keeps the global one).
+pub trait Merge<R> {
+    /// Combined result type.
+    type Merged;
+
+    /// Fold the per-node results into the final answer.
+    fn merge(&self, partials: Vec<R>) -> Self::Merged;
+}
+
+/// Merge policy that keeps the first (lowest identifier) hit, matching the
+/// semantics of "find any preimage".
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FirstHit;
+
+impl<R> Merge<Option<(u128, R)>> for FirstHit {
+    type Merged = Option<(u128, R)>;
+
+    fn merge(&self, partials: Vec<Option<(u128, R)>>) -> Self::Merged {
+        partials
+            .into_iter()
+            .flatten()
+            .min_by_key(|(id, _)| *id)
+    }
+}
+
+/// Merge policy that collects every hit, for multi-target audits.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AllHits;
+
+impl<R> Merge<Vec<(u128, R)>> for AllHits {
+    type Merged = Vec<(u128, R)>;
+
+    fn merge(&self, partials: Vec<Vec<(u128, R)>>) -> Self::Merged {
+        let mut all: Vec<(u128, R)> = partials.into_iter().flatten().collect();
+        all.sort_by_key(|(id, _)| *id);
+        all
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A toy space: the natural numbers themselves.
+    struct Naturals;
+
+    impl SolutionSpace for Naturals {
+        type Solution = u128;
+
+        fn size(&self) -> Option<u128> {
+            None
+        }
+
+        fn generate(&self, id: u128) -> u128 {
+            id
+        }
+
+        fn advance(&self, _id: u128, solution: &mut u128) {
+            *solution += 1;
+        }
+
+        fn identify(&self, solution: &u128) -> Option<u128> {
+            Some(*solution)
+        }
+    }
+
+    #[test]
+    fn next_matches_generate() {
+        let space = Naturals;
+        let mut s = space.generate(41);
+        space.advance(41, &mut s);
+        assert_eq!(s, space.generate(42));
+    }
+
+    #[test]
+    fn closure_is_a_candidate_test() {
+        let target = 7u128;
+        let test = |_id: u128, c: &u128| (*c == target).then_some("found");
+        assert_eq!(test.test(7, &7), Some("found"));
+        assert_eq!(test.test(3, &3), None);
+    }
+
+    #[test]
+    fn first_hit_keeps_lowest_id() {
+        let merge = FirstHit;
+        let merged = merge.merge(vec![None, Some((9u128, 'b')), Some((4, 'a'))]);
+        assert_eq!(merged, Some((4, 'a')));
+    }
+
+    #[test]
+    fn first_hit_empty_is_none() {
+        let merge = FirstHit;
+        let merged: Option<(u128, char)> = merge.merge(vec![None, None]);
+        assert_eq!(merged, None);
+    }
+
+    #[test]
+    fn all_hits_sorts_by_id() {
+        let merge = AllHits;
+        let merged = merge.merge(vec![vec![(5u128, 'x')], vec![(2, 'y'), (8, 'z')]]);
+        assert_eq!(merged, vec![(2, 'y'), (5, 'x'), (8, 'z')]);
+    }
+}

@@ -1,0 +1,163 @@
+//! Sequential interval scanning with cooperative cancellation.
+//!
+//! One call = one node's `K_search` (Section III): generate `f(start)`
+//! once, walk the interval with the `next` operator, test every
+//! candidate, and poll a stop flag between fixed-size chunks so a
+//! dispatcher can cancel in-flight work once another node finds the key.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+use eks_keyspace::{Interval, Key, KeySpace};
+
+use crate::target::TargetSet;
+
+/// Candidates between stop-flag polls. Small enough for sub-millisecond
+/// cancellation latency, large enough to amortize the atomic load.
+pub const POLL_CHUNK: u128 = 4096;
+
+/// Result of scanning one interval.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CrackOutcome {
+    /// `(identifier, key, target index)` per hit, in identifier order.
+    pub hits: Vec<(u128, Key, usize)>,
+    /// Candidates actually tested.
+    pub tested: u128,
+    /// True when the scan stopped on the stop flag rather than exhaustion
+    /// or a first-hit return.
+    pub cancelled: bool,
+}
+
+/// Scan `interval` against a target set, stopping early when `stop` is
+/// raised or — if `first_hit_only` — at the first match.
+pub fn crack_interval(
+    space: &KeySpace,
+    targets: &TargetSet,
+    interval: Interval,
+    stop: &AtomicBool,
+    first_hit_only: bool,
+) -> CrackOutcome {
+    let mut hits = Vec::new();
+    let mut tested: u128 = 0;
+    let mut cancelled = false;
+    let clamped = interval.intersect(&space.interval());
+    let mut remaining = clamped;
+    'outer: while !remaining.is_empty() {
+        if stop.load(Ordering::Relaxed) {
+            cancelled = true;
+            break;
+        }
+        let chunk = remaining.take_front(POLL_CHUNK);
+        let mut stop_now = false;
+        space.iter(chunk).for_each_key(|id, key| {
+            tested += 1;
+            if let Some(t) = targets.matches(key) {
+                hits.push((id, key.clone(), t));
+                if first_hit_only {
+                    stop_now = true;
+                    return false;
+                }
+            }
+            true
+        });
+        if stop_now {
+            break 'outer;
+        }
+    }
+    CrackOutcome { hits, tested, cancelled }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eks_hashes::HashAlgo;
+    use eks_keyspace::{Charset, Order};
+
+    fn space() -> KeySpace {
+        KeySpace::new(Charset::lowercase(), 1, 4, Order::FirstCharFastest).unwrap()
+    }
+
+    fn targets(words: &[&[u8]]) -> TargetSet {
+        let ds: Vec<Vec<u8>> = words.iter().map(|w| HashAlgo::Md5.hash_long(w)).collect();
+        TargetSet::new(HashAlgo::Md5, &ds)
+    }
+
+    #[test]
+    fn finds_single_target() {
+        let s = space();
+        let t = targets(&[b"dog"]);
+        let stop = AtomicBool::new(false);
+        let out = crack_interval(&s, &t, s.interval(), &stop, true);
+        assert_eq!(out.hits.len(), 1);
+        assert_eq!(out.hits[0].1.as_bytes(), b"dog");
+        assert!(!out.cancelled);
+        // First-hit scan stops at the hit.
+        assert_eq!(out.tested, out.hits[0].0 + 1);
+    }
+
+    #[test]
+    fn finds_all_targets_when_not_first_hit() {
+        let s = space();
+        let t = targets(&[b"cat", b"dog", b"pig"]);
+        let stop = AtomicBool::new(false);
+        let out = crack_interval(&s, &t, s.interval(), &stop, false);
+        assert_eq!(out.hits.len(), 3);
+        let found: Vec<&[u8]> = out.hits.iter().map(|(_, k, _)| k.as_bytes()).collect();
+        // Hits come back in identifier order.
+        let mut ids: Vec<u128> = out.hits.iter().map(|(id, _, _)| *id).collect();
+        let mut sorted = ids.clone();
+        sorted.sort();
+        assert_eq!(ids, sorted);
+        ids.dedup();
+        assert_eq!(ids.len(), 3);
+        for w in [&b"cat"[..], b"dog", b"pig"] {
+            assert!(found.contains(&w), "{w:?}");
+        }
+        assert_eq!(out.tested, s.size());
+    }
+
+    #[test]
+    fn pre_raised_stop_tests_nothing() {
+        let s = space();
+        let t = targets(&[b"dog"]);
+        let stop = AtomicBool::new(true);
+        let out = crack_interval(&s, &t, s.interval(), &stop, true);
+        assert!(out.cancelled);
+        assert_eq!(out.tested, 0);
+        assert!(out.hits.is_empty());
+    }
+
+    #[test]
+    fn interval_is_clamped_to_space() {
+        let s = space();
+        let t = targets(&[b"zzzz"]);
+        let stop = AtomicBool::new(false);
+        let out = crack_interval(&s, &t, Interval::new(0, u64::MAX as u128), &stop, false);
+        assert_eq!(out.tested, s.size());
+        assert_eq!(out.hits.len(), 1);
+    }
+
+    #[test]
+    fn empty_interval() {
+        let s = space();
+        let t = targets(&[b"dog"]);
+        let stop = AtomicBool::new(false);
+        let out = crack_interval(&s, &t, Interval::new(5, 0), &stop, true);
+        assert_eq!(out.tested, 0);
+        assert!(out.hits.is_empty());
+        assert!(!out.cancelled);
+    }
+
+    #[test]
+    fn hit_exactly_at_interval_boundaries() {
+        let s = space();
+        let t = targets(&[b"dog"]);
+        let id = s.id_of(&eks_keyspace::Key::from_bytes(b"dog")).unwrap();
+        let stop = AtomicBool::new(false);
+        // Interval starting exactly at the hit.
+        let out = crack_interval(&s, &t, Interval::new(id, 1), &stop, true);
+        assert_eq!(out.hits.len(), 1);
+        // Interval ending just before the hit.
+        let out = crack_interval(&s, &t, Interval::new(0, id), &stop, true);
+        assert!(out.hits.is_empty());
+    }
+}

@@ -1,0 +1,187 @@
+//! Generic engines over any [`SolutionSpace`] whose candidates are keys —
+//! the pattern's promise made concrete: brute-force ranges, masks and
+//! hybrid dictionaries all crack through the same machinery because each
+//! is a bijection from `0..size` onto its candidates.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::Instant;
+
+use eks_core::SolutionSpace;
+use eks_keyspace::Key;
+use parking_lot::Mutex;
+
+use crate::parallel::{ParallelConfig, ParallelReport};
+use crate::target::TargetSet;
+
+/// Scan `[start, start + len)` of any key-producing space.
+///
+/// Semantics match [`crate::engine::crack_interval`]: generate once,
+/// advance thereafter, poll `stop` between chunks, optionally return at
+/// the first hit.
+pub fn crack_space_interval<S>(
+    space: &S,
+    targets: &TargetSet,
+    start: u128,
+    len: u128,
+    stop: &AtomicBool,
+    first_hit_only: bool,
+) -> crate::engine::CrackOutcome
+where
+    S: SolutionSpace<Solution = Key>,
+{
+    const POLL: u128 = 4096;
+    let mut hits = Vec::new();
+    let mut tested: u128 = 0;
+    let mut cancelled = false;
+    let size = SolutionSpace::size(space).unwrap_or(u128::MAX);
+    let end = start.saturating_add(len).min(size);
+    if start >= end {
+        return crate::engine::CrackOutcome { hits, tested, cancelled };
+    }
+    let mut id = start;
+    let mut key = space.generate(id);
+    'outer: loop {
+        if stop.load(Ordering::Relaxed) {
+            cancelled = true;
+            break;
+        }
+        let chunk_end = (id + POLL).min(end);
+        while id < chunk_end {
+            tested += 1;
+            if let Some(t) = targets.matches(&key) {
+                hits.push((id, key.clone(), t));
+                if first_hit_only {
+                    break 'outer;
+                }
+            }
+            if id + 1 == end {
+                break 'outer;
+            }
+            space.advance(id, &mut key);
+            id += 1;
+        }
+    }
+    crate::engine::CrackOutcome { hits, tested, cancelled }
+}
+
+/// Parallel search over any key-producing space (chunked shared cursor,
+/// like [`crate::parallel::crack_parallel`] but generic).
+pub fn crack_space_parallel<S>(
+    space: &S,
+    targets: &TargetSet,
+    config: ParallelConfig,
+) -> ParallelReport
+where
+    S: SolutionSpace<Solution = Key> + Sync,
+{
+    assert!(config.threads >= 1 && config.chunk >= 1);
+    let size = SolutionSpace::size(space).expect("finite space");
+    let start_t = Instant::now();
+    let cursor = AtomicU64::new(0);
+    let total_chunks: u64 = size
+        .div_ceil(config.chunk as u128)
+        .try_into()
+        .expect("space too large for chunked dispatch");
+    let stop = AtomicBool::new(false);
+    let hits: Mutex<Vec<(u128, Key, usize)>> = Mutex::new(Vec::new());
+    let tested = AtomicU64::new(0);
+
+    crossbeam::scope(|scope| {
+        for _ in 0..config.threads {
+            scope.spawn(|_| loop {
+                if stop.load(Ordering::Relaxed) {
+                    break;
+                }
+                let n = cursor.fetch_add(1, Ordering::Relaxed);
+                if n >= total_chunks {
+                    break;
+                }
+                let lo = (n as u128) * (config.chunk as u128);
+                let len = (config.chunk as u128).min(size - lo);
+                let out =
+                    crack_space_interval(space, targets, lo, len, &stop, config.first_hit_only);
+                tested.fetch_add(out.tested as u64, Ordering::Relaxed);
+                if !out.hits.is_empty() {
+                    hits.lock().extend(out.hits);
+                    if config.first_hit_only {
+                        stop.store(true, Ordering::Relaxed);
+                        break;
+                    }
+                }
+            });
+        }
+    })
+    .expect("worker thread panicked");
+
+    let elapsed_s = start_t.elapsed().as_secs_f64().max(1e-9);
+    let mut all = hits.into_inner();
+    all.sort_by_key(|(id, _, _)| *id);
+    let tested = tested.load(Ordering::Relaxed) as u128;
+    ParallelReport { hits: all, tested, elapsed_s, mkeys_per_s: tested as f64 / elapsed_s / 1e6 }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eks_hashes::HashAlgo;
+    use eks_keyspace::{HybridSpace, MaskSpace};
+
+    fn targets(words: &[&[u8]]) -> TargetSet {
+        let ds: Vec<Vec<u8>> = words.iter().map(|w| HashAlgo::Md5.hash_long(w)).collect();
+        TargetSet::new(HashAlgo::Md5, &ds)
+    }
+
+    #[test]
+    fn mask_attack_cracks_patterned_password() {
+        // "Capitalized word-ish + two digits" pattern.
+        let mask = MaskSpace::parse("?u?l?l?d?d").unwrap();
+        let t = targets(&[b"Cat42"]);
+        let cfg = ParallelConfig { threads: 4, chunk: 1 << 12, first_hit_only: true };
+        let r = crack_space_parallel(&mask, &t, cfg);
+        assert_eq!(r.hits[0].1.as_bytes(), b"Cat42");
+        assert!(r.tested <= mask.size());
+    }
+
+    #[test]
+    fn hybrid_attack_cracks_word_plus_digits() {
+        let words: Vec<&[u8]> = vec![b"winter", b"dragon", b"summer"];
+        let space = HybridSpace::with_digit_suffixes(&words, 2).unwrap();
+        let t = targets(&[b"dragon77"]);
+        let cfg = ParallelConfig { threads: 2, chunk: 64, first_hit_only: true };
+        let r = crack_space_parallel(&space, &t, cfg);
+        assert_eq!(r.hits[0].1.as_bytes(), b"dragon77");
+    }
+
+    #[test]
+    fn full_sweep_counts_every_candidate() {
+        let mask = MaskSpace::parse("?d?d?d").unwrap();
+        let t = targets(&[b"zzz-not-there"]);
+        let cfg = ParallelConfig { threads: 3, chunk: 97, first_hit_only: false };
+        let r = crack_space_parallel(&mask, &t, cfg);
+        assert_eq!(r.tested, 1000);
+        assert!(r.hits.is_empty());
+    }
+
+    #[test]
+    fn interval_respects_bounds() {
+        let mask = MaskSpace::parse("?d?d").unwrap();
+        let t = targets(&[b"57"]);
+        let stop = AtomicBool::new(false);
+        let hit = crack_space_interval(&mask, &t, 50, 10, &stop, true);
+        assert_eq!(hit.hits.len(), 1, "57 is id 57 in a ?d?d mask");
+        let miss = crack_space_interval(&mask, &t, 0, 57, &stop, true);
+        assert!(miss.hits.is_empty());
+    }
+
+    #[test]
+    fn generic_and_specialized_engines_agree() {
+        use eks_keyspace::{Charset, KeySpace, Order};
+        let ks = KeySpace::new(Charset::lowercase(), 1, 3, Order::FirstCharFastest).unwrap();
+        let t = targets(&[b"cab", b"me"]);
+        let stop = AtomicBool::new(false);
+        let generic = crack_space_interval(&ks, &t, 0, ks.size(), &stop, false);
+        let special = crate::engine::crack_interval(&ks, &t, ks.interval(), &stop, false);
+        assert_eq!(generic.hits, special.hits);
+        assert_eq!(generic.tested, special.tested);
+    }
+}

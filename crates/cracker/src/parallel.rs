@@ -1,0 +1,211 @@
+//! Multi-threaded cracking: the fine-grain parallelization of Section III
+//! mapped onto CPU threads.
+//!
+//! Threads pull fixed-size chunks from a shared cursor (dynamic
+//! self-balancing, the degenerate single-level case of the paper's
+//! dispatch tree), test candidates with the `next`-operator scan, and
+//! raise a shared stop flag on the first hit when only one preimage is
+//! wanted.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::Instant;
+
+use eks_keyspace::{Interval, Key, KeySpace};
+use parking_lot::Mutex;
+
+use crate::engine::{crack_interval, CrackOutcome};
+use crate::target::TargetSet;
+
+/// Parallel search configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParallelConfig {
+    /// Worker thread count (≥ 1).
+    pub threads: usize,
+    /// Keys per work chunk pulled from the shared cursor.
+    pub chunk: u64,
+    /// Stop the whole search at the first hit.
+    pub first_hit_only: bool,
+}
+
+impl Default for ParallelConfig {
+    fn default() -> Self {
+        Self { threads: 4, chunk: 1 << 16, first_hit_only: true }
+    }
+}
+
+/// Outcome of a parallel search.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParallelReport {
+    /// All hits found, in identifier order.
+    pub hits: Vec<(u128, Key, usize)>,
+    /// Total candidates tested across threads.
+    pub tested: u128,
+    /// Wall-clock seconds.
+    pub elapsed_s: f64,
+    /// Throughput in million key tests per second (the paper's MKey/s).
+    pub mkeys_per_s: f64,
+}
+
+/// Crack `interval` of `space` against `targets` with `config.threads`
+/// workers.
+///
+/// # Panics
+/// Panics when `config.threads == 0` or `config.chunk == 0`.
+pub fn crack_parallel(
+    space: &KeySpace,
+    targets: &TargetSet,
+    interval: Interval,
+    config: ParallelConfig,
+) -> ParallelReport {
+    assert!(config.threads >= 1, "need at least one thread");
+    assert!(config.chunk >= 1, "chunk must be positive");
+    let clamped = interval.intersect(&space.interval());
+    let start = Instant::now();
+    // Shared chunk cursor: chunk index n covers
+    // [start + n·chunk, start + (n+1)·chunk).
+    let cursor = AtomicU64::new(0);
+    let total_chunks: u64 = clamped
+        .len
+        .div_ceil(config.chunk as u128)
+        .try_into()
+        .expect("interval too large for chunked dispatch");
+    let stop = AtomicBool::new(false);
+    let hits: Mutex<Vec<(u128, Key, usize)>> = Mutex::new(Vec::new());
+    let tested = AtomicU64::new(0);
+
+    crossbeam::scope(|scope| {
+        for _ in 0..config.threads {
+            scope.spawn(|_| {
+                loop {
+                    if stop.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    let n = cursor.fetch_add(1, Ordering::Relaxed);
+                    if n >= total_chunks {
+                        break;
+                    }
+                    let lo = clamped.start + (n as u128) * (config.chunk as u128);
+                    let len = (config.chunk as u128).min(clamped.end() - lo);
+                    let out: CrackOutcome = crack_interval(
+                        space,
+                        targets,
+                        Interval::new(lo, len),
+                        &stop,
+                        config.first_hit_only,
+                    );
+                    tested.fetch_add(out.tested as u64, Ordering::Relaxed);
+                    if !out.hits.is_empty() {
+                        hits.lock().extend(out.hits);
+                        if config.first_hit_only {
+                            stop.store(true, Ordering::Relaxed);
+                            break;
+                        }
+                    }
+                }
+            });
+        }
+    })
+    .expect("worker thread panicked");
+
+    let elapsed_s = start.elapsed().as_secs_f64().max(1e-9);
+    let mut all = hits.into_inner();
+    all.sort_by_key(|(id, _, _)| *id);
+    let tested = tested.load(Ordering::Relaxed) as u128;
+    ParallelReport {
+        hits: all,
+        tested,
+        elapsed_s,
+        mkeys_per_s: tested as f64 / elapsed_s / 1e6,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eks_hashes::HashAlgo;
+    use eks_keyspace::{Charset, Order};
+
+    fn space() -> KeySpace {
+        KeySpace::new(Charset::lowercase(), 1, 4, Order::FirstCharFastest).unwrap()
+    }
+
+    fn targets(words: &[&[u8]]) -> TargetSet {
+        let ds: Vec<Vec<u8>> = words.iter().map(|w| HashAlgo::Md5.hash_long(w)).collect();
+        TargetSet::new(HashAlgo::Md5, &ds)
+    }
+
+    #[test]
+    fn parallel_finds_planted_key() {
+        let s = space();
+        let t = targets(&[b"mule"]);
+        let cfg = ParallelConfig { threads: 4, chunk: 1 << 12, first_hit_only: true };
+        let r = crack_parallel(&s, &t, s.interval(), cfg);
+        assert_eq!(r.hits.len(), 1);
+        assert_eq!(r.hits[0].1.as_bytes(), b"mule");
+        assert!(r.mkeys_per_s > 0.0);
+    }
+
+    #[test]
+    fn parallel_finds_every_target_in_full_sweep() {
+        let s = space();
+        let words: Vec<&[u8]> = vec![b"a", b"zz", b"cat", b"mnop"];
+        let t = targets(&words);
+        let cfg = ParallelConfig { threads: 3, chunk: 1 << 10, first_hit_only: false };
+        let r = crack_parallel(&s, &t, s.interval(), cfg);
+        assert_eq!(r.hits.len(), 4);
+        assert_eq!(r.tested, s.size(), "full sweep tests everything");
+        // Identifier order.
+        let ids: Vec<u128> = r.hits.iter().map(|(id, _, _)| *id).collect();
+        let mut sorted = ids.clone();
+        sorted.sort();
+        assert_eq!(ids, sorted);
+    }
+
+    #[test]
+    fn single_thread_matches_multi_thread_results() {
+        let s = space();
+        let t = targets(&[b"dog", b"pig"]);
+        let base = ParallelConfig { threads: 1, chunk: 1 << 10, first_hit_only: false };
+        let multi = ParallelConfig { threads: 4, ..base };
+        let r1 = crack_parallel(&s, &t, s.interval(), base);
+        let r4 = crack_parallel(&s, &t, s.interval(), multi);
+        assert_eq!(r1.hits, r4.hits);
+    }
+
+    #[test]
+    fn empty_interval_reports_zero() {
+        let s = space();
+        let t = targets(&[b"dog"]);
+        let r = crack_parallel(&s, &t, Interval::new(0, 0), ParallelConfig::default());
+        assert!(r.hits.is_empty());
+        assert_eq!(r.tested, 0);
+    }
+
+    #[test]
+    fn first_hit_stops_early_on_full_space() {
+        let s = space();
+        // "a" is identifier 0: the search should terminate almost
+        // immediately even over the full space.
+        let t = targets(&[b"a"]);
+        let cfg = ParallelConfig { threads: 4, chunk: 1 << 10, first_hit_only: true };
+        let r = crack_parallel(&s, &t, s.interval(), cfg);
+        assert_eq!(r.hits[0].1.as_bytes(), b"a");
+        assert!(r.tested < s.size() / 2, "tested {} of {}", r.tested, s.size());
+    }
+
+    #[test]
+    fn more_threads_do_not_lose_hits_near_chunk_boundaries() {
+        let s = space();
+        // Plant keys adjacent to chunk edges.
+        let k1 = s.key_at(1023);
+        let k2 = s.key_at(1024);
+        let ds = vec![
+            HashAlgo::Md5.hash_long(k1.as_bytes()),
+            HashAlgo::Md5.hash_long(k2.as_bytes()),
+        ];
+        let t = TargetSet::new(HashAlgo::Md5, &ds);
+        let cfg = ParallelConfig { threads: 8, chunk: 1024, first_hit_only: false };
+        let r = crack_parallel(&s, &t, Interval::new(0, 4096), cfg);
+        assert_eq!(r.hits.len(), 2);
+    }
+}

@@ -1,0 +1,52 @@
+//! Throughput metering — the tuning step's measurement primitive.
+
+use std::time::Instant;
+
+/// Accumulates tested-candidate counts and reports MKey/s.
+#[derive(Debug, Clone)]
+pub struct ThroughputMeter {
+    started: Instant,
+    tested: u128,
+}
+
+impl ThroughputMeter {
+    /// Start a meter.
+    pub fn start() -> Self {
+        Self { started: Instant::now(), tested: 0 }
+    }
+
+    /// Record `n` tested candidates.
+    pub fn record(&mut self, n: u128) {
+        self.tested += n;
+    }
+
+    /// Candidates recorded so far.
+    pub fn tested(&self) -> u128 {
+        self.tested
+    }
+
+    /// Elapsed seconds.
+    pub fn elapsed_s(&self) -> f64 {
+        self.started.elapsed().as_secs_f64()
+    }
+
+    /// Throughput in million key tests per second.
+    pub fn mkeys_per_s(&self) -> f64 {
+        self.tested as f64 / self.elapsed_s().max(1e-9) / 1e6
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulates() {
+        let mut m = ThroughputMeter::start();
+        m.record(10);
+        m.record(5);
+        assert_eq!(m.tested(), 15);
+        assert!(m.elapsed_s() >= 0.0);
+        assert!(m.mkeys_per_s() >= 0.0);
+    }
+}

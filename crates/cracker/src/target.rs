@@ -1,0 +1,185 @@
+//! Hash targets: what the test function `C` compares against.
+//!
+//! Supports the paper's auditing scenario: one or many digests, optionally
+//! *salted* (Section I: salting defeats lookup/rainbow tables but "does
+//! not increment the search space since the random part of the string ...
+//! is known by definition" — the salt is simply concatenated before
+//! hashing).
+
+use eks_hashes::HashAlgo;
+use eks_keyspace::Key;
+
+/// A single hash target with optional salt.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HashTarget {
+    algo: HashAlgo,
+    digest: Vec<u8>,
+    salt_prefix: Vec<u8>,
+    salt_suffix: Vec<u8>,
+}
+
+impl HashTarget {
+    /// An unsalted target.
+    ///
+    /// # Panics
+    /// Panics when the digest length does not match the algorithm.
+    pub fn new(algo: HashAlgo, digest: &[u8]) -> Self {
+        assert_eq!(digest.len(), algo.digest_len(), "digest length mismatch");
+        Self { algo, digest: digest.to_vec(), salt_prefix: Vec::new(), salt_suffix: Vec::new() }
+    }
+
+    /// A salted target: the stored digest is `hash(prefix ‖ key ‖ suffix)`.
+    pub fn salted(algo: HashAlgo, digest: &[u8], prefix: &[u8], suffix: &[u8]) -> Self {
+        let mut t = Self::new(algo, digest);
+        t.salt_prefix = prefix.to_vec();
+        t.salt_suffix = suffix.to_vec();
+        t
+    }
+
+    /// Build a target from a plaintext (for tests and examples).
+    pub fn from_plaintext(algo: HashAlgo, plaintext: &[u8]) -> Self {
+        Self::new(algo, &algo.hash_long(plaintext))
+    }
+
+    /// The algorithm.
+    pub fn algo(&self) -> HashAlgo {
+        self.algo
+    }
+
+    /// The stored digest.
+    pub fn digest(&self) -> &[u8] {
+        &self.digest
+    }
+
+    /// Whether a salt is attached.
+    pub fn is_salted(&self) -> bool {
+        !self.salt_prefix.is_empty() || !self.salt_suffix.is_empty()
+    }
+
+    /// The test function `C`: does this candidate produce the digest?
+    pub fn matches(&self, key: &Key) -> bool {
+        if self.is_salted() {
+            let mut msg =
+                Vec::with_capacity(self.salt_prefix.len() + key.len() + self.salt_suffix.len());
+            msg.extend_from_slice(&self.salt_prefix);
+            msg.extend_from_slice(key.as_bytes());
+            msg.extend_from_slice(&self.salt_suffix);
+            self.algo.hash_long(&msg) == self.digest
+        } else {
+            self.algo.hash(key.as_bytes()) == self.digest
+        }
+    }
+}
+
+/// Several targets of the same algorithm, tested together — the audit
+/// scenario where one sweep cracks a whole password table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TargetSet {
+    algo: HashAlgo,
+    /// Sorted digests for binary search.
+    digests: Vec<Vec<u8>>,
+}
+
+impl TargetSet {
+    /// Build from digests (all must match the algorithm's length).
+    ///
+    /// # Panics
+    /// Panics on a digest of the wrong length.
+    pub fn new(algo: HashAlgo, digests: &[Vec<u8>]) -> Self {
+        for d in digests {
+            assert_eq!(d.len(), algo.digest_len(), "digest length mismatch");
+        }
+        let mut digests = digests.to_vec();
+        digests.sort();
+        digests.dedup();
+        Self { algo, digests }
+    }
+
+    /// Number of distinct targets.
+    pub fn len(&self) -> usize {
+        self.digests.len()
+    }
+
+    /// True when there are no targets.
+    pub fn is_empty(&self) -> bool {
+        self.digests.is_empty()
+    }
+
+    /// The algorithm.
+    pub fn algo(&self) -> HashAlgo {
+        self.algo
+    }
+
+    /// Test a candidate; returns the index of the matched digest.
+    pub fn matches(&self, key: &Key) -> Option<usize> {
+        let h = self.algo.hash(key.as_bytes());
+        self.digests.binary_search(&h).ok()
+    }
+
+    /// The digest at `index` (as returned by [`TargetSet::matches`]).
+    pub fn digest(&self, index: usize) -> &[u8] {
+        &self.digests[index]
+    }
+
+    /// Iterate over the stored digests (sorted order).
+    pub fn iter_digests(&self) -> impl Iterator<Item = &[u8]> {
+        self.digests.iter().map(Vec::as_slice)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unsalted_match() {
+        let t = HashTarget::from_plaintext(HashAlgo::Md5, b"abc");
+        assert!(t.matches(&Key::from_bytes(b"abc")));
+        assert!(!t.matches(&Key::from_bytes(b"abd")));
+        assert!(!t.is_salted());
+    }
+
+    #[test]
+    fn salted_match() {
+        let algo = HashAlgo::Sha1;
+        let digest = algo.hash_long(b"PRE-hunter2-POST");
+        let t = HashTarget::salted(algo, &digest, b"PRE-", b"-POST");
+        assert!(t.is_salted());
+        assert!(t.matches(&Key::from_bytes(b"hunter2")));
+        assert!(!t.matches(&Key::from_bytes(b"hunter3")));
+    }
+
+    #[test]
+    fn salting_changes_the_digest() {
+        let plain = HashTarget::from_plaintext(HashAlgo::Md5, b"pw");
+        let salted_digest = HashAlgo::Md5.hash_long(b"saltpw");
+        assert_ne!(plain.digest(), &salted_digest[..]);
+    }
+
+    #[test]
+    fn target_set_finds_members() {
+        let algo = HashAlgo::Md5;
+        let digests: Vec<Vec<u8>> =
+            [&b"one"[..], b"two", b"three"].iter().map(|p| algo.hash_long(p)).collect();
+        let set = TargetSet::new(algo, &digests);
+        assert_eq!(set.len(), 3);
+        assert!(set.matches(&Key::from_bytes(b"two")).is_some());
+        assert!(set.matches(&Key::from_bytes(b"four")).is_none());
+        let idx = set.matches(&Key::from_bytes(b"three")).unwrap();
+        assert_eq!(set.digest(idx), &algo.hash_long(b"three")[..]);
+    }
+
+    #[test]
+    fn target_set_dedups() {
+        let algo = HashAlgo::Md5;
+        let d = algo.hash_long(b"dup");
+        let set = TargetSet::new(algo, &[d.clone(), d]);
+        assert_eq!(set.len(), 1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn wrong_length_digest_rejected() {
+        HashTarget::new(HashAlgo::Md5, &[0u8; 20]);
+    }
+}

@@ -1,0 +1,281 @@
+//! Multiprocessor architectures per compute capability: Table I
+//! (structure), Table II (instruction throughput) and the execution-port
+//! findings of Section V-A.
+
+use crate::isa::MachineClass;
+
+/// NVIDIA compute capability families the paper distinguishes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ComputeCapability {
+    /// cc 1.x (Tesla: G8x/G9x/GT200).
+    Sm1x,
+    /// cc 2.0 (Fermi GF100/GF110).
+    Sm20,
+    /// cc 2.1 (Fermi GF104/GF108/...).
+    Sm21,
+    /// cc 3.0 (Kepler GK104/GK107).
+    Sm30,
+    /// cc 3.5 (Kepler GK110) — funnel shift; excluded from the paper's
+    /// measurements but modeled here as the paper's "future work" case.
+    Sm35,
+}
+
+impl ComputeCapability {
+    /// All modeled capabilities in Table I order.
+    pub const ALL: [ComputeCapability; 5] = [
+        ComputeCapability::Sm1x,
+        ComputeCapability::Sm20,
+        ComputeCapability::Sm21,
+        ComputeCapability::Sm30,
+        ComputeCapability::Sm35,
+    ];
+
+    /// Display label ("1.*", "2.0", ...).
+    pub fn label(self) -> &'static str {
+        match self {
+            ComputeCapability::Sm1x => "1.*",
+            ComputeCapability::Sm20 => "2.0",
+            ComputeCapability::Sm21 => "2.1",
+            ComputeCapability::Sm30 => "3.0",
+            ComputeCapability::Sm35 => "3.5",
+        }
+    }
+
+    /// The multiprocessor specification (Table I).
+    pub fn mp_spec(self) -> MpSpec {
+        match self {
+            ComputeCapability::Sm1x => MpSpec {
+                cores_per_mp: 8,
+                core_groups: 1,
+                group_size: 8,
+                issue_cycles: 4,
+                warp_schedulers: 1,
+                dual_issue: false,
+                // The SFUs can co-execute integer additions (+2/cycle) when
+                // an independent instruction is available (Section VI).
+                sfu_add_lanes: 2,
+                max_warps: 24,
+                result_latency: 24,
+            },
+            ComputeCapability::Sm20 => MpSpec {
+                cores_per_mp: 32,
+                core_groups: 2,
+                group_size: 16,
+                issue_cycles: 2,
+                warp_schedulers: 2,
+                dual_issue: false,
+                sfu_add_lanes: 0,
+                max_warps: 48,
+                result_latency: 18,
+            },
+            ComputeCapability::Sm21 => MpSpec {
+                cores_per_mp: 48,
+                core_groups: 3,
+                group_size: 16,
+                issue_cycles: 2,
+                warp_schedulers: 2,
+                dual_issue: true,
+                sfu_add_lanes: 0,
+                max_warps: 48,
+                result_latency: 18,
+            },
+            ComputeCapability::Sm30 | ComputeCapability::Sm35 => MpSpec {
+                cores_per_mp: 192,
+                core_groups: 6,
+                group_size: 32,
+                issue_cycles: 1,
+                warp_schedulers: 4,
+                dual_issue: true,
+                sfu_add_lanes: 0,
+                max_warps: 64,
+                result_latency: 6,
+            },
+        }
+    }
+
+    /// Peak per-multiprocessor throughput for an instruction class, in
+    /// operations (thread-lanes) per clock cycle — Table II.
+    pub fn class_throughput(self, class: MachineClass) -> u32 {
+        use ComputeCapability::*;
+        use MachineClass::*;
+        match (self, class) {
+            (Sm1x, IAdd) => 10, // 8 cores + 2 SFU lanes
+            (Sm1x, Lop | Shift | Imad | Prmt) => 8,
+            (Sm20, IAdd | Lop) => 32,
+            (Sm20, Shift | Imad | Prmt) => 16,
+            (Sm21, IAdd | Lop) => 48,
+            (Sm21, Shift | Imad | Prmt) => 16,
+            (Sm30, IAdd | Lop) => 160,
+            (Sm30, Shift | Imad | Prmt) => 32,
+            (Sm35, IAdd | Lop) => 160,
+            (Sm35, Shift | Imad | Prmt) => 32,
+            // Funnel shift exists only on cc 3.5 where it has "double
+            // speed" relative to a plain shift (Section V-B); earlier
+            // architectures never see this class emitted.
+            (Sm35, Funnel) => 64,
+            (_, Funnel) => 0,
+        }
+    }
+
+    /// Which core groups can execute `class` (Section V-A findings):
+    /// low-throughput instructions run on a single group; on cc 3.0
+    /// adds/logic run on 5 of the 6 groups.
+    pub fn groups_for(self, class: MachineClass) -> u32 {
+        use ComputeCapability::*;
+        use MachineClass::*;
+        match (self, class) {
+            (Sm1x, _) => 1,
+            (Sm20 | Sm21, IAdd | Lop) => self.mp_spec().core_groups,
+            (Sm20 | Sm21, Shift | Imad | Prmt | Funnel) => 1,
+            (Sm30 | Sm35, IAdd | Lop) => 5,
+            (Sm30, Shift | Imad | Prmt | Funnel) => 1,
+            (Sm35, Shift | Imad | Prmt) => 1,
+            (Sm35, Funnel) => 2,
+        }
+    }
+
+    /// Whether the funnel-shift instruction is available.
+    pub fn has_funnel_shift(self) -> bool {
+        matches!(self, ComputeCapability::Sm35)
+    }
+
+    /// Whether `__byte_perm` rotate-by-16 is profitable (the paper applies
+    /// it on cc 3.0, where shifts are the bottleneck port).
+    pub fn prefers_prmt_rot16(self) -> bool {
+        matches!(self, ComputeCapability::Sm30)
+    }
+}
+
+/// Structure of one multiprocessor (Table I plus simulator parameters).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MpSpec {
+    /// CUDA cores per multiprocessor.
+    pub cores_per_mp: u32,
+    /// Number of groups of cores (execution ports).
+    pub core_groups: u32,
+    /// Cores per group.
+    pub group_size: u32,
+    /// Clock cycles a warp instruction occupies its group
+    /// (32 threads / group_size, padded to the hardware issue time).
+    pub issue_cycles: u32,
+    /// Warp schedulers per multiprocessor.
+    pub warp_schedulers: u32,
+    /// Whether each scheduler can dual-issue two independent instructions
+    /// of the same warp in one cycle.
+    pub dual_issue: bool,
+    /// Extra IADD lanes on the special function units (cc 1.x only),
+    /// usable only when an independent addition can co-issue.
+    pub sfu_add_lanes: u32,
+    /// Maximum resident warps per multiprocessor.
+    pub max_warps: u32,
+    /// Cycles from issue until a result is readable (pipeline latency).
+    pub result_latency: u32,
+}
+
+impl MpSpec {
+    /// Sanity relation from Table I: cores = groups × group size.
+    pub fn is_consistent(&self) -> bool {
+        self.cores_per_mp == self.core_groups * self.group_size
+            && self.issue_cycles * self.group_size == 32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use MachineClass::*;
+
+    #[test]
+    fn table1_structure() {
+        // Exact Table I rows.
+        let rows: [(ComputeCapability, u32, u32, u32, u32, u32, bool); 4] = [
+            (ComputeCapability::Sm1x, 8, 1, 8, 4, 1, false),
+            (ComputeCapability::Sm20, 32, 2, 16, 2, 2, false),
+            (ComputeCapability::Sm21, 48, 3, 16, 2, 2, true),
+            (ComputeCapability::Sm30, 192, 6, 32, 1, 4, true),
+        ];
+        for (cc, cores, groups, gsize, issue, scheds, dual) in rows {
+            let s = cc.mp_spec();
+            assert_eq!(s.cores_per_mp, cores, "{cc:?} cores");
+            assert_eq!(s.core_groups, groups, "{cc:?} groups");
+            assert_eq!(s.group_size, gsize, "{cc:?} group size");
+            assert_eq!(s.issue_cycles, issue, "{cc:?} issue time");
+            assert_eq!(s.warp_schedulers, scheds, "{cc:?} schedulers");
+            assert_eq!(s.dual_issue, dual, "{cc:?} dual issue");
+        }
+    }
+
+    #[test]
+    fn table2_throughput() {
+        // Exact Table II rows.
+        let rows = [
+            (IAdd, [10u32, 32, 48, 160]),
+            (Lop, [8, 32, 48, 160]),
+            (Shift, [8, 16, 16, 32]),
+            (Imad, [8, 16, 16, 32]),
+        ];
+        let ccs = [
+            ComputeCapability::Sm1x,
+            ComputeCapability::Sm20,
+            ComputeCapability::Sm21,
+            ComputeCapability::Sm30,
+        ];
+        for (class, values) in rows {
+            for (cc, want) in ccs.iter().zip(values) {
+                assert_eq!(cc.class_throughput(class), want, "{cc:?} {class:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn specs_are_internally_consistent() {
+        for cc in ComputeCapability::ALL {
+            assert!(cc.mp_spec().is_consistent(), "{cc:?}");
+        }
+    }
+
+    #[test]
+    fn port_findings_of_section_v() {
+        // cc 2.x: "instructions with lower throughput are only executed on
+        // a single group of 16 cores".
+        assert_eq!(ComputeCapability::Sm21.groups_for(Shift), 1);
+        assert_eq!(ComputeCapability::Sm21.groups_for(IAdd), 3);
+        // cc 3.0: adds/logic on 5 of 6 groups, shifts/MAD on 1.
+        assert_eq!(ComputeCapability::Sm30.groups_for(IAdd), 5);
+        assert_eq!(ComputeCapability::Sm30.groups_for(Imad), 1);
+    }
+
+    #[test]
+    fn group_throughput_matches_table2() {
+        // groups_for × group_size / issue_cycles reproduces Table II for
+        // the port-limited classes on cc ≥ 2.0.
+        // Each group retires group_size lanes per cycle, so lanes/cycle =
+        // groups_for × group_size.
+        for cc in [ComputeCapability::Sm20, ComputeCapability::Sm21, ComputeCapability::Sm30] {
+            let spec = cc.mp_spec();
+            for class in [IAdd, Lop, Shift, Imad] {
+                assert_eq!(
+                    cc.groups_for(class) * spec.group_size,
+                    cc.class_throughput(class),
+                    "{cc:?} {class:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn funnel_only_on_sm35() {
+        assert!(ComputeCapability::Sm35.has_funnel_shift());
+        assert!(!ComputeCapability::Sm30.has_funnel_shift());
+        assert_eq!(ComputeCapability::Sm30.class_throughput(Funnel), 0);
+        assert_eq!(ComputeCapability::Sm35.class_throughput(Funnel), 64);
+    }
+
+    #[test]
+    fn sm1x_sfu_bonus() {
+        // Table II footnote: ADD reaches 10/cycle only via the SFUs.
+        let s = ComputeCapability::Sm1x.mp_spec();
+        assert_eq!(s.sfu_add_lanes, 2);
+        assert_eq!(ComputeCapability::Sm1x.class_throughput(IAdd), 10);
+    }
+}

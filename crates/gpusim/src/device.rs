@@ -1,0 +1,136 @@
+//! The GPU device catalog — Table VII of the paper, plus a cc 3.5 entry
+//! for the funnel-shift extension the authors could not measure.
+
+use crate::arch::ComputeCapability;
+
+/// One GPU model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Device {
+    /// Marketing name.
+    pub name: &'static str,
+    /// Multiprocessor count.
+    pub mp_count: u32,
+    /// Total CUDA cores (= mp_count × cores per MP).
+    pub cores: u32,
+    /// Shader clock in MHz (the clock compute throughput scales with).
+    pub clock_mhz: f64,
+    /// Compute capability.
+    pub cc: ComputeCapability,
+}
+
+impl Device {
+    /// Shader clock in Hz.
+    pub fn clock_hz(&self) -> f64 {
+        self.clock_mhz * 1e6
+    }
+
+    /// Table VII consistency: cores = MPs × cores-per-MP.
+    pub fn is_consistent(&self) -> bool {
+        self.cores == self.mp_count * self.cc.mp_spec().cores_per_mp
+    }
+
+    /// NVIDIA GeForce 8600M GT (node C).
+    pub fn geforce_8600m_gt() -> Self {
+        Device { name: "GeForce 8600M GT", mp_count: 4, cores: 32, clock_mhz: 950.0, cc: ComputeCapability::Sm1x }
+    }
+
+    /// NVIDIA GeForce 8800 GTS 512 (node D).
+    pub fn geforce_8800_gts_512() -> Self {
+        Device { name: "GeForce 8800 GTS 512", mp_count: 16, cores: 128, clock_mhz: 1625.0, cc: ComputeCapability::Sm1x }
+    }
+
+    /// NVIDIA GeForce GT 540M (node A).
+    pub fn geforce_gt_540m() -> Self {
+        Device { name: "GeForce GT 540M", mp_count: 2, cores: 96, clock_mhz: 1344.0, cc: ComputeCapability::Sm21 }
+    }
+
+    /// NVIDIA GeForce GTX 550 Ti (node B).
+    pub fn geforce_gtx_550_ti() -> Self {
+        Device { name: "GeForce GTX 550 Ti", mp_count: 4, cores: 192, clock_mhz: 1800.0, cc: ComputeCapability::Sm21 }
+    }
+
+    /// NVIDIA GeForce GTX 660 (node B).
+    pub fn geforce_gtx_660() -> Self {
+        Device { name: "GeForce GTX 660", mp_count: 5, cores: 960, clock_mhz: 1033.0, cc: ComputeCapability::Sm30 }
+    }
+
+    /// NVIDIA GeForce GTX 780 — a cc 3.5 part with funnel shift, standing
+    /// in for the "compute capability 3.5" devices the authors could not
+    /// access (Section V-A). Not part of Table VII.
+    pub fn geforce_gtx_780() -> Self {
+        Device { name: "GeForce GTX 780", mp_count: 12, cores: 2304, clock_mhz: 900.0, cc: ComputeCapability::Sm35 }
+    }
+}
+
+/// The five paper devices in Table VII column order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeviceCatalog;
+
+impl DeviceCatalog {
+    /// Table VII devices, in the paper's column order
+    /// (8600M, 8800, 540M, 550Ti, 660).
+    pub fn paper_devices() -> Vec<Device> {
+        vec![
+            Device::geforce_8600m_gt(),
+            Device::geforce_8800_gts_512(),
+            Device::geforce_gt_540m(),
+            Device::geforce_gtx_550_ti(),
+            Device::geforce_gtx_660(),
+        ]
+    }
+
+    /// Look a device up by substring of its name; matching ignores case
+    /// and spaces, so `"550Ti"`, `"550 ti"` and `"GTX 550"` all resolve.
+    pub fn find(pattern: &str) -> Option<Device> {
+        let norm = |s: &str| {
+            s.chars()
+                .filter(|c| !c.is_whitespace())
+                .map(|c| c.to_ascii_lowercase())
+                .collect::<String>()
+        };
+        let p = norm(pattern);
+        Self::paper_devices()
+            .into_iter()
+            .chain(std::iter::once(Device::geforce_gtx_780()))
+            .find(|d| norm(d.name).contains(&p))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table7_values() {
+        // Exact Table VII rows: MPs, cores, clock, compute capability.
+        let rows = [
+            ("8600M", 4u32, 32u32, 950.0, ComputeCapability::Sm1x),
+            ("8800", 16, 128, 1625.0, ComputeCapability::Sm1x),
+            ("540M", 2, 96, 1344.0, ComputeCapability::Sm21),
+            ("550", 4, 192, 1800.0, ComputeCapability::Sm21),
+            ("660", 5, 960, 1033.0, ComputeCapability::Sm30),
+        ];
+        for (pat, mps, cores, clock, cc) in rows {
+            let d = DeviceCatalog::find(pat).unwrap_or_else(|| panic!("{pat} missing"));
+            assert_eq!(d.mp_count, mps, "{pat} MPs");
+            assert_eq!(d.cores, cores, "{pat} cores");
+            assert_eq!(d.clock_mhz, clock, "{pat} clock");
+            assert_eq!(d.cc, cc, "{pat} cc");
+        }
+    }
+
+    #[test]
+    fn all_catalog_devices_consistent() {
+        for d in DeviceCatalog::paper_devices() {
+            assert!(d.is_consistent(), "{}", d.name);
+        }
+        assert!(Device::geforce_gtx_780().is_consistent());
+    }
+
+    #[test]
+    fn find_is_case_insensitive_and_total() {
+        assert!(DeviceCatalog::find("gtx 660").is_some());
+        assert!(DeviceCatalog::find("780").is_some());
+        assert!(DeviceCatalog::find("titan").is_none());
+    }
+}

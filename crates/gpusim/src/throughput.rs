@@ -1,0 +1,223 @@
+//! Theoretical throughput models of Section VI.
+//!
+//! Given the per-hash machine instruction counts (Tables IV–VI) and a
+//! device, these formulas bound the achievable key-test rate:
+//!
+//! * **cc 1.x** — one single-issue scheduler serializes all classes:
+//!   `T = N_ADD/X_ADD + N_LOP/X_LOP + N_SHM/X_SHM` cycles per hash, and
+//!   `X = MP_count · clock / T`.
+//! * **cc 2.0 / 2.1** — the shift-capable group also executes
+//!   additions/logic, so the binding constraint is either total lanes or
+//!   the shift port: `X_MP = min(X_AL / N_total, X_SHM / N_SHM)` hashes
+//!   per cycle. With MD5's R ≈ 2.9 the first term binds (the paper's
+//!   `X_2.1 = X_ADD/LOP · MP / (N_SHM + N_ADD + N_LOP)`); with SHA-1's
+//!   R ≈ 1.5 the second binds (`X_2.1 = X_SHM · MP / N_SHM`).
+//! * **cc 3.0** — adds/logic (5 groups) and shifts/MAD (1 group) execute
+//!   on disjoint ports: `X_MP = min(X_AL / N_AL, X_SHM / N_SHM)`; for both
+//!   hashes the shift port binds (`X_3.0 = X_SHM · MP / N_SHM`).
+//! * **cc 3.5** — funnel shifts run at double rate, quadrupling rotate
+//!   throughput relative to cc 3.0.
+
+use crate::arch::ComputeCapability;
+use crate::codegen::InstrCounts;
+use crate::device::Device;
+use crate::isa::MachineClass;
+
+/// Hashes per clock cycle per multiprocessor under the theoretical model.
+pub fn mp_hashes_per_cycle(cc: ComputeCapability, counts: &InstrCounts) -> f64 {
+    let n_add = counts.iadd() as f64;
+    let n_lop = counts.lop() as f64;
+    let n_shm = counts.shift_mad() as f64;
+    let n_al = n_add + n_lop;
+    match cc {
+        ComputeCapability::Sm1x => {
+            let x_add = cc.class_throughput(MachineClass::IAdd) as f64;
+            let x_lop = cc.class_throughput(MachineClass::Lop) as f64;
+            let x_shm = cc.class_throughput(MachineClass::Shift) as f64;
+            let t = n_add / x_add + n_lop / x_lop + n_shm / x_shm;
+            if t == 0.0 {
+                return f64::INFINITY;
+            }
+            1.0 / t
+        }
+        ComputeCapability::Sm20 | ComputeCapability::Sm21 => {
+            let x_al = cc.class_throughput(MachineClass::IAdd) as f64;
+            let x_shm = cc.class_throughput(MachineClass::Shift) as f64;
+            let total_bound = if n_al + n_shm > 0.0 { x_al / (n_al + n_shm) } else { f64::INFINITY };
+            let shift_bound = if n_shm > 0.0 { x_shm / n_shm } else { f64::INFINITY };
+            total_bound.min(shift_bound)
+        }
+        ComputeCapability::Sm30 => {
+            let x_al = cc.class_throughput(MachineClass::IAdd) as f64;
+            let x_shm = cc.class_throughput(MachineClass::Shift) as f64;
+            let al_bound = if n_al > 0.0 { x_al / n_al } else { f64::INFINITY };
+            let shift_bound = if n_shm > 0.0 { x_shm / n_shm } else { f64::INFINITY };
+            al_bound.min(shift_bound)
+        }
+        ComputeCapability::Sm35 => {
+            // Plain shifts/MAD/PRMT at 32 lanes/cycle, funnel shifts at 64;
+            // the port's time per hash is the sum of both occupancies.
+            let x_al = cc.class_throughput(MachineClass::IAdd) as f64;
+            let x_shift = cc.class_throughput(MachineClass::Shift) as f64;
+            let x_funnel = cc.class_throughput(MachineClass::Funnel) as f64;
+            let n_plain = (counts.shift() + counts.imad() + counts.prmt()) as f64;
+            let n_funnel = counts.funnel() as f64;
+            let port_time = n_plain / x_shift + n_funnel / x_funnel;
+            let al_bound = if n_al > 0.0 { x_al / n_al } else { f64::INFINITY };
+            let shift_bound = if port_time > 0.0 { 1.0 / port_time } else { f64::INFINITY };
+            al_bound.min(shift_bound)
+        }
+    }
+}
+
+/// Theoretical device throughput in MKey/s for a kernel with the given
+/// per-hash instruction counts.
+pub fn theoretical_mkeys(device: &Device, counts: &InstrCounts) -> f64 {
+    mp_hashes_per_cycle(device.cc, counts) * device.mp_count as f64 * device.clock_hz() / 1e6
+}
+
+/// The cc 1.x variant *without* SFU co-issue (additions at 8/cycle instead
+/// of 10): the paper observes that the lack of ILP prevents the special
+/// function units from executing additions, which is what the measured
+/// devices actually deliver.
+pub fn mp_hashes_per_cycle_sm1x_no_sfu(counts: &InstrCounts) -> f64 {
+    let t = (counts.iadd() as f64 + counts.lop() as f64 + counts.shift_mad() as f64) / 8.0;
+    if t == 0.0 {
+        return f64::INFINITY;
+    }
+    1.0 / t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::{MachineClass, MachineInstr, Reg};
+
+    /// Build an InstrCounts with the given (iadd, lop, shift, imad, prmt)
+    /// without constructing a kernel.
+    fn counts(iadd: u32, lop: u32, shift: u32, imad: u32, prmt: u32) -> InstrCounts {
+        let mut instrs = Vec::new();
+        let mut push = |class: MachineClass, n: u32| {
+            for _ in 0..n {
+                instrs.push(MachineInstr { class, dst: Reg(0), srcs: vec![] });
+            }
+        };
+        push(MachineClass::IAdd, iadd);
+        push(MachineClass::Lop, lop);
+        push(MachineClass::Shift, shift);
+        push(MachineClass::Imad, imad);
+        push(MachineClass::Prmt, prmt);
+        InstrCounts::of(&instrs)
+    }
+
+    /// Table VI MD5 counts for cc 2.x/3.0: IADD 150, LOP 120, SHR/SHL 43,
+    /// IMAD 43, PRMT 3.
+    fn md5_table6_2x() -> InstrCounts {
+        counts(150, 120, 43, 43, 3)
+    }
+
+    /// Table VI MD5 counts for cc 1.x: IADD 197, LOP 118, SHR/SHL 90.
+    fn md5_table6_1x() -> InstrCounts {
+        counts(197, 118, 90, 0, 0)
+    }
+
+    #[test]
+    fn table8_md5_theoretical_550ti() {
+        // Paper: 962.7 MKey/s. 48 · 4 · 1800e6 / 359 = 962.67...
+        let d = Device::geforce_gtx_550_ti();
+        let x = theoretical_mkeys(&d, &md5_table6_2x());
+        assert!((x - 962.7).abs() < 0.5, "got {x}");
+    }
+
+    #[test]
+    fn table8_md5_theoretical_540m() {
+        // Paper: 359.4 MKey/s.
+        let d = Device::geforce_gt_540m();
+        let x = theoretical_mkeys(&d, &md5_table6_2x());
+        assert!((x - 359.4).abs() < 0.5, "got {x}");
+    }
+
+    #[test]
+    fn table8_md5_theoretical_660() {
+        // Paper: 1851 MKey/s; the shift port binds: 32·5·1033e6/89 = 1857.
+        let d = Device::geforce_gtx_660();
+        let x = theoretical_mkeys(&d, &md5_table6_2x());
+        assert!((x - 1851.0).abs() < 10.0, "got {x}");
+    }
+
+    #[test]
+    fn table8_md5_theoretical_8800() {
+        // Paper: 568 MKey/s. T = 197/10 + 118/8 + 90/8 = 45.7 cycles;
+        // 16 · 1625e6 / 45.7 = 568.9 MKey/s.
+        let d = Device::geforce_8800_gts_512();
+        let x = theoretical_mkeys(&d, &md5_table6_1x());
+        assert!((x - 568.0).abs() < 2.0, "got {x}");
+    }
+
+    #[test]
+    fn table8_md5_theoretical_8600m() {
+        // Paper: 83 MKey/s.
+        let d = Device::geforce_8600m_gt();
+        let x = theoretical_mkeys(&d, &md5_table6_1x());
+        assert!((x - 83.0).abs() < 0.5, "got {x}");
+    }
+
+    #[test]
+    fn sm1x_without_sfu_is_slower() {
+        let c = md5_table6_1x();
+        let with = mp_hashes_per_cycle(ComputeCapability::Sm1x, &c);
+        let without = mp_hashes_per_cycle_sm1x_no_sfu(&c);
+        assert!(without < with);
+        // 8/10 throughput on the ADD share.
+        let t_with = 197.0 / 10.0 + 118.0 / 8.0 + 90.0 / 8.0;
+        assert!((1.0 / with - t_with).abs() < 1e-9);
+    }
+
+    #[test]
+    fn low_ratio_kernels_bind_on_shift_port_on_fermi() {
+        // SHA-1-like ratio (~1.5): shift port binds on cc 2.1.
+        let sha_like = counts(300, 160, 150, 150, 0);
+        let x_al = 48.0f64;
+        let x_shm = 16.0f64;
+        let h = mp_hashes_per_cycle(ComputeCapability::Sm21, &sha_like);
+        let expect = (x_shm / 300.0).min(x_al / 760.0);
+        assert!((h - expect).abs() < 1e-12);
+        assert!((h - x_shm / 300.0).abs() < 1e-12, "shift-bound");
+    }
+
+    #[test]
+    fn kepler_is_always_shift_bound_for_hash_kernels() {
+        let h = mp_hashes_per_cycle(ComputeCapability::Sm30, &md5_table6_2x());
+        assert!((h - 32.0 / 89.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn funnel_shift_quadruples_kepler_rotate_throughput() {
+        // Optimized MD5 on 3.5: rotates become 46 funnel shifts
+        // (43 + 3 that no longer need PRMT), no plain shifts remain from
+        // rotations; keep 0 plain for the model check.
+        let mut instrs = Vec::new();
+        for _ in 0..150 {
+            instrs.push(MachineInstr { class: MachineClass::IAdd, dst: Reg(0), srcs: vec![] });
+        }
+        for _ in 0..120 {
+            instrs.push(MachineInstr { class: MachineClass::Lop, dst: Reg(0), srcs: vec![] });
+        }
+        for _ in 0..46 {
+            instrs.push(MachineInstr { class: MachineClass::Funnel, dst: Reg(0), srcs: vec![] });
+        }
+        let c = InstrCounts::of(&instrs);
+        let h35 = mp_hashes_per_cycle(ComputeCapability::Sm35, &c);
+        let h30 = mp_hashes_per_cycle(ComputeCapability::Sm30, &md5_table6_2x());
+        // Per-MP: 3.5 is AL-bound at 160/270 = 0.593 vs 3.0's 0.360.
+        assert!(h35 > h30 * 1.5, "h35={h35} h30={h30}");
+        assert!((h35 - 160.0 / 270.0).abs() < 1e-12, "AL becomes the bottleneck");
+    }
+
+    #[test]
+    fn empty_kernel_is_unbounded() {
+        let c = counts(0, 0, 0, 0, 0);
+        assert!(mp_hashes_per_cycle(ComputeCapability::Sm21, &c).is_infinite());
+        assert!(mp_hashes_per_cycle(ComputeCapability::Sm1x, &c).is_infinite());
+    }
+}

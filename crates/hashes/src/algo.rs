@@ -1,0 +1,78 @@
+//! Algorithm selector shared by crackers and kernels.
+
+use crate::md4::ntlm;
+use crate::md5::md5_single_block;
+use crate::sha1::sha1_single_block;
+use crate::{md5, sha1};
+
+/// Which hash a search targets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum HashAlgo {
+    /// MD5 (16-byte digests).
+    Md5,
+    /// SHA-1 (20-byte digests).
+    Sha1,
+    /// NTLM — MD4 over the UTF-16LE password (16-byte digests).
+    Ntlm,
+}
+
+impl HashAlgo {
+    /// Digest length in bytes.
+    pub fn digest_len(self) -> usize {
+        match self {
+            HashAlgo::Md5 | HashAlgo::Ntlm => 16,
+            HashAlgo::Sha1 => 20,
+        }
+    }
+
+    /// Hash a short key (single-block fast path, ≤ 55 bytes).
+    pub fn hash(self, key: &[u8]) -> Vec<u8> {
+        match self {
+            HashAlgo::Md5 => md5_single_block(key).to_vec(),
+            HashAlgo::Sha1 => sha1_single_block(key).to_vec(),
+            HashAlgo::Ntlm => ntlm(key).to_vec(),
+        }
+    }
+
+    /// Hash arbitrary-length input (streaming path).
+    pub fn hash_long(self, data: &[u8]) -> Vec<u8> {
+        match self {
+            HashAlgo::Md5 => md5::md5(data).to_vec(),
+            HashAlgo::Sha1 => sha1::sha1(data).to_vec(),
+            HashAlgo::Ntlm => ntlm(data).to_vec(),
+        }
+    }
+
+    /// Human-readable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            HashAlgo::Md5 => "MD5",
+            HashAlgo::Sha1 => "SHA1",
+            HashAlgo::Ntlm => "NTLM",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn digest_lengths() {
+        assert_eq!(HashAlgo::Md5.digest_len(), 16);
+        assert_eq!(HashAlgo::Sha1.digest_len(), 20);
+    }
+
+    #[test]
+    fn fast_and_streaming_paths_agree() {
+        for algo in [HashAlgo::Md5, HashAlgo::Sha1, HashAlgo::Ntlm] {
+            assert_eq!(algo.hash(b"abc"), algo.hash_long(b"abc"), "{}", algo.name());
+        }
+    }
+
+    #[test]
+    fn ntlm_algo_matches_known_value() {
+        let d = HashAlgo::Ntlm.hash(b"password");
+        assert_eq!(crate::to_hex(&d), "8846f7eaee8fb117ad06bdd830b7586c");
+    }
+}

@@ -1,0 +1,79 @@
+//! Common digest trait and hex codecs.
+
+/// A streaming hash function producing a fixed-size digest.
+pub trait Digest {
+    /// Digest size in bytes.
+    const OUTPUT_LEN: usize;
+
+    /// Feed more message bytes.
+    fn update(&mut self, data: &[u8]);
+
+    /// Consume the state and produce the digest.
+    fn finalize(self) -> Vec<u8>;
+
+    /// Reset to the initial state.
+    fn reset(&mut self);
+}
+
+/// Lowercase hex encoding of a byte slice.
+pub fn to_hex(bytes: &[u8]) -> String {
+    const HEX: &[u8; 16] = b"0123456789abcdef";
+    let mut out = String::with_capacity(bytes.len() * 2);
+    for &b in bytes {
+        out.push(HEX[(b >> 4) as usize] as char);
+        out.push(HEX[(b & 0xf) as usize] as char);
+    }
+    out
+}
+
+/// Decode a hex string (case-insensitive) into bytes; `None` on odd length
+/// or non-hex characters.
+pub fn from_hex(s: &str) -> Option<Vec<u8>> {
+    if !s.len().is_multiple_of(2) {
+        return None;
+    }
+    fn nibble(c: u8) -> Option<u8> {
+        match c {
+            b'0'..=b'9' => Some(c - b'0'),
+            b'a'..=b'f' => Some(c - b'a' + 10),
+            b'A'..=b'F' => Some(c - b'A' + 10),
+            _ => None,
+        }
+    }
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len() / 2);
+    for pair in bytes.chunks_exact(2) {
+        out.push((nibble(pair[0])? << 4) | nibble(pair[1])?);
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hex_round_trip() {
+        let data = [0x00u8, 0x0f, 0xf0, 0xff, 0x12, 0xab];
+        let hex = to_hex(&data);
+        assert_eq!(hex, "000ff0ff12ab");
+        assert_eq!(from_hex(&hex).unwrap(), data);
+    }
+
+    #[test]
+    fn from_hex_accepts_uppercase() {
+        assert_eq!(from_hex("DEADBEEF").unwrap(), [0xde, 0xad, 0xbe, 0xef]);
+    }
+
+    #[test]
+    fn from_hex_rejects_bad_input() {
+        assert_eq!(from_hex("abc"), None, "odd length");
+        assert_eq!(from_hex("zz"), None, "non-hex");
+    }
+
+    #[test]
+    fn empty_round_trip() {
+        assert_eq!(to_hex(&[]), "");
+        assert_eq!(from_hex("").unwrap(), Vec::<u8>::new());
+    }
+}

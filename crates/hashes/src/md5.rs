@@ -1,0 +1,313 @@
+//! MD5 (RFC 1321), implemented from scratch.
+//!
+//! Provides a streaming [`Md5`] hasher, a one-shot [`md5`] helper and the
+//! raw compression function [`md5_compress`] that kernels and the step
+//! reversal build on.
+
+use crate::digest::Digest;
+use crate::padding::{pad_md5_block, MAX_SINGLE_BLOCK_MSG};
+
+/// MD5 initial state (RFC 1321 §3.3).
+pub const IV: [u32; 4] = [0x6745_2301, 0xefcd_ab89, 0x98ba_dcfe, 0x1032_5476];
+
+/// Per-step left-rotation amounts (RFC 1321 §3.4).
+pub const S: [u32; 64] = [
+    7, 12, 17, 22, 7, 12, 17, 22, 7, 12, 17, 22, 7, 12, 17, 22, //
+    5, 9, 14, 20, 5, 9, 14, 20, 5, 9, 14, 20, 5, 9, 14, 20, //
+    4, 11, 16, 23, 4, 11, 16, 23, 4, 11, 16, 23, 4, 11, 16, 23, //
+    6, 10, 15, 21, 6, 10, 15, 21, 6, 10, 15, 21, 6, 10, 15, 21,
+];
+
+/// Per-step additive constants `K[i] = floor(2^32 * |sin(i + 1)|)`.
+pub const K: [u32; 64] = [
+    0xd76a_a478, 0xe8c7_b756, 0x2420_70db, 0xc1bd_ceee, 0xf57c_0faf, 0x4787_c62a, 0xa830_4613,
+    0xfd46_9501, 0x6980_98d8, 0x8b44_f7af, 0xffff_5bb1, 0x895c_d7be, 0x6b90_1122, 0xfd98_7193,
+    0xa679_438e, 0x49b4_0821, 0xf61e_2562, 0xc040_b340, 0x265e_5a51, 0xe9b6_c7aa, 0xd62f_105d,
+    0x0244_1453, 0xd8a1_e681, 0xe7d3_fbc8, 0x21e1_cde6, 0xc337_07d6, 0xf4d5_0d87, 0x455a_14ed,
+    0xa9e3_e905, 0xfcef_a3f8, 0x676f_02d9, 0x8d2a_4c8a, 0xfffa_3942, 0x8771_f681, 0x6d9d_6122,
+    0xfde5_380c, 0xa4be_ea44, 0x4bde_cfa9, 0xf6bb_4b60, 0xbebf_bc70, 0x289b_7ec6, 0xeaa1_27fa,
+    0xd4ef_3085, 0x0488_1d05, 0xd9d4_d039, 0xe6db_99e5, 0x1fa2_7cf8, 0xc4ac_5665, 0xf429_2244,
+    0x432a_ff97, 0xab94_23a7, 0xfc93_a039, 0x655b_59c3, 0x8f0c_cc92, 0xffef_f47d, 0x8584_5dd1,
+    0x6fa8_7e4f, 0xfe2c_e6e0, 0xa301_4314, 0x4e08_11a1, 0xf753_7e82, 0xbd3a_f235, 0x2ad7_d2bb,
+    0xeb86_d391,
+];
+
+/// Message word index used by step `i` (RFC 1321 round schedules).
+#[inline]
+pub const fn word_index(i: usize) -> usize {
+    match i / 16 {
+        0 => i,
+        1 => (5 * i + 1) % 16,
+        2 => (3 * i + 5) % 16,
+        _ => (7 * i) % 16,
+    }
+}
+
+/// The non-linear round function of step `i`.
+#[inline]
+pub fn round_fn(i: usize, b: u32, c: u32, d: u32) -> u32 {
+    match i / 16 {
+        0 => (b & c) | (!b & d),
+        1 => (d & b) | (!d & c),
+        2 => b ^ c ^ d,
+        _ => c ^ (b | !d),
+    }
+}
+
+/// One forward MD5 step: returns the rotated state `(a', b', c', d')`.
+#[inline]
+pub fn step(i: usize, state: [u32; 4], w: &[u32; 16]) -> [u32; 4] {
+    let [a, b, c, d] = state;
+    let f = round_fn(i, b, c, d);
+    let sum = a
+        .wrapping_add(f)
+        .wrapping_add(K[i])
+        .wrapping_add(w[word_index(i)]);
+    let nb = b.wrapping_add(sum.rotate_left(S[i]));
+    [d, nb, b, c]
+}
+
+/// Invert one MD5 step: given the state *after* step `i`, recover the state
+/// before it. Requires the message word `w[word_index(i)]`.
+#[inline]
+pub fn unstep(i: usize, state: [u32; 4], w: &[u32; 16]) -> [u32; 4] {
+    let [a_after, b_after, c_after, d_after] = state;
+    // Forward: [d, b + rotl(a + f + k + w, s), b, c] — so:
+    let b = c_after;
+    let c = d_after;
+    let d = a_after;
+    let f = round_fn(i, b, c, d);
+    let a = b_after
+        .wrapping_sub(b)
+        .rotate_right(S[i])
+        .wrapping_sub(f)
+        .wrapping_sub(K[i])
+        .wrapping_sub(w[word_index(i)]);
+    [a, b, c, d]
+}
+
+/// The MD5 compression function: run 64 steps over one block and add the
+/// chaining value.
+pub fn md5_compress(state: [u32; 4], w: &[u32; 16]) -> [u32; 4] {
+    let mut s = state;
+    for i in 0..64 {
+        s = step(i, s, w);
+    }
+    [
+        s[0].wrapping_add(state[0]),
+        s[1].wrapping_add(state[1]),
+        s[2].wrapping_add(state[2]),
+        s[3].wrapping_add(state[3]),
+    ]
+}
+
+/// Hash a message that fits one block (≤ 55 bytes) — the kernel fast path.
+pub fn md5_single_block(msg: &[u8]) -> [u8; 16] {
+    debug_assert!(msg.len() <= MAX_SINGLE_BLOCK_MSG);
+    let w = pad_md5_block(msg);
+    state_to_digest(md5_compress(IV, &w))
+}
+
+/// Serialize an MD5 state as the little-endian digest bytes.
+pub fn state_to_digest(state: [u32; 4]) -> [u8; 16] {
+    let mut out = [0u8; 16];
+    for (i, word) in state.iter().enumerate() {
+        out[i * 4..i * 4 + 4].copy_from_slice(&word.to_le_bytes());
+    }
+    out
+}
+
+/// Parse a 16-byte digest back into the four state words.
+pub fn digest_to_state(digest: &[u8; 16]) -> [u32; 4] {
+    let mut state = [0u32; 4];
+    for (i, chunk) in digest.chunks_exact(4).enumerate() {
+        state[i] = u32::from_le_bytes(chunk.try_into().expect("4-byte chunk"));
+    }
+    state
+}
+
+/// One-shot MD5 of arbitrary-length input.
+pub fn md5(data: &[u8]) -> [u8; 16] {
+    let mut h = Md5::new();
+    h.update(data);
+    h.finalize_fixed()
+}
+
+/// Streaming MD5 hasher.
+#[derive(Debug, Clone)]
+pub struct Md5 {
+    state: [u32; 4],
+    buffer: [u8; 64],
+    buffered: usize,
+    total_len: u64,
+}
+
+impl Md5 {
+    /// A fresh hasher.
+    pub fn new() -> Self {
+        Self { state: IV, buffer: [0; 64], buffered: 0, total_len: 0 }
+    }
+
+    /// Finalize into the fixed-size digest.
+    pub fn finalize_fixed(mut self) -> [u8; 16] {
+        let bitlen = self.total_len.wrapping_mul(8);
+        // Append 0x80 then zeros until 8 bytes remain in the block.
+        self.update_bytes(&[0x80]);
+        while self.buffered != 56 {
+            self.update_bytes(&[0]);
+        }
+        let mut block = self.buffer;
+        block[56..64].copy_from_slice(&bitlen.to_le_bytes());
+        let w = words_le(&block);
+        self.state = md5_compress(self.state, &w);
+        state_to_digest(self.state)
+    }
+
+    fn update_bytes(&mut self, data: &[u8]) {
+        for &b in data {
+            self.buffer[self.buffered] = b;
+            self.buffered += 1;
+            if self.buffered == 64 {
+                let w = words_le(&self.buffer);
+                self.state = md5_compress(self.state, &w);
+                self.buffered = 0;
+            }
+        }
+    }
+}
+
+impl Default for Md5 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Digest for Md5 {
+    const OUTPUT_LEN: usize = 16;
+
+    fn update(&mut self, data: &[u8]) {
+        self.total_len = self.total_len.wrapping_add(data.len() as u64);
+        self.update_bytes(data);
+    }
+
+    fn finalize(self) -> Vec<u8> {
+        self.finalize_fixed().to_vec()
+    }
+
+    fn reset(&mut self) {
+        *self = Self::new();
+    }
+}
+
+fn words_le(block: &[u8; 64]) -> [u32; 16] {
+    let mut w = [0u32; 16];
+    for (i, chunk) in block.chunks_exact(4).enumerate() {
+        w[i] = u32::from_le_bytes(chunk.try_into().expect("4-byte chunk"));
+    }
+    w
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::digest::to_hex;
+
+    /// RFC 1321 appendix A.5 test suite.
+    #[test]
+    fn rfc1321_vectors() {
+        let cases = [
+            ("", "d41d8cd98f00b204e9800998ecf8427e"),
+            ("a", "0cc175b9c0f1b6a831c399e269772661"),
+            ("abc", "900150983cd24fb0d6963f7d28e17f72"),
+            ("message digest", "f96b697d7cb7938d525a2f31aaf161d0"),
+            ("abcdefghijklmnopqrstuvwxyz", "c3fcd3d76192e4007dfb496cca67e13b"),
+            (
+                "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789",
+                "d174ab98d277d9f5a5611c2c9f419d9f",
+            ),
+            (
+                "12345678901234567890123456789012345678901234567890123456789012345678901234567890",
+                "57edf4a22be3c955ac49da2e2107b67a",
+            ),
+        ];
+        for (msg, want) in cases {
+            assert_eq!(to_hex(&md5(msg.as_bytes())), want, "md5({msg:?})");
+        }
+    }
+
+    #[test]
+    fn single_block_agrees_with_streaming() {
+        for len in 0..=55usize {
+            let msg: Vec<u8> = (0..len as u8).collect();
+            assert_eq!(md5_single_block(&msg), md5(&msg), "len={len}");
+        }
+    }
+
+    #[test]
+    fn streaming_is_chunking_invariant() {
+        let msg: Vec<u8> = (0..=255u8).cycle().take(1000).collect();
+        let whole = md5(&msg);
+        let mut h = Md5::new();
+        for chunk in msg.chunks(7) {
+            h.update(chunk);
+        }
+        assert_eq!(h.finalize_fixed(), whole);
+    }
+
+    #[test]
+    fn multi_block_boundaries() {
+        for len in [63usize, 64, 65, 127, 128, 129] {
+            let msg = vec![0xabu8; len];
+            let mut h = Md5::new();
+            h.update(&msg);
+            // Compare against a bytewise-fed hasher.
+            let mut h2 = Md5::new();
+            for b in &msg {
+                h2.update(std::slice::from_ref(b));
+            }
+            assert_eq!(h.finalize_fixed(), h2.finalize_fixed(), "len={len}");
+        }
+    }
+
+    #[test]
+    fn unstep_inverts_step() {
+        let w = pad_md5_block(b"reversible");
+        let mut state = IV;
+        let mut history = vec![state];
+        for i in 0..64 {
+            state = step(i, state, &w);
+            history.push(state);
+        }
+        for i in (0..64).rev() {
+            state = unstep(i, state, &w);
+            assert_eq!(state, history[i], "unstep({i})");
+        }
+        assert_eq!(state, IV);
+    }
+
+    #[test]
+    fn digest_state_round_trip() {
+        let d = md5(b"state");
+        assert_eq!(state_to_digest(digest_to_state(&d)), d);
+    }
+
+    #[test]
+    fn reset_restores_initial_state() {
+        let mut h = Md5::new();
+        h.update(b"garbage");
+        h.reset();
+        h.update(b"abc");
+        assert_eq!(to_hex(&h.finalize()), "900150983cd24fb0d6963f7d28e17f72");
+    }
+
+    #[test]
+    fn word_index_last_15_steps_avoid_w0() {
+        // The structural fact behind the reversal optimization (Section V-B):
+        // w[0] is used by step 0 and step 48, but by none of steps 49..=63.
+        assert_eq!(word_index(0), 0);
+        assert_eq!(word_index(48), 0);
+        for i in 49..64 {
+            assert_ne!(word_index(i), 0, "step {i} must not read w[0]");
+        }
+    }
+}

@@ -1,0 +1,104 @@
+//! Merkle–Damgård padding helpers for single-block messages.
+//!
+//! Candidate keys are at most 20 bytes (Section IV-A), so every candidate
+//! fits the 55-byte single-block limit; cracking kernels therefore pad the
+//! key once into a 16-word block and only mutate the word(s) that hold the
+//! varying characters. The paper notes that for strings shorter than 57
+//! characters execution time is independent of the length, and for longer
+//! strings the intermediate state of shared leading blocks can be cached.
+
+/// Longest message that still fits one 64-byte block after the mandatory
+/// `0x80` byte and the 8-byte length field.
+pub const MAX_SINGLE_BLOCK_MSG: usize = 55;
+
+/// Pad `msg` into one little-endian 16-word block (MD5 convention).
+///
+/// # Panics
+/// Panics when `msg.len() > MAX_SINGLE_BLOCK_MSG`.
+pub fn pad_md5_block(msg: &[u8]) -> [u32; 16] {
+    let bytes = pad_bytes(msg);
+    let mut w = [0u32; 16];
+    for (i, chunk) in bytes.chunks_exact(4).enumerate() {
+        w[i] = u32::from_le_bytes(chunk.try_into().expect("4-byte chunk"));
+    }
+    // MD5 appends the bit length as a 64-bit little-endian integer; the
+    // byte-level padding below already wrote zeros, so overwrite words
+    // 14 and 15.
+    let bitlen = (msg.len() as u64) * 8;
+    w[14] = bitlen as u32;
+    w[15] = (bitlen >> 32) as u32;
+    w
+}
+
+/// Pad `msg` into one big-endian 16-word block (SHA-1/SHA-256 convention).
+///
+/// # Panics
+/// Panics when `msg.len() > MAX_SINGLE_BLOCK_MSG`.
+pub fn pad_sha_block(msg: &[u8]) -> [u32; 16] {
+    let bytes = pad_bytes(msg);
+    let mut w = [0u32; 16];
+    for (i, chunk) in bytes.chunks_exact(4).enumerate() {
+        w[i] = u32::from_be_bytes(chunk.try_into().expect("4-byte chunk"));
+    }
+    let bitlen = (msg.len() as u64) * 8;
+    w[14] = (bitlen >> 32) as u32;
+    w[15] = bitlen as u32;
+    w
+}
+
+fn pad_bytes(msg: &[u8]) -> [u8; 64] {
+    assert!(
+        msg.len() <= MAX_SINGLE_BLOCK_MSG,
+        "message of {} bytes does not fit a single block",
+        msg.len()
+    );
+    let mut block = [0u8; 64];
+    block[..msg.len()].copy_from_slice(msg);
+    block[msg.len()] = 0x80;
+    block
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn md5_padding_layout() {
+        let w = pad_md5_block(b"abc");
+        // "abc" + 0x80 little-endian in word 0.
+        assert_eq!(w[0], u32::from_le_bytes([b'a', b'b', b'c', 0x80]));
+        assert_eq!(w[1], 0);
+        assert_eq!(w[14], 24, "bit length low word");
+        assert_eq!(w[15], 0);
+    }
+
+    #[test]
+    fn sha_padding_layout() {
+        let w = pad_sha_block(b"abc");
+        assert_eq!(w[0], u32::from_be_bytes([b'a', b'b', b'c', 0x80]));
+        assert_eq!(w[15], 24, "bit length low word is last in BE");
+        assert_eq!(w[14], 0);
+    }
+
+    #[test]
+    fn empty_message() {
+        let w = pad_md5_block(b"");
+        assert_eq!(w[0], 0x80);
+        assert_eq!(w[14], 0);
+    }
+
+    #[test]
+    fn max_length_message() {
+        let msg = [b'x'; MAX_SINGLE_BLOCK_MSG];
+        let w = pad_md5_block(&msg);
+        assert_eq!(w[14], (55 * 8) as u32);
+        // 0x80 lands in byte 55, i.e. word 13's last byte.
+        assert_eq!(w[13] >> 24, 0x80);
+    }
+
+    #[test]
+    #[should_panic]
+    fn oversize_message_panics() {
+        pad_md5_block(&[0u8; 56]);
+    }
+}

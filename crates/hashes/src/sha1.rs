@@ -1,0 +1,244 @@
+//! SHA-1 (RFC 3174), implemented from scratch.
+
+use crate::digest::Digest;
+use crate::padding::{pad_sha_block, MAX_SINGLE_BLOCK_MSG};
+
+/// SHA-1 initial state (RFC 3174 §6.1).
+pub const IV: [u32; 5] = [
+    0x6745_2301,
+    0xefcd_ab89,
+    0x98ba_dcfe,
+    0x1032_5476,
+    0xc3d2_e1f0,
+];
+
+/// Round constants, one per 20-step quarter.
+pub const K: [u32; 4] = [0x5a82_7999, 0x6ed9_eba1, 0x8f1b_bcdc, 0xca62_c1d6];
+
+/// The non-linear function for round `i`.
+#[inline]
+pub fn round_fn(i: usize, b: u32, c: u32, d: u32) -> u32 {
+    match i / 20 {
+        0 => (b & c) | (!b & d),        // Ch
+        1 => b ^ c ^ d,                 // Parity
+        2 => (b & c) | (b & d) | (c & d), // Maj
+        _ => b ^ c ^ d,                 // Parity
+    }
+}
+
+/// Expand a 16-word block into the 80-word message schedule.
+pub fn expand_schedule(block: &[u32; 16]) -> [u32; 80] {
+    let mut w = [0u32; 80];
+    w[..16].copy_from_slice(block);
+    for i in 16..80 {
+        w[i] = (w[i - 3] ^ w[i - 8] ^ w[i - 14] ^ w[i - 16]).rotate_left(1);
+    }
+    w
+}
+
+/// One SHA-1 round over the 5-word working state.
+#[inline]
+pub fn round(i: usize, state: [u32; 5], wi: u32) -> [u32; 5] {
+    let [a, b, c, d, e] = state;
+    let temp = a
+        .rotate_left(5)
+        .wrapping_add(round_fn(i, b, c, d))
+        .wrapping_add(e)
+        .wrapping_add(K[i / 20])
+        .wrapping_add(wi);
+    [temp, a, b.rotate_left(30), c, d]
+}
+
+/// The SHA-1 compression function: 80 rounds plus the chaining addition.
+pub fn sha1_compress(state: [u32; 5], block: &[u32; 16]) -> [u32; 5] {
+    let w = expand_schedule(block);
+    let mut s = state;
+    for (i, &wi) in w.iter().enumerate() {
+        s = round(i, s, wi);
+    }
+    [
+        s[0].wrapping_add(state[0]),
+        s[1].wrapping_add(state[1]),
+        s[2].wrapping_add(state[2]),
+        s[3].wrapping_add(state[3]),
+        s[4].wrapping_add(state[4]),
+    ]
+}
+
+/// Hash a message that fits one block (≤ 55 bytes) — the kernel fast path.
+pub fn sha1_single_block(msg: &[u8]) -> [u8; 20] {
+    debug_assert!(msg.len() <= MAX_SINGLE_BLOCK_MSG);
+    let w = pad_sha_block(msg);
+    state_to_digest(sha1_compress(IV, &w))
+}
+
+/// Serialize a SHA-1 state as the big-endian digest bytes.
+pub fn state_to_digest(state: [u32; 5]) -> [u8; 20] {
+    let mut out = [0u8; 20];
+    for (i, word) in state.iter().enumerate() {
+        out[i * 4..i * 4 + 4].copy_from_slice(&word.to_be_bytes());
+    }
+    out
+}
+
+/// Parse a 20-byte digest back into the five state words.
+pub fn digest_to_state(digest: &[u8; 20]) -> [u32; 5] {
+    let mut state = [0u32; 5];
+    for (i, chunk) in digest.chunks_exact(4).enumerate() {
+        state[i] = u32::from_be_bytes(chunk.try_into().expect("4-byte chunk"));
+    }
+    state
+}
+
+/// One-shot SHA-1 of arbitrary-length input.
+pub fn sha1(data: &[u8]) -> [u8; 20] {
+    let mut h = Sha1::new();
+    h.update(data);
+    h.finalize_fixed()
+}
+
+/// Streaming SHA-1 hasher.
+#[derive(Debug, Clone)]
+pub struct Sha1 {
+    state: [u32; 5],
+    buffer: [u8; 64],
+    buffered: usize,
+    total_len: u64,
+}
+
+impl Sha1 {
+    /// A fresh hasher.
+    pub fn new() -> Self {
+        Self { state: IV, buffer: [0; 64], buffered: 0, total_len: 0 }
+    }
+
+    /// Finalize into the fixed-size digest.
+    pub fn finalize_fixed(mut self) -> [u8; 20] {
+        let bitlen = self.total_len.wrapping_mul(8);
+        self.update_bytes(&[0x80]);
+        while self.buffered != 56 {
+            self.update_bytes(&[0]);
+        }
+        let mut block = self.buffer;
+        block[56..64].copy_from_slice(&bitlen.to_be_bytes());
+        let w = words_be(&block);
+        self.state = sha1_compress(self.state, &w);
+        state_to_digest(self.state)
+    }
+
+    fn update_bytes(&mut self, data: &[u8]) {
+        for &b in data {
+            self.buffer[self.buffered] = b;
+            self.buffered += 1;
+            if self.buffered == 64 {
+                let w = words_be(&self.buffer);
+                self.state = sha1_compress(self.state, &w);
+                self.buffered = 0;
+            }
+        }
+    }
+}
+
+impl Default for Sha1 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Digest for Sha1 {
+    const OUTPUT_LEN: usize = 20;
+
+    fn update(&mut self, data: &[u8]) {
+        self.total_len = self.total_len.wrapping_add(data.len() as u64);
+        self.update_bytes(data);
+    }
+
+    fn finalize(self) -> Vec<u8> {
+        self.finalize_fixed().to_vec()
+    }
+
+    fn reset(&mut self) {
+        *self = Self::new();
+    }
+}
+
+fn words_be(block: &[u8; 64]) -> [u32; 16] {
+    let mut w = [0u32; 16];
+    for (i, chunk) in block.chunks_exact(4).enumerate() {
+        w[i] = u32::from_be_bytes(chunk.try_into().expect("4-byte chunk"));
+    }
+    w
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::digest::to_hex;
+
+    /// RFC 3174 §7.3 and FIPS 180 test vectors.
+    #[test]
+    fn rfc3174_vectors() {
+        let cases = [
+            ("abc", "a9993e364706816aba3e25717850c26c9cd0d89d"),
+            (
+                "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq",
+                "84983e441c3bd26ebaae4aa1f95129e5e54670f1",
+            ),
+            ("", "da39a3ee5e6b4b0d3255bfef95601890afd80709"),
+            ("The quick brown fox jumps over the lazy dog", "2fd4e1c67a2d28fced849ee1bb76e7391b93eb12"),
+        ];
+        for (msg, want) in cases {
+            assert_eq!(to_hex(&sha1(msg.as_bytes())), want, "sha1({msg:?})");
+        }
+    }
+
+    #[test]
+    fn million_a() {
+        // RFC 3174 TEST3: one million repetitions of "a".
+        let msg = vec![b'a'; 1_000_000];
+        assert_eq!(to_hex(&sha1(&msg)), "34aa973cd4c4daa4f61eeb2bdbad27316534016f");
+    }
+
+    #[test]
+    fn single_block_agrees_with_streaming() {
+        for len in 0..=55usize {
+            let msg: Vec<u8> = (100..100 + len as u8).collect();
+            assert_eq!(sha1_single_block(&msg), sha1(&msg), "len={len}");
+        }
+    }
+
+    #[test]
+    fn streaming_is_chunking_invariant() {
+        let msg: Vec<u8> = (0..=255u8).cycle().take(777).collect();
+        let whole = sha1(&msg);
+        let mut h = Sha1::new();
+        for chunk in msg.chunks(13) {
+            h.update(chunk);
+        }
+        assert_eq!(h.finalize_fixed(), whole);
+    }
+
+    #[test]
+    fn digest_state_round_trip() {
+        let d = sha1(b"state");
+        assert_eq!(state_to_digest(digest_to_state(&d)), d);
+    }
+
+    #[test]
+    fn schedule_expansion_is_rotl1_of_xors() {
+        let block = pad_sha_block(b"abc");
+        let w = expand_schedule(&block);
+        for i in 16..80 {
+            assert_eq!(w[i], (w[i - 3] ^ w[i - 8] ^ w[i - 14] ^ w[i - 16]).rotate_left(1));
+        }
+    }
+
+    #[test]
+    fn reset_restores_initial_state() {
+        let mut h = Sha1::new();
+        h.update(b"junk");
+        h.reset();
+        h.update(b"abc");
+        assert_eq!(to_hex(&h.finalize()), "a9993e364706816aba3e25717850c26c9cd0d89d");
+    }
+}

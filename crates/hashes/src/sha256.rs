@@ -1,0 +1,243 @@
+//! SHA-256 (FIPS 180-4), implemented from scratch.
+//!
+//! Present because the paper's introduction motivates exhaustive search
+//! with Bitcoin mining: the nonce search over double-SHA-256 block headers
+//! is the same pattern with a different test function (leading zero bits
+//! instead of digest equality). See [`sha256d`].
+
+use crate::digest::Digest;
+
+/// SHA-256 initial state.
+pub const IV: [u32; 8] = [
+    0x6a09_e667,
+    0xbb67_ae85,
+    0x3c6e_f372,
+    0xa54f_f53a,
+    0x510e_527f,
+    0x9b05_688c,
+    0x1f83_d9ab,
+    0x5be0_cd19,
+];
+
+/// Round constants (first 32 bits of the fractional parts of the cube
+/// roots of the first 64 primes).
+pub const K: [u32; 64] = [
+    0x428a_2f98, 0x7137_4491, 0xb5c0_fbcf, 0xe9b5_dba5, 0x3956_c25b, 0x59f1_11f1, 0x923f_82a4,
+    0xab1c_5ed5, 0xd807_aa98, 0x1283_5b01, 0x2431_85be, 0x550c_7dc3, 0x72be_5d74, 0x80de_b1fe,
+    0x9bdc_06a7, 0xc19b_f174, 0xe49b_69c1, 0xefbe_4786, 0x0fc1_9dc6, 0x240c_a1cc, 0x2de9_2c6f,
+    0x4a74_84aa, 0x5cb0_a9dc, 0x76f9_88da, 0x983e_5152, 0xa831_c66d, 0xb003_27c8, 0xbf59_7fc7,
+    0xc6e0_0bf3, 0xd5a7_9147, 0x06ca_6351, 0x1429_2967, 0x27b7_0a85, 0x2e1b_2138, 0x4d2c_6dfc,
+    0x5338_0d13, 0x650a_7354, 0x766a_0abb, 0x81c2_c92e, 0x9272_2c85, 0xa2bf_e8a1, 0xa81a_664b,
+    0xc24b_8b70, 0xc76c_51a3, 0xd192_e819, 0xd699_0624, 0xf40e_3585, 0x106a_a070, 0x19a4_c116,
+    0x1e37_6c08, 0x2748_774c, 0x34b0_bcb5, 0x391c_0cb3, 0x4ed8_aa4a, 0x5b9c_ca4f, 0x682e_6ff3,
+    0x748f_82ee, 0x78a5_636f, 0x84c8_7814, 0x8cc7_0208, 0x90be_fffa, 0xa450_6ceb, 0xbef9_a3f7,
+    0xc671_78f2,
+];
+
+/// The SHA-256 compression function over one 16-word big-endian block.
+pub fn sha256_compress(state: [u32; 8], block: &[u32; 16]) -> [u32; 8] {
+    let mut w = [0u32; 64];
+    w[..16].copy_from_slice(block);
+    for i in 16..64 {
+        let s0 = w[i - 15].rotate_right(7) ^ w[i - 15].rotate_right(18) ^ (w[i - 15] >> 3);
+        let s1 = w[i - 2].rotate_right(17) ^ w[i - 2].rotate_right(19) ^ (w[i - 2] >> 10);
+        w[i] = w[i - 16]
+            .wrapping_add(s0)
+            .wrapping_add(w[i - 7])
+            .wrapping_add(s1);
+    }
+    let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut h] = state;
+    for i in 0..64 {
+        let s1 = e.rotate_right(6) ^ e.rotate_right(11) ^ e.rotate_right(25);
+        let ch = (e & f) ^ (!e & g);
+        let t1 = h
+            .wrapping_add(s1)
+            .wrapping_add(ch)
+            .wrapping_add(K[i])
+            .wrapping_add(w[i]);
+        let s0 = a.rotate_right(2) ^ a.rotate_right(13) ^ a.rotate_right(22);
+        let maj = (a & b) ^ (a & c) ^ (b & c);
+        let t2 = s0.wrapping_add(maj);
+        h = g;
+        g = f;
+        f = e;
+        e = d.wrapping_add(t1);
+        d = c;
+        c = b;
+        b = a;
+        a = t1.wrapping_add(t2);
+    }
+    [
+        a.wrapping_add(state[0]),
+        b.wrapping_add(state[1]),
+        c.wrapping_add(state[2]),
+        d.wrapping_add(state[3]),
+        e.wrapping_add(state[4]),
+        f.wrapping_add(state[5]),
+        g.wrapping_add(state[6]),
+        h.wrapping_add(state[7]),
+    ]
+}
+
+/// One-shot SHA-256 of arbitrary-length input.
+pub fn sha256(data: &[u8]) -> [u8; 32] {
+    let mut h = Sha256::new();
+    h.update(data);
+    h.finalize_fixed()
+}
+
+/// Double SHA-256 (`sha256(sha256(data))`), the Bitcoin block-header hash.
+pub fn sha256d(data: &[u8]) -> [u8; 32] {
+    sha256(&sha256(data))
+}
+
+/// Count leading zero bits of a digest — the Bitcoin-style difficulty test.
+pub fn leading_zero_bits(digest: &[u8]) -> u32 {
+    let mut bits = 0u32;
+    for &b in digest {
+        if b == 0 {
+            bits += 8;
+        } else {
+            bits += b.leading_zeros();
+            break;
+        }
+    }
+    bits
+}
+
+/// Streaming SHA-256 hasher.
+#[derive(Debug, Clone)]
+pub struct Sha256 {
+    state: [u32; 8],
+    buffer: [u8; 64],
+    buffered: usize,
+    total_len: u64,
+}
+
+impl Sha256 {
+    /// A fresh hasher.
+    pub fn new() -> Self {
+        Self { state: IV, buffer: [0; 64], buffered: 0, total_len: 0 }
+    }
+
+    /// Finalize into the fixed-size digest.
+    pub fn finalize_fixed(mut self) -> [u8; 32] {
+        let bitlen = self.total_len.wrapping_mul(8);
+        self.update_bytes(&[0x80]);
+        while self.buffered != 56 {
+            self.update_bytes(&[0]);
+        }
+        let mut block = self.buffer;
+        block[56..64].copy_from_slice(&bitlen.to_be_bytes());
+        let w = words_be(&block);
+        self.state = sha256_compress(self.state, &w);
+        let mut out = [0u8; 32];
+        for (i, word) in self.state.iter().enumerate() {
+            out[i * 4..i * 4 + 4].copy_from_slice(&word.to_be_bytes());
+        }
+        out
+    }
+
+    fn update_bytes(&mut self, data: &[u8]) {
+        for &b in data {
+            self.buffer[self.buffered] = b;
+            self.buffered += 1;
+            if self.buffered == 64 {
+                let w = words_be(&self.buffer);
+                self.state = sha256_compress(self.state, &w);
+                self.buffered = 0;
+            }
+        }
+    }
+}
+
+impl Default for Sha256 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Digest for Sha256 {
+    const OUTPUT_LEN: usize = 32;
+
+    fn update(&mut self, data: &[u8]) {
+        self.total_len = self.total_len.wrapping_add(data.len() as u64);
+        self.update_bytes(data);
+    }
+
+    fn finalize(self) -> Vec<u8> {
+        self.finalize_fixed().to_vec()
+    }
+
+    fn reset(&mut self) {
+        *self = Self::new();
+    }
+}
+
+fn words_be(block: &[u8; 64]) -> [u32; 16] {
+    let mut w = [0u32; 16];
+    for (i, chunk) in block.chunks_exact(4).enumerate() {
+        w[i] = u32::from_be_bytes(chunk.try_into().expect("4-byte chunk"));
+    }
+    w
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::digest::to_hex;
+
+    /// FIPS 180-4 test vectors.
+    #[test]
+    fn fips_vectors() {
+        let cases = [
+            ("abc", "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"),
+            ("", "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"),
+            (
+                "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq",
+                "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1",
+            ),
+        ];
+        for (msg, want) in cases {
+            assert_eq!(to_hex(&sha256(msg.as_bytes())), want, "sha256({msg:?})");
+        }
+    }
+
+    #[test]
+    fn double_hash_differs_from_single() {
+        let single = sha256(b"block header");
+        let double = sha256d(b"block header");
+        assert_ne!(single, double);
+        assert_eq!(double, sha256(&single));
+    }
+
+    #[test]
+    fn leading_zero_bits_counts_correctly() {
+        assert_eq!(leading_zero_bits(&[0x00, 0x00, 0xff]), 16);
+        assert_eq!(leading_zero_bits(&[0x00, 0x0f]), 12);
+        assert_eq!(leading_zero_bits(&[0x80]), 0);
+        assert_eq!(leading_zero_bits(&[0x01]), 7);
+        assert_eq!(leading_zero_bits(&[0x00, 0x00]), 16);
+        assert_eq!(leading_zero_bits(&[]), 0);
+    }
+
+    #[test]
+    fn streaming_is_chunking_invariant() {
+        let msg: Vec<u8> = (0..=255u8).cycle().take(500).collect();
+        let whole = sha256(&msg);
+        let mut h = Sha256::new();
+        for chunk in msg.chunks(9) {
+            h.update(chunk);
+        }
+        assert_eq!(h.finalize_fixed(), whole);
+    }
+
+    #[test]
+    fn million_a() {
+        let msg = vec![b'a'; 1_000_000];
+        assert_eq!(
+            to_hex(&sha256(&msg)),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0"
+        );
+    }
+}

@@ -1,0 +1,181 @@
+//! Host-side (CPU) execution of the kernels' search semantics.
+//!
+//! A simulated device still has to produce *real* answers: when the
+//! cluster runtime assigns an interval to a simulated GPU, this module
+//! performs the equivalent search on the CPU, including the reversed-MD5
+//! fast path the GPU kernel uses (rebuilt whenever the enumeration leaves
+//! the current 4-byte-prefix family).
+
+use eks_hashes::md5_reverse::Md5PrefixSearch;
+use eks_keyspace::{Interval, Key, KeySpace, Order};
+
+pub use eks_hashes::HashAlgo;
+
+/// A CPU search reproducing the GPU kernel's semantics.
+#[derive(Debug, Clone)]
+pub struct HostSearch {
+    algo: HashAlgo,
+    target: Vec<u8>,
+}
+
+impl HostSearch {
+    /// Prepare a search for `target` (must be the right digest length).
+    ///
+    /// # Panics
+    /// Panics when the target length does not match the algorithm.
+    pub fn new(algo: HashAlgo, target: &[u8]) -> Self {
+        assert_eq!(target.len(), algo.digest_len(), "target length mismatch");
+        Self { algo, target: target.to_vec() }
+    }
+
+    /// Scan `interval` of `space`, returning the first match.
+    ///
+    /// Uses the reversed-MD5 prefix search whenever the algorithm is MD5
+    /// and the space enumerates first-char-fastest (mapping (4)), exactly
+    /// like the GPU kernel; otherwise hashes each candidate.
+    pub fn search(&self, space: &KeySpace, interval: Interval) -> Option<(u128, Key)> {
+        match self.algo {
+            HashAlgo::Md5 if space.order() == Order::FirstCharFastest => {
+                self.search_md5_reversed(space, interval)
+            }
+            HashAlgo::Sha1 => self.search_sha1_partial(space, interval),
+            _ => self.search_forward(space, interval),
+        }
+    }
+
+    /// The SHA-1 early-exit path: 76 rounds per candidate, confirming
+    /// rare survivors with the full hash (mirrors the optimized kernel).
+    fn search_sha1_partial(&self, space: &KeySpace, interval: Interval) -> Option<(u128, Key)> {
+        let target: &[u8; 20] = self.target.as_slice().try_into().expect("checked length");
+        let search = eks_hashes::Sha1PartialSearch::new(target);
+        let mut found = None;
+        space.iter(interval).for_each_key(|id, key| {
+            if search.matches_key(key.as_bytes()) {
+                found = Some((id, key.clone()));
+                false
+            } else {
+                true
+            }
+        });
+        found
+    }
+
+    /// Candidates per second the plain forward path tests — used by tests
+    /// comparing the two paths.
+    fn search_forward(&self, space: &KeySpace, interval: Interval) -> Option<(u128, Key)> {
+        let mut found = None;
+        space.iter(interval).for_each_key(|id, key| {
+            if self.matches_forward(key) {
+                found = Some((id, key.clone()));
+                false
+            } else {
+                true
+            }
+        });
+        found
+    }
+
+    fn matches_forward(&self, key: &Key) -> bool {
+        self.algo.hash(key.as_bytes()) == self.target
+    }
+
+    fn search_md5_reversed(&self, space: &KeySpace, interval: Interval) -> Option<(u128, Key)> {
+        let target: &[u8; 16] = self.target.as_slice().try_into().expect("checked length");
+        // Rebuild the prefix search whenever the candidate's suffix
+        // (bytes 4..) or length changes; in first-char-fastest order that
+        // happens once every |charset|^4 keys for long keys.
+        let mut current_suffix: Option<(usize, Vec<u8>)> = None;
+        let mut search: Option<Md5PrefixSearch> = None;
+        let mut found = None;
+        space.iter(interval).for_each_key(|id, key| {
+            let bytes = key.as_bytes();
+            let suffix = &bytes[bytes.len().min(4)..];
+            let needs_rebuild = match &current_suffix {
+                Some((len, sfx)) => *len != bytes.len() || sfx != suffix,
+                None => true,
+            };
+            if needs_rebuild {
+                search = Some(Md5PrefixSearch::from_sample_key(target, bytes));
+                current_suffix = Some((bytes.len(), suffix.to_vec()));
+            }
+            let hit = search.as_ref().expect("just built").matches_key(bytes);
+            if hit {
+                found = Some((id, key.clone()));
+                false
+            } else {
+                true
+            }
+        });
+        found
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eks_keyspace::Charset;
+
+    fn space(order: Order) -> KeySpace {
+        KeySpace::new(Charset::lowercase(), 1, 5, order).unwrap()
+    }
+
+    #[test]
+    fn finds_planted_md5_key_fast_path() {
+        let s = space(Order::FirstCharFastest);
+        let planted = Key::from_bytes(b"zebra");
+        let id = s.id_of(&planted).unwrap();
+        let target = HashAlgo::Md5.hash(planted.as_bytes());
+        let hs = HostSearch::new(HashAlgo::Md5, &target);
+        let hit = hs.search(&s, s.interval()).expect("must find");
+        assert_eq!(hit, (id, planted));
+    }
+
+    #[test]
+    fn finds_planted_md5_key_forward_path() {
+        let s = space(Order::LastCharFastest);
+        let planted = Key::from_bytes(b"dog");
+        let id = s.id_of(&planted).unwrap();
+        let target = HashAlgo::Md5.hash(planted.as_bytes());
+        let hs = HostSearch::new(HashAlgo::Md5, &target);
+        let hit = hs.search(&s, s.interval()).expect("must find");
+        assert_eq!(hit, (id, planted));
+    }
+
+    #[test]
+    fn finds_planted_sha1_key() {
+        let s = space(Order::FirstCharFastest);
+        let planted = Key::from_bytes(b"cat");
+        let target = HashAlgo::Sha1.hash(planted.as_bytes());
+        let hs = HostSearch::new(HashAlgo::Sha1, &target);
+        let hit = hs.search(&s, s.interval()).expect("must find");
+        assert_eq!(hit.1, planted);
+    }
+
+    #[test]
+    fn misses_when_target_outside_interval() {
+        let s = space(Order::FirstCharFastest);
+        let planted = Key::from_bytes(b"zzzzz");
+        let id = s.id_of(&planted).unwrap();
+        let target = HashAlgo::Md5.hash(planted.as_bytes());
+        let hs = HostSearch::new(HashAlgo::Md5, &target);
+        assert!(hs.search(&s, Interval::new(0, id - 10)).is_none());
+    }
+
+    #[test]
+    fn both_md5_paths_agree_on_a_sweep() {
+        // Same target, both orders: the hit key must be identical (the ids
+        // differ because the enumerations differ).
+        let planted = Key::from_bytes(b"mnop");
+        let target = HashAlgo::Md5.hash(planted.as_bytes());
+        let hs = HostSearch::new(HashAlgo::Md5, &target);
+        let fast = hs.search(&space(Order::FirstCharFastest), Interval::new(0, 1 << 22));
+        let slow = hs.search(&space(Order::LastCharFastest), Interval::new(0, 1 << 22));
+        assert_eq!(fast.map(|(_, k)| k), slow.map(|(_, k)| k));
+    }
+
+    #[test]
+    #[should_panic]
+    fn wrong_target_length_rejected() {
+        HostSearch::new(HashAlgo::Md5, &[0u8; 20]);
+    }
+}

@@ -1,0 +1,317 @@
+//! MD5 cracking kernels as executable IR.
+//!
+//! The builder performs the same constant folding `nvcc` applies: IV
+//! words, padding words and `K[i] + w[g]` constants combine at build time,
+//! so the emitted stream contains exactly the instructions a compiled
+//! kernel executes (Tables IV–VI). The IR remains functionally complete —
+//! evaluating it with the runtime message words reproduces real MD5
+//! (tested against `eks-hashes`).
+
+use eks_gpusim::isa::{KernelBuilder, KernelIr, Operand, Reg};
+use eks_hashes::md5::{IV, K, S};
+
+use crate::WordSource;
+
+/// Which MD5 kernel to build.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Md5Variant {
+    /// Full 64 steps + chaining addition per candidate (Cryptohaze-class).
+    Naive,
+    /// 15-step reversal applied: 49 forward steps, compare after step 48.
+    Reversed,
+    /// Reversed + early exit: the comparison anticipates the state
+    /// component produced at step 45, so the average-case trace runs 46
+    /// steps. Rotates by 16 inside this window become `PRMT` on cc 3.0
+    /// (exactly 3 of them — steps 34, 38 and 42).
+    Optimized,
+}
+
+impl Md5Variant {
+    /// Forward steps in the average-case per-candidate trace.
+    pub fn steps(self) -> usize {
+        match self {
+            Md5Variant::Naive => 64,
+            Md5Variant::Reversed => 49,
+            Md5Variant::Optimized => 46,
+        }
+    }
+}
+
+/// A built kernel plus the registers holding its comparison outputs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BuiltKernel {
+    /// The executable IR (one candidate per iteration unless interleaved).
+    pub ir: KernelIr,
+    /// Registers holding the output state words, in comparison order.
+    pub outputs: Vec<Reg>,
+}
+
+/// A value during building: compile-time constant or emitted register.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum V {
+    C(u32),
+    R(Reg),
+}
+
+impl V {
+    fn op(self) -> Operand {
+        match self {
+            V::C(c) => Operand::Imm(c),
+            V::R(r) => Operand::R(r),
+        }
+    }
+}
+
+/// Folding helpers over [`KernelBuilder`] mirroring compiler behaviour.
+struct Fold<'a>(&'a mut KernelBuilder);
+
+impl Fold<'_> {
+    fn add(&mut self, a: V, b: V) -> V {
+        match (a, b) {
+            (V::C(x), V::C(y)) => V::C(x.wrapping_add(y)),
+            _ => V::R(self.0.add(a.op(), b.op())),
+        }
+    }
+
+    fn and(&mut self, a: V, b: V) -> V {
+        match (a, b) {
+            (V::C(x), V::C(y)) => V::C(x & y),
+            _ => V::R(self.0.and(a.op(), b.op())),
+        }
+    }
+
+    fn or(&mut self, a: V, b: V) -> V {
+        match (a, b) {
+            (V::C(x), V::C(y)) => V::C(x | y),
+            _ => V::R(self.0.or(a.op(), b.op())),
+        }
+    }
+
+    fn xor(&mut self, a: V, b: V) -> V {
+        match (a, b) {
+            (V::C(x), V::C(y)) => V::C(x ^ y),
+            _ => V::R(self.0.xor(a.op(), b.op())),
+        }
+    }
+
+    fn not(&mut self, a: V) -> V {
+        match a {
+            V::C(x) => V::C(!x),
+            V::R(_) => V::R(self.0.not(a.op())),
+        }
+    }
+
+    fn rotl(&mut self, a: V, n: u32) -> V {
+        match a {
+            V::C(x) => V::C(x.rotate_left(n)),
+            V::R(_) => V::R(self.0.rotl(a.op(), n)),
+        }
+    }
+
+    /// Sum a list of values with all constants pre-combined — what the
+    /// compiler does to `a + F + K[i] + w[g]` chains.
+    fn sum(&mut self, terms: &[V]) -> V {
+        let mut konst: u32 = 0;
+        let mut acc: Option<V> = None;
+        for &t in terms {
+            match t {
+                V::C(c) => konst = konst.wrapping_add(c),
+                V::R(_) => {
+                    acc = Some(match acc {
+                        None => t,
+                        Some(prev) => self.add(prev, t),
+                    })
+                }
+            }
+        }
+        match acc {
+            None => V::C(konst),
+            Some(v) if konst == 0 => v,
+            Some(v) => self.add(v, V::C(konst)),
+        }
+    }
+
+    fn materialize(&mut self, v: V) -> Reg {
+        match v {
+            V::C(c) => self.0.constant(c),
+            V::R(r) => r,
+        }
+    }
+}
+
+/// The MD5 round function F/G/H/I emitted with folding. `i` is the step.
+fn round_fn(f: &mut Fold, i: usize, b: V, c: V, d: V) -> V {
+    match i / 16 {
+        0 => {
+            // (b & c) | (~b & d)
+            let bc = f.and(b, c);
+            let nb = f.not(b);
+            let nbd = f.and(nb, d);
+            f.or(bc, nbd)
+        }
+        1 => {
+            // (d & b) | (~d & c)
+            let db = f.and(d, b);
+            let nd = f.not(d);
+            let ndc = f.and(nd, c);
+            f.or(db, ndc)
+        }
+        2 => {
+            // b ^ c ^ d
+            let bc = f.xor(b, c);
+            f.xor(bc, d)
+        }
+        _ => {
+            // c ^ (b | ~d)
+            let nd = f.not(d);
+            let bnd = f.or(b, nd);
+            f.xor(c, bnd)
+        }
+    }
+}
+
+/// Message-word index of step `i` (RFC 1321 schedule).
+fn g(i: usize) -> usize {
+    eks_hashes::md5::word_index(i)
+}
+
+/// Build an MD5 kernel for keys of a fixed length (described by `words`).
+pub fn build_md5(variant: Md5Variant, words: &[WordSource; 16]) -> BuiltKernel {
+    let name = format!("md5/{variant:?}").to_ascii_lowercase();
+    let mut b = KernelBuilder::new(name);
+    // Materialize the message words.
+    let w: Vec<V> = words
+        .iter()
+        .map(|s| match *s {
+            WordSource::Const(c) => V::C(c),
+            WordSource::Param(i) => V::R(b.param(i)),
+        })
+        .collect();
+    let mut f = Fold(&mut b);
+    let mut state = [V::C(IV[0]), V::C(IV[1]), V::C(IV[2]), V::C(IV[3])];
+
+    for i in 0..variant.steps() {
+        let [a, bb, c, d] = state;
+        let fv = round_fn(&mut f, i, bb, c, d);
+        let sum = f.sum(&[a, fv, V::C(K[i]), w[g(i)]]);
+        let rot = f.rotl(sum, S[i]);
+        let nb = f.add(bb, rot);
+        state = [d, nb, bb, c];
+    }
+
+    let outputs: Vec<Reg> = match variant {
+        Md5Variant::Naive => {
+            // Chaining addition, then compare all four digest words.
+            let chained = [
+                f.add(state[0], V::C(IV[0])),
+                f.add(state[1], V::C(IV[1])),
+                f.add(state[2], V::C(IV[2])),
+                f.add(state[3], V::C(IV[3])),
+            ];
+            chained.into_iter().map(|v| f.materialize(v)).collect()
+        }
+        Md5Variant::Reversed => {
+            // Compare the state after step 48 against the reverted target.
+            state.into_iter().map(|v| f.materialize(v)).collect()
+        }
+        Md5Variant::Optimized => {
+            // Early exit: the `b` produced at step 45 is the first digest
+            // component to stabilize (it becomes a48); compare it alone in
+            // the average case.
+            vec![f.materialize(state[1])]
+        }
+    };
+
+    // The next operator: advance the low word of the candidate for the
+    // following iteration (FirstCharFastest enumeration touches only the
+    // first block in the common case; the paper measures this at < 1 % of
+    // the hash cost).
+    if let Some(&V::R(w0)) = w.first() {
+        let _ = f.add(V::R(w0), V::C(1));
+    }
+
+    BuiltKernel { ir: b.build(), outputs }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::words_for_key_len;
+    use eks_hashes::md5::{md5_compress, step};
+    use eks_hashes::padding::pad_md5_block;
+
+    /// Run the IR with a real padded block's runtime words and return the
+    /// output register values.
+    fn eval(built: &BuiltKernel, key: &[u8]) -> Vec<u32> {
+        let block = pad_md5_block(key);
+        // Runtime params are the key-bearing words, in order.
+        let n_params = words_for_key_len(key.len())
+            .iter()
+            .filter(|s| matches!(s, WordSource::Param(_)))
+            .count();
+        let params: Vec<u32> = block[..n_params].to_vec();
+        let regs = built.ir.evaluate(&params);
+        built.outputs.iter().map(|r| regs[r.0 as usize]).collect()
+    }
+
+    #[test]
+    fn naive_kernel_computes_real_md5() {
+        for key in [&b"Zb3q"[..], b"a", b"hunter2", b"0123456789ab"] {
+            let words = words_for_key_len(key.len());
+            let built = build_md5(Md5Variant::Naive, &words);
+            let got = eval(&built, key);
+            let want = md5_compress(IV, &pad_md5_block(key));
+            assert_eq!(got, want.to_vec(), "key {key:?}");
+        }
+    }
+
+    #[test]
+    fn reversed_kernel_computes_state_after_step_48() {
+        let key = b"Zb3q";
+        let words = words_for_key_len(key.len());
+        let built = build_md5(Md5Variant::Reversed, &words);
+        let got = eval(&built, key);
+        let block = pad_md5_block(key);
+        let mut s = IV;
+        for i in 0..49 {
+            s = step(i, s, &block);
+        }
+        assert_eq!(got, s.to_vec());
+    }
+
+    #[test]
+    fn optimized_kernel_computes_b45() {
+        let key = b"Zb3q";
+        let words = words_for_key_len(key.len());
+        let built = build_md5(Md5Variant::Optimized, &words);
+        let got = eval(&built, key);
+        let block = pad_md5_block(key);
+        let mut s = IV;
+        for i in 0..46 {
+            s = step(i, s, &block);
+        }
+        // b45 equals a48: the first digest component to stabilize.
+        let mut s48 = s;
+        for i in 46..49 {
+            s48 = step(i, s48, &block);
+        }
+        assert_eq!(got, vec![s[1]]);
+        assert_eq!(s[1], s48[0], "b45 must equal a48 (early-exit identity)");
+    }
+
+    #[test]
+    fn variant_step_counts() {
+        assert_eq!(Md5Variant::Naive.steps(), 64);
+        assert_eq!(Md5Variant::Reversed.steps(), 49);
+        assert_eq!(Md5Variant::Optimized.steps(), 46);
+    }
+
+    #[test]
+    fn optimized_window_contains_exactly_three_rot16() {
+        // Steps 34, 38, 42 rotate by 16 — the PRMT count of Table VI.
+        let in_window = (0..46).filter(|&i| S[i] == 16).count();
+        assert_eq!(in_window, 3);
+        // Step 46 would be the fourth.
+        assert_eq!(S[46], 16);
+    }
+}

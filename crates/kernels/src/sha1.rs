@@ -1,0 +1,315 @@
+//! SHA-1 cracking kernels as executable IR.
+//!
+//! "The same kind of analysis and optimizations were applied to the
+//! implementation of the SHA1 hash function" (Section V-B). SHA-1's
+//! message schedule makes the full 15-step-style reversal impossible —
+//! every late `W[i]` depends on `W[0]` — but the early-exit applies: the
+//! digest's `e` component equals `rotl30(a75)`, so the comparison can fire
+//! after round 75, and the last schedule expansions are never computed in
+//! the average case.
+
+use eks_gpusim::isa::{KernelBuilder, KernelIr, Operand, Reg};
+use eks_hashes::sha1::{IV, K};
+
+use crate::WordSource;
+
+/// Which SHA-1 kernel to build.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Sha1Variant {
+    /// Full 80 rounds + chaining per candidate.
+    Naive,
+    /// Early exit after round 75 against the chaining-subtracted,
+    /// un-rotated target component; average-case trace is 76 rounds.
+    Optimized,
+}
+
+impl Sha1Variant {
+    /// Rounds in the average-case per-candidate trace.
+    pub fn rounds(self) -> usize {
+        match self {
+            Sha1Variant::Naive => 80,
+            Sha1Variant::Optimized => 76,
+        }
+    }
+}
+
+/// A built SHA-1 kernel plus its comparison output registers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BuiltKernel {
+    /// The executable IR.
+    pub ir: KernelIr,
+    /// Output state words (5 chained words for naive; `a75` for optimized).
+    pub outputs: Vec<Reg>,
+}
+
+/// Message-word layout for SHA-1 (big-endian packing): bit length lives in
+/// `w[15]`, the terminator byte in the high byte of its word.
+pub fn sha1_words_for_key_len(key_len: usize) -> [WordSource; 16] {
+    assert!(key_len <= 20, "paper caps keys at 20 characters");
+    let mut words = [WordSource::Const(0); 16];
+    let full_words = key_len / 4;
+    let mut param = 0u32;
+    for w in words.iter_mut().take(full_words) {
+        *w = WordSource::Param(param);
+        param += 1;
+    }
+    if !key_len.is_multiple_of(4) {
+        words[full_words] = WordSource::Param(param);
+    } else {
+        // Big-endian: 0x80 is the most significant byte of the next word.
+        words[full_words] = WordSource::Const(0x8000_0000);
+    }
+    words[15] = WordSource::Const((key_len as u32) * 8);
+    words
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum V {
+    C(u32),
+    R(Reg),
+}
+
+impl V {
+    fn op(self) -> Operand {
+        match self {
+            V::C(c) => Operand::Imm(c),
+            V::R(r) => Operand::R(r),
+        }
+    }
+}
+
+struct Fold<'a>(&'a mut KernelBuilder);
+
+impl Fold<'_> {
+    fn add(&mut self, a: V, b: V) -> V {
+        match (a, b) {
+            (V::C(x), V::C(y)) => V::C(x.wrapping_add(y)),
+            _ => V::R(self.0.add(a.op(), b.op())),
+        }
+    }
+
+    fn and(&mut self, a: V, b: V) -> V {
+        match (a, b) {
+            (V::C(x), V::C(y)) => V::C(x & y),
+            _ => V::R(self.0.and(a.op(), b.op())),
+        }
+    }
+
+    fn or(&mut self, a: V, b: V) -> V {
+        match (a, b) {
+            (V::C(x), V::C(y)) => V::C(x | y),
+            _ => V::R(self.0.or(a.op(), b.op())),
+        }
+    }
+
+    fn xor(&mut self, a: V, b: V) -> V {
+        match (a, b) {
+            (V::C(x), V::C(y)) => V::C(x ^ y),
+            _ => V::R(self.0.xor(a.op(), b.op())),
+        }
+    }
+
+    fn not(&mut self, a: V) -> V {
+        match a {
+            V::C(x) => V::C(!x),
+            V::R(_) => V::R(self.0.not(a.op())),
+        }
+    }
+
+    fn rotl(&mut self, a: V, n: u32) -> V {
+        match a {
+            V::C(x) => V::C(x.rotate_left(n)),
+            V::R(_) => V::R(self.0.rotl(a.op(), n)),
+        }
+    }
+
+    fn sum(&mut self, terms: &[V]) -> V {
+        let mut konst: u32 = 0;
+        let mut acc: Option<V> = None;
+        for &t in terms {
+            match t {
+                V::C(c) => konst = konst.wrapping_add(c),
+                V::R(_) => {
+                    acc = Some(match acc {
+                        None => t,
+                        Some(prev) => self.add(prev, t),
+                    })
+                }
+            }
+        }
+        match acc {
+            None => V::C(konst),
+            Some(v) if konst == 0 => v,
+            Some(v) => self.add(v, V::C(konst)),
+        }
+    }
+
+    fn materialize(&mut self, v: V) -> Reg {
+        match v {
+            V::C(c) => self.0.constant(c),
+            V::R(r) => r,
+        }
+    }
+}
+
+/// Round function Ch / Parity / Maj with folding.
+fn round_fn(f: &mut Fold, i: usize, b: V, c: V, d: V) -> V {
+    match i / 20 {
+        0 => {
+            // (b & c) | (~b & d)
+            let bc = f.and(b, c);
+            let nb = f.not(b);
+            let nbd = f.and(nb, d);
+            f.or(bc, nbd)
+        }
+        2 => {
+            // (b & c) | (b & d) | (c & d)
+            let bc = f.and(b, c);
+            let bd = f.and(b, d);
+            let cd = f.and(c, d);
+            let o = f.or(bc, bd);
+            f.or(o, cd)
+        }
+        _ => {
+            // b ^ c ^ d
+            let bc = f.xor(b, c);
+            f.xor(bc, d)
+        }
+    }
+}
+
+/// Build a SHA-1 kernel for keys of a fixed length.
+pub fn build_sha1(variant: Sha1Variant, words: &[WordSource; 16]) -> BuiltKernel {
+    let name = format!("sha1/{variant:?}").to_ascii_lowercase();
+    let mut b = KernelBuilder::new(name);
+    let w0_16: Vec<V> = words
+        .iter()
+        .map(|s| match *s {
+            WordSource::Const(c) => V::C(c),
+            WordSource::Param(i) => V::R(b.param(i)),
+        })
+        .collect();
+    let mut f = Fold(&mut b);
+
+    let rounds = variant.rounds();
+    // Rolling message schedule, expanded on demand: round `i` needs `W[i]`,
+    // and the optimized variant never computes the expansions past the
+    // early-exit round.
+    let mut w: Vec<V> = w0_16.clone();
+    let mut state = [V::C(IV[0]), V::C(IV[1]), V::C(IV[2]), V::C(IV[3]), V::C(IV[4])];
+
+    for i in 0..rounds {
+        if i >= 16 {
+            debug_assert_eq!(w.len(), i);
+            let x1 = f.xor(w[i - 3], w[i - 8]);
+            let x2 = f.xor(x1, w[i - 14]);
+            let x3 = f.xor(x2, w[i - 16]);
+            let wi = f.rotl(x3, 1);
+            w.push(wi);
+        }
+        let [a, bb, c, d, e] = state;
+        let fv = round_fn(&mut f, i, bb, c, d);
+        let rot5 = f.rotl(a, 5);
+        let temp = f.sum(&[rot5, fv, e, V::C(K[i / 20]), w[i]]);
+        let b30 = f.rotl(bb, 30);
+        state = [temp, a, b30, c, d];
+    }
+
+    let outputs: Vec<Reg> = match variant {
+        Sha1Variant::Naive => {
+            let chained = [
+                f.add(state[0], V::C(IV[0])),
+                f.add(state[1], V::C(IV[1])),
+                f.add(state[2], V::C(IV[2])),
+                f.add(state[3], V::C(IV[3])),
+                f.add(state[4], V::C(IV[4])),
+            ];
+            chained.into_iter().map(|v| f.materialize(v)).collect()
+        }
+        Sha1Variant::Optimized => {
+            // After 76 rounds, state[0] is a75; the final digest's `e`
+            // component equals rotl30(a75) + IV[4], so comparing a75
+            // against the precomputed rotr30(e_target - IV[4]) suffices in
+            // the average case.
+            vec![f.materialize(state[0])]
+        }
+    };
+
+    // The next operator on the low candidate word.
+    if let Some(&V::R(w0)) = w0_16.first() {
+        let _ = f.add(V::R(w0), V::C(1));
+    }
+
+    BuiltKernel { ir: b.build(), outputs }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eks_hashes::padding::pad_sha_block;
+    use eks_hashes::sha1::{expand_schedule, round, sha1_compress};
+
+    fn eval(built: &BuiltKernel, key: &[u8]) -> Vec<u32> {
+        let block = pad_sha_block(key);
+        let n_params = sha1_words_for_key_len(key.len())
+            .iter()
+            .filter(|s| matches!(s, WordSource::Param(_)))
+            .count();
+        let params: Vec<u32> = block[..n_params].to_vec();
+        let regs = built.ir.evaluate(&params);
+        built.outputs.iter().map(|r| regs[r.0 as usize]).collect()
+    }
+
+    #[test]
+    fn naive_kernel_computes_real_sha1() {
+        for key in [&b"Zb3q"[..], b"a", b"hunter2", b"0123456789ab"] {
+            let words = sha1_words_for_key_len(key.len());
+            let built = build_sha1(Sha1Variant::Naive, &words);
+            let got = eval(&built, key);
+            let want = sha1_compress(IV, &pad_sha_block(key));
+            assert_eq!(got, want.to_vec(), "key {key:?}");
+        }
+    }
+
+    #[test]
+    fn optimized_kernel_computes_a75() {
+        let key = b"Zb3q";
+        let words = sha1_words_for_key_len(key.len());
+        let built = build_sha1(Sha1Variant::Optimized, &words);
+        let got = eval(&built, key);
+        // Forward-run 76 rounds with the real implementation.
+        let block = pad_sha_block(key);
+        let sched = expand_schedule(&block);
+        let mut s = IV;
+        for i in 0..76 {
+            s = round(i, s, sched[i]);
+        }
+        assert_eq!(got, vec![s[0]]);
+        // The early-exit identity: e_final = rotl30(a75) + IV[4].
+        let full = sha1_compress(IV, &block);
+        assert_eq!(full[4], s[0].rotate_left(30).wrapping_add(IV[4]));
+    }
+
+    #[test]
+    fn word_layout_big_endian() {
+        let w = sha1_words_for_key_len(4);
+        assert_eq!(w[0], WordSource::Param(0));
+        assert_eq!(w[1], WordSource::Const(0x8000_0000));
+        assert_eq!(w[15], WordSource::Const(32));
+        assert_eq!(w[14], WordSource::Const(0));
+    }
+
+    #[test]
+    fn round_counts() {
+        assert_eq!(Sha1Variant::Naive.rounds(), 80);
+        assert_eq!(Sha1Variant::Optimized.rounds(), 76);
+    }
+
+    #[test]
+    fn optimized_is_smaller_than_naive() {
+        let words = sha1_words_for_key_len(4);
+        let n = build_sha1(Sha1Variant::Naive, &words);
+        let o = build_sha1(Sha1Variant::Optimized, &words);
+        assert!(o.ir.ops.len() < n.ir.ops.len());
+    }
+}

@@ -1,0 +1,202 @@
+//! Character sets: ordered pools of distinct byte symbols.
+
+use std::fmt;
+
+/// An ordered set of distinct byte symbols over which keys are enumerated.
+///
+/// Symbol order defines the enumeration order: the symbol at index 0 is the
+/// "zero digit" of the bijective numeral system (the first key of every
+/// length is `charset[0]` repeated).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Charset {
+    symbols: Vec<u8>,
+    /// Reverse map: byte -> index + 1 (0 means absent). Makes `index_of`
+    /// O(1), which `decode` needs on every character.
+    reverse: Box<[u8; 256]>,
+}
+
+/// Error building a charset from bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CharsetError {
+    /// The input was empty.
+    Empty,
+    /// The input held more than 255 symbols (index must fit in a byte + 1).
+    TooLarge,
+    /// The byte appears more than once.
+    Duplicate(u8),
+}
+
+impl fmt::Display for CharsetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CharsetError::Empty => write!(f, "charset must not be empty"),
+            CharsetError::TooLarge => write!(f, "charset holds more than 255 symbols"),
+            CharsetError::Duplicate(b) => write!(f, "duplicate symbol {b:#04x} in charset"),
+        }
+    }
+}
+
+impl std::error::Error for CharsetError {}
+
+impl Charset {
+    /// Build a charset from a byte slice. Order is preserved; duplicates
+    /// are rejected.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, CharsetError> {
+        if bytes.is_empty() {
+            return Err(CharsetError::Empty);
+        }
+        if bytes.len() > 255 {
+            return Err(CharsetError::TooLarge);
+        }
+        let mut reverse = Box::new([0u8; 256]);
+        for (i, &b) in bytes.iter().enumerate() {
+            if reverse[b as usize] != 0 {
+                return Err(CharsetError::Duplicate(b));
+            }
+            reverse[b as usize] = (i + 1) as u8;
+        }
+        Ok(Self { symbols: bytes.to_vec(), reverse })
+    }
+
+    /// `a..=z` (26 symbols).
+    pub fn lowercase() -> Self {
+        Self::from_bytes(&(b'a'..=b'z').collect::<Vec<_>>()).expect("static charset")
+    }
+
+    /// `A..=Z` (26 symbols).
+    pub fn uppercase() -> Self {
+        Self::from_bytes(&(b'A'..=b'Z').collect::<Vec<_>>()).expect("static charset")
+    }
+
+    /// `0..=9` (10 symbols).
+    pub fn digits() -> Self {
+        Self::from_bytes(&(b'0'..=b'9').collect::<Vec<_>>()).expect("static charset")
+    }
+
+    /// Lower- and upper-case letters (52 symbols) — the charset of the
+    /// paper's introduction example.
+    pub fn alpha() -> Self {
+        let mut v: Vec<u8> = (b'a'..=b'z').collect();
+        v.extend(b'A'..=b'Z');
+        Self::from_bytes(&v).expect("static charset")
+    }
+
+    /// Letters and digits (62 symbols) — the search space of the paper's
+    /// evaluation ("up to 8 alphanumeric characters, both lower and upper
+    /// cases").
+    pub fn alphanumeric() -> Self {
+        let mut v: Vec<u8> = (b'a'..=b'z').collect();
+        v.extend(b'A'..=b'Z');
+        v.extend(b'0'..=b'9');
+        Self::from_bytes(&v).expect("static charset")
+    }
+
+    /// All printable ASCII (95 symbols, space through `~`).
+    pub fn printable_ascii() -> Self {
+        Self::from_bytes(&(b' '..=b'~').collect::<Vec<_>>()).expect("static charset")
+    }
+
+    /// Number of symbols (the base `N` of the numeral system).
+    pub fn len(&self) -> usize {
+        self.symbols.len()
+    }
+
+    /// True when the charset is empty (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.symbols.is_empty()
+    }
+
+    /// The symbol at digit index `i`.
+    ///
+    /// # Panics
+    /// Panics when `i >= len()`.
+    #[inline]
+    pub fn symbol(&self, i: usize) -> u8 {
+        self.symbols[i]
+    }
+
+    /// Digit index of `byte`, or `None` when it is not in the charset.
+    #[inline]
+    pub fn index_of(&self, byte: u8) -> Option<usize> {
+        match self.reverse[byte as usize] {
+            0 => None,
+            i => Some(i as usize - 1),
+        }
+    }
+
+    /// The first symbol (digit 0).
+    #[inline]
+    pub fn first(&self) -> u8 {
+        self.symbols[0]
+    }
+
+    /// The last symbol (digit N-1).
+    #[inline]
+    pub fn last(&self) -> u8 {
+        *self.symbols.last().expect("charset is non-empty")
+    }
+
+    /// All symbols in digit order.
+    pub fn symbols(&self) -> &[u8] {
+        &self.symbols
+    }
+}
+
+impl fmt::Display for Charset {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", String::from_utf8_lossy(&self.symbols))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders_have_expected_sizes() {
+        assert_eq!(Charset::lowercase().len(), 26);
+        assert_eq!(Charset::uppercase().len(), 26);
+        assert_eq!(Charset::digits().len(), 10);
+        assert_eq!(Charset::alpha().len(), 52);
+        assert_eq!(Charset::alphanumeric().len(), 62);
+        assert_eq!(Charset::printable_ascii().len(), 95);
+    }
+
+    #[test]
+    fn index_of_round_trips() {
+        let cs = Charset::alphanumeric();
+        for i in 0..cs.len() {
+            assert_eq!(cs.index_of(cs.symbol(i)), Some(i));
+        }
+        assert_eq!(cs.index_of(b'!'), None);
+    }
+
+    #[test]
+    fn rejects_empty_and_duplicates() {
+        assert_eq!(Charset::from_bytes(b""), Err(CharsetError::Empty));
+        assert_eq!(Charset::from_bytes(b"aba"), Err(CharsetError::Duplicate(b'a')));
+    }
+
+    #[test]
+    fn rejects_oversized() {
+        let all: Vec<u8> = (0..=255u8).collect();
+        assert_eq!(Charset::from_bytes(&all), Err(CharsetError::TooLarge));
+        let most: Vec<u8> = (0..255u8).collect();
+        assert!(Charset::from_bytes(&most).is_ok());
+    }
+
+    #[test]
+    fn first_and_last() {
+        let cs = Charset::from_bytes(b"xyz").unwrap();
+        assert_eq!(cs.first(), b'x');
+        assert_eq!(cs.last(), b'z');
+        assert_eq!(cs.to_string(), "xyz");
+    }
+
+    #[test]
+    fn order_is_preserved() {
+        let cs = Charset::from_bytes(b"zya").unwrap();
+        assert_eq!(cs.symbol(0), b'z');
+        assert_eq!(cs.symbol(2), b'a');
+    }
+}

@@ -1,0 +1,189 @@
+//! Identifier intervals: the unit of work the dispatcher scatters.
+//!
+//! An interval is the "minimum data needed to generate the candidate
+//! solutions" that the master sends each node (Section III) — under 1 KB,
+//! as the paper requires: two `u128`s plus the charset description.
+
+/// A half-open identifier range `[start, start + len)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Interval {
+    /// First identifier.
+    pub start: u128,
+    /// Number of identifiers.
+    pub len: u128,
+}
+
+impl Interval {
+    /// Create an interval.
+    ///
+    /// # Panics
+    /// Panics when `start + len` overflows `u128`.
+    pub fn new(start: u128, len: u128) -> Self {
+        assert!(start.checked_add(len).is_some(), "interval end overflows u128");
+        Self { start, len }
+    }
+
+    /// One identifier past the end.
+    pub fn end(&self) -> u128 {
+        self.start + self.len
+    }
+
+    /// True when `len == 0`.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Whether `id` falls inside the interval.
+    pub fn contains(&self, id: u128) -> bool {
+        id >= self.start && id < self.end()
+    }
+
+    /// Intersect with another interval.
+    pub fn intersect(&self, other: &Interval) -> Interval {
+        let start = self.start.max(other.start);
+        let end = self.end().min(other.end());
+        Interval { start, len: end.saturating_sub(start) }
+    }
+
+    /// Remove a prefix of up to `n` identifiers, returning it. The
+    /// remainder stays in `self`. This is the dispatcher's "pop the next
+    /// chunk" primitive.
+    pub fn take_front(&mut self, n: u128) -> Interval {
+        let take = n.min(self.len);
+        let front = Interval { start: self.start, len: take };
+        self.start += take;
+        self.len -= take;
+        front
+    }
+
+    /// Split into `parts` near-equal consecutive chunks (earlier chunks get
+    /// the remainder). Zero-length chunks appear when `parts > len`.
+    pub fn split_even(&self, parts: usize) -> Vec<Interval> {
+        assert!(parts > 0, "cannot split into zero parts");
+        let p = parts as u128;
+        let base = self.len / p;
+        let extra = self.len % p;
+        let mut out = Vec::with_capacity(parts);
+        let mut cursor = self.start;
+        for i in 0..p {
+            let len = base + u128::from(i < extra);
+            out.push(Interval { start: cursor, len });
+            cursor += len;
+        }
+        out
+    }
+
+    /// Split proportionally to `weights` (the balancing step's `N_j`
+    /// ratios). The full interval is always covered; rounding residue goes
+    /// to the heaviest weight. All-zero weights fall back to an even split.
+    pub fn split_weighted(&self, weights: &[f64]) -> Vec<Interval> {
+        assert!(!weights.is_empty(), "cannot split by zero weights");
+        assert!(
+            weights.iter().all(|w| w.is_finite() && *w >= 0.0),
+            "weights must be finite and non-negative"
+        );
+        let total: f64 = weights.iter().sum();
+        if total <= 0.0 {
+            return self.split_even(weights.len());
+        }
+        let mut sizes: Vec<u128> = weights
+            .iter()
+            .map(|w| ((self.len as f64) * (w / total)).floor() as u128)
+            .collect();
+        let assigned: u128 = sizes.iter().sum();
+        let mut residue = self.len - assigned;
+        // Give the residue to the heaviest nodes, one identifier at a time
+        // (residue < parts, so this is cheap).
+        let mut order: Vec<usize> = (0..weights.len()).collect();
+        order.sort_by(|&a, &b| weights[b].partial_cmp(&weights[a]).expect("finite weights"));
+        let mut i = 0;
+        while residue > 0 {
+            sizes[order[i % order.len()]] += 1;
+            residue -= 1;
+            i += 1;
+        }
+        let mut out = Vec::with_capacity(weights.len());
+        let mut cursor = self.start;
+        for len in sizes {
+            out.push(Interval { start: cursor, len });
+            cursor += len;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basics() {
+        let iv = Interval::new(10, 5);
+        assert_eq!(iv.end(), 15);
+        assert!(iv.contains(10) && iv.contains(14));
+        assert!(!iv.contains(15) && !iv.contains(9));
+        assert!(!iv.is_empty());
+        assert!(Interval::new(3, 0).is_empty());
+    }
+
+    #[test]
+    fn intersect() {
+        let a = Interval::new(0, 10);
+        let b = Interval::new(5, 10);
+        assert_eq!(a.intersect(&b), Interval::new(5, 5));
+        let c = Interval::new(20, 5);
+        assert!(a.intersect(&c).is_empty());
+    }
+
+    #[test]
+    fn take_front_consumes() {
+        let mut iv = Interval::new(0, 10);
+        assert_eq!(iv.take_front(4), Interval::new(0, 4));
+        assert_eq!(iv, Interval::new(4, 6));
+        assert_eq!(iv.take_front(100), Interval::new(4, 6));
+        assert!(iv.is_empty());
+    }
+
+    #[test]
+    fn split_even_covers_everything() {
+        let iv = Interval::new(7, 10);
+        let parts = iv.split_even(3);
+        assert_eq!(parts.len(), 3);
+        assert_eq!(parts.iter().map(|p| p.len).sum::<u128>(), 10);
+        assert_eq!(parts[0], Interval::new(7, 4));
+        assert_eq!(parts[1], Interval::new(11, 3));
+        assert_eq!(parts[2], Interval::new(14, 3));
+    }
+
+    #[test]
+    fn split_weighted_is_proportional_and_complete() {
+        let iv = Interval::new(0, 1000);
+        let parts = iv.split_weighted(&[3.0, 1.0]);
+        assert_eq!(parts[0].len, 750);
+        assert_eq!(parts[1].len, 250);
+        assert_eq!(parts[0].end(), parts[1].start);
+    }
+
+    #[test]
+    fn split_weighted_residue_goes_to_heaviest() {
+        let iv = Interval::new(0, 10);
+        let parts = iv.split_weighted(&[1.0, 1.0, 1.0]);
+        assert_eq!(parts.iter().map(|p| p.len).sum::<u128>(), 10);
+        // 10/3: the heaviest (ties: first listed) absorb the residue.
+        assert_eq!(parts.iter().map(|p| p.len).max(), Some(4));
+    }
+
+    #[test]
+    fn split_weighted_zero_weights_falls_back_even() {
+        let iv = Interval::new(0, 9);
+        let parts = iv.split_weighted(&[0.0, 0.0, 0.0]);
+        assert_eq!(parts.iter().map(|p| p.len).sum::<u128>(), 9);
+        assert_eq!(parts[0].len, 3);
+    }
+
+    #[test]
+    #[should_panic]
+    fn overflowing_interval_rejected() {
+        Interval::new(u128::MAX, 2);
+    }
+}

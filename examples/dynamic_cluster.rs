@@ -1,0 +1,98 @@
+//! Operating a dynamic cluster (the paper's §III runtime-reconfiguration
+//! extension): nodes join, leave and get re-tuned while a long search
+//! runs; the master rebalances at every membership change. Offline
+//! model-fitting replaces the online tuning pass for the joining node.
+//!
+//! Run with: `cargo run --release --example dynamic_cluster`
+
+use eks::cluster::model::{calibrate, FittedModel};
+use eks::cluster::{
+    run_dynamic, tune_device, AchievedModel, DynamicConfig, MembershipEvent, ScheduledEvent,
+};
+use eks::gpusim::device::Device;
+use eks::hashes::HashAlgo;
+use eks::kernels::Tool;
+use eks::keyspace::Interval;
+
+fn main() {
+    // Start with two of the paper's nodes.
+    let gtx660 = tune_device(
+        &Device::geforce_gtx_660(),
+        Tool::OurApproach,
+        HashAlgo::Md5,
+        AchievedModel::Analytic,
+    );
+    let gt540m = tune_device(
+        &Device::geforce_gt_540m(),
+        Tool::OurApproach,
+        HashAlgo::Md5,
+        AchievedModel::Analytic,
+    );
+    println!(
+        "initial members: GTX660 {:.0} MKey/s, GT540M {:.0} MKey/s",
+        gtx660.achieved_mkeys, gt540m.achieved_mkeys
+    );
+
+    // A volunteer offers a CPU box; calibrate it offline with the fitted
+    // affine model T(n) = overhead + n / rate instead of a live tuning
+    // pass (paper: "an approximated model could be built offline").
+    let cpu_model: FittedModel = calibrate(&[50_000, 100_000, 200_000], |n| {
+        use eks::cracker::{crack_parallel, ParallelConfig, TargetSet};
+        use eks::keyspace::{Charset, KeySpace, Order};
+        let space = KeySpace::new(Charset::lowercase(), 1, 8, Order::FirstCharFastest).unwrap();
+        let t = TargetSet::new(HashAlgo::Md5, &[vec![0u8; 16]]);
+        crack_parallel(
+            &space,
+            &t,
+            Interval::new(0, n as u128),
+            ParallelConfig { threads: 4, chunk: 1 << 12, first_hit_only: false },
+        )
+        .elapsed_s
+    })
+    .expect("calibration fits");
+    println!(
+        "volunteer CPU calibrated offline: {:.2} MKey/s, {:.2} ms overhead (R² {:.4})",
+        cpu_model.mkeys(),
+        cpu_model.overhead_s * 1e3,
+        cpu_model.r_squared
+    );
+
+    // A day in the life: the CPU joins, the 540M laptop leaves (lid
+    // closed), the 660 gets thermally throttled and re-tunes lower.
+    let events = vec![
+        ScheduledEvent {
+            before_round: 5,
+            event: MembershipEvent::Join { name: "volunteer-cpu".into(), mkeys: cpu_model.mkeys() },
+        },
+        ScheduledEvent {
+            before_round: 12,
+            event: MembershipEvent::Leave { name: "GT540M".into() },
+        },
+        ScheduledEvent {
+            before_round: 20,
+            event: MembershipEvent::Retune {
+                name: "GTX660".into(),
+                mkeys: gtx660.achieved_mkeys * 0.8,
+            },
+        },
+    ];
+    let report = run_dynamic(
+        &[
+            ("GTX660", gtx660.achieved_mkeys),
+            ("GT540M", gt540m.achieved_mkeys),
+        ],
+        Interval::new(0, 60_000_000_000),
+        DynamicConfig { round_keys: 2_000_000_000, round_overhead_s: 5e-3 },
+        &events,
+    );
+
+    println!("\nsearch of 6e10 keys over {} rounds ({} rebalances):", report.rounds, report.rebalances);
+    for (name, keys) in &report.per_member {
+        println!("  {name:<16} {keys:>16} keys");
+    }
+    println!(
+        "covered {} keys in {:.1} s of virtual time",
+        report.covered, report.makespan_s
+    );
+    assert_eq!(report.covered, 60_000_000_000);
+}

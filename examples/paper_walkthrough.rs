@@ -1,0 +1,68 @@
+//! Section III, numerically: measure the paper's cost quantities on this
+//! host, derive the efficiency claims from them, and run the balancing
+//! algebra end-to-end.
+//!
+//! Run with: `cargo run --release --example paper_walkthrough`
+
+use eks::core::cost::{measure_cost_model, DispatchCosts};
+use eks::core::partition::{balance_workloads, parallel_efficiency, NodeRate};
+use eks::hashes::HashAlgo;
+use eks::keyspace::{Charset, Key, KeySpace, Order};
+
+fn main() {
+    let space = KeySpace::new(Charset::alphanumeric(), 1, 8, Order::FirstCharFastest).unwrap();
+    let target = HashAlgo::Md5.hash(b"unreach@"); // never found: pure test cost
+    let test = move |_id: u128, k: &Key| (HashAlgo::Md5.hash(k.as_bytes()) == target).then_some(());
+
+    // --- III-A: the cost quantities, measured.
+    let m = measure_cost_model(&space, &test, 1 << 40, 200_000);
+    println!("measured per-candidate costs (ns):");
+    println!("  K_f    = {:>8.1}   (generate from identifier, Fig. 1)", m.k_f);
+    println!("  K_next = {:>8.1}   (advance in place, Fig. 2)", m.k_next);
+    println!("  K_C    = {:>8.1}   (MD5 + compare)", m.k_c);
+    assert!(m.k_next < m.k_f, "the asymmetry the pattern exploits");
+
+    // K_search for both enumeration strategies.
+    let n = 10_000_000u64;
+    println!("\nK_search for n = {n} candidates:");
+    println!(
+        "  incremental (f once + next): {:>10.1} ms",
+        m.k_search_incremental(n) / 1e6
+    );
+    println!(
+        "  regenerating (f every key) : {:>10.1} ms",
+        m.k_search_regenerating(n) / 1e6
+    );
+    println!(
+        "  process efficiency          : {:.2}% (asymptote {:.2}%)",
+        m.efficiency(n).percent(),
+        m.asymptotic_efficiency().percent()
+    );
+
+    // --- III: the K_D dispatch bounds for a 3-node example.
+    let d = DispatchCosts::new(
+        vec![(0.002, 1.20, 0.002), (0.002, 1.18, 0.002), (0.004, 1.22, 0.004)],
+        0.001,
+    );
+    println!("\ndispatch-cost bounds for one round (seconds):");
+    println!("  K_D lower bound = {:.4}", d.k_d_lower());
+    println!("  K_D upper bound = {:.4}", d.k_d_upper());
+    println!("  dominant search = {:.4}  (the slowest node, as §III concludes)", d.dominant_search());
+
+    // --- III: tuning + balancing on heterogeneous rates.
+    let rates = vec![
+        NodeRate::new(1841.0, 36_500_000), // GTX 660 tuned numbers
+        NodeRate::new(654.0, 13_000_000),  // GTX 550 Ti
+        NodeRate::new(71.0, 1_500_000),    // 8600M GT
+    ];
+    let a = balance_workloads(&rates);
+    println!("\nbalanced assignment N_j = N_max · X_j / X_max:");
+    for (r, nj) in rates.iter().zip(&a.sizes) {
+        println!("  X_j = {:>7.0} MK/s  ->  N_j = {nj}", r.throughput);
+    }
+    println!(
+        "  round total {} keys, predicted parallel efficiency {:.4}",
+        a.round_total(),
+        parallel_efficiency(&a.sizes, &rates)
+    );
+}

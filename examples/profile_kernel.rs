@@ -1,0 +1,44 @@
+//! The §V methodology end-to-end: inspect the compiled kernel the way the
+//! authors did with `cuobjdump -sass`, then profile it the way they did
+//! with the CUDA profiler — all on the simulator.
+//!
+//! Run with: `cargo run --release --example profile_kernel`
+
+use eks::gpusim::codegen::lower;
+use eks::gpusim::device::DeviceCatalog;
+use eks::gpusim::sched::{simulate, SimConfig};
+use eks::gpusim::{disasm, ProfilerReport};
+use eks::hashes::HashAlgo;
+use eks::kernels::{Tool, ToolKernel};
+
+fn main() {
+    // Pick the two architectures the paper contrasts: Fermi (issue-bound)
+    // and Kepler (shift-port-bound).
+    for pattern in ["550", "660"] {
+        let device = DeviceCatalog::find(pattern).expect("catalog device");
+        let tk = ToolKernel::build(Tool::OurApproach, HashAlgo::Md5, device.cc);
+        let kernel = lower(&tk.ir, tk.options);
+
+        // The cuobjdump view: first lines + the per-class summary.
+        let listing = disasm(&kernel);
+        println!("===== {} =====", device.name);
+        for line in listing.lines().take(6) {
+            println!("{line}");
+        }
+        println!("  ...");
+        for line in listing.lines().filter(|l| l.starts_with("// ") && !l.contains("kernel")) {
+            println!("{line}");
+        }
+
+        // The profiler view.
+        let cfg = SimConfig::for_cc(device.cc);
+        let sim = simulate(&kernel, cfg);
+        let report = ProfilerReport::new(&kernel, &sim, cfg.warps);
+        println!("\nprofile:");
+        print!("{}", report.render());
+        println!("throughput        : {:.1} MKey/s\n", sim.device_mkeys(&device));
+    }
+    println!("the contrast the paper draws: Fermi idles a third of its lanes for");
+    println!("lack of dual-issue (bottleneck: IssueBandwidth); Kepler saturates its");
+    println!("single shift-capable group (bottleneck: ShiftPort) at ~99% efficiency.");
+}

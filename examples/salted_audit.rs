@@ -1,0 +1,86 @@
+//! A password-audit session (the paper's Section I motivation: "in some
+//! working environments it is a standard procedure to make periodic
+//! cracking tests, called auditing sessions").
+//!
+//! Cracks a small table of salted and unsalted hashes in one sweep,
+//! demonstrating why salting defeats precomputation (every digest is
+//! different) but not brute force (the salt is known, the search space is
+//! unchanged).
+//!
+//! Run with: `cargo run --release --example salted_audit`
+
+use eks::cracker::{crack_parallel, HashTarget, ParallelConfig, TargetSet};
+use eks::hashes::{to_hex, HashAlgo};
+use eks::keyspace::{Charset, Interval, KeySpace, Order};
+
+fn main() {
+    let algo = HashAlgo::Sha1;
+    let salt = b"$corp2014$";
+
+    // The "leaked database": user, salted digest. Weak passwords only —
+    // that is what audits look for.
+    let users: Vec<(&str, &[u8])> = vec![("alice", b"abc"), ("bob", b"kiwi"), ("carol", b"zz9")];
+    let table: Vec<(String, HashTarget)> = users
+        .iter()
+        .map(|(user, pw)| {
+            let mut msg = salt.to_vec();
+            msg.extend_from_slice(*pw);
+            let digest = algo.hash_long(&msg);
+            (user.to_string(), HashTarget::salted(algo, &digest, salt, b""))
+        })
+        .collect();
+
+    println!("auditing {} salted SHA-1 hashes (salt {:?}):", table.len(), "corp2014");
+    for (user, t) in &table {
+        println!("  {user:<8} {}", to_hex(t.digest()));
+    }
+
+    // The salt does not enlarge the search space: we still enumerate only
+    // the candidate passwords.
+    let space = KeySpace::new(Charset::alphanumeric(), 1, 4, Order::FirstCharFastest).unwrap();
+    println!("\nsearch space: {} candidates (1..=4 alphanumeric)", space.size());
+
+    // Sweep once per target (salted digests cannot share a TargetSet
+    // binary search, since each needs salt concatenation).
+    let start = std::time::Instant::now();
+    for (user, target) in &table {
+        let found = sweep(&space, target);
+        match found {
+            Some(pw) => println!("  {user:<8} -> \"{pw}\"  (CRACKED — rotate this password)"),
+            None => println!("  {user:<8} -> not found in this space"),
+        }
+    }
+    println!("audit finished in {:.2} s", start.elapsed().as_secs_f64());
+
+    // Contrast: unsalted digests crack in a single multi-target sweep.
+    let unsalted: Vec<Vec<u8>> =
+        users.iter().map(|(_, pw)| algo.hash_long(pw)).collect();
+    let set = TargetSet::new(algo, &unsalted);
+    let report = crack_parallel(
+        &space,
+        &set,
+        space.interval(),
+        ParallelConfig { threads: 8, chunk: 1 << 14, first_hit_only: false },
+    );
+    println!(
+        "\nunsalted contrast: {} of {} cracked in ONE sweep ({:.2} MKey/s)",
+        report.hits.len(),
+        users.len(),
+        report.mkeys_per_s
+    );
+}
+
+fn sweep(space: &KeySpace, target: &HashTarget) -> Option<String> {
+    // Simple chunked scan; the salted path goes through the streaming
+    // hasher, so no reversed-MD5 shortcut applies.
+    let mut found = None;
+    space.iter(Interval::new(0, space.size())).for_each_key(|_, key| {
+        if target.matches(key) {
+            found = Some(key.to_string());
+            false
+        } else {
+            true
+        }
+    });
+    found
+}

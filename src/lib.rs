@@ -1,0 +1,51 @@
+//! # exhaustive-key-search
+//!
+//! A Rust reproduction of *"Exhaustive Key Search on Clusters of GPUs"*
+//! (Barbieri, Cardellini, Filippone — IPPS 2014): a parallelization
+//! pattern for exhaustive search on hierarchical, heterogeneous systems,
+//! applied to MD5/SHA-1 password cracking with cycle-level models of the
+//! NVIDIA GPUs the paper evaluates.
+//!
+//! The workspace splits into layers, re-exported here:
+//!
+//! * [`core`] — the abstract pattern: solution spaces (`f`, `next`), test
+//!   functions, the cost model, and throughput-proportional balancing;
+//! * [`keyspace`] — bijective string enumeration over charsets;
+//! * [`hashes`] — MD5 / SHA-1 / SHA-256 from scratch, plus the MD5
+//!   15-step reversal;
+//! * [`gpusim`] — the SIMT GPU simulator (architectures, codegen,
+//!   scoreboard scheduler, throughput models, Table I/II/VII data);
+//! * [`kernels`] — cracking kernels as executable GPU IR, including the
+//!   BarsWF and Cryptohaze baseline models (Tables III–VI);
+//! * [`cracker`] — the real multi-threaded CPU cracking engine and the
+//!   Bitcoin-style mining search;
+//! * [`cluster`] — hierarchical dispatch: tuning, balancing, the
+//!   discrete-event network simulation (Table IX), the threaded runtime
+//!   and the fault model.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use eks::cracker::{crack_parallel, ParallelConfig, TargetSet};
+//! use eks::hashes::HashAlgo;
+//! use eks::keyspace::{Charset, KeySpace, Order};
+//!
+//! // The digest we want to reverse.
+//! let digest = HashAlgo::Md5.hash(b"dog");
+//! let targets = TargetSet::new(HashAlgo::Md5, &[digest]);
+//!
+//! // All lowercase strings of length 1..=4, enumerated first-char-fastest
+//! // (the order the paper's reversed-MD5 kernel requires).
+//! let space = KeySpace::new(Charset::lowercase(), 1, 4, Order::FirstCharFastest).unwrap();
+//!
+//! let report = crack_parallel(&space, &targets, space.interval(), ParallelConfig::default());
+//! assert_eq!(report.hits[0].1.as_bytes(), b"dog");
+//! ```
+
+pub use eks_core as core;
+pub use eks_cluster as cluster;
+pub use eks_cracker as cracker;
+pub use eks_gpusim as gpusim;
+pub use eks_hashes as hashes;
+pub use eks_kernels as kernels;
+pub use eks_keyspace as keyspace;
