@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Offline CI gate: build, test, lint, and statically analyze the kernels.
+# Every step must pass; no network access is required.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "==> cargo clippy --all-targets -- -D warnings"
+cargo clippy --all-targets -- -D warnings
+
+echo "==> eks analyze --deny warnings"
+./target/release/eks analyze --deny warnings
+
+echo "CI green."

@@ -1,0 +1,137 @@
+//! Register-pressure estimation, cross-checked against the occupancy
+//! model in `eks-gpusim`.
+//!
+//! The analyzer recomputes the maximum number of simultaneously-live
+//! registers from the live ranges (an O(n·r) reference count, deliberately
+//! independent of the simulator's linear sweep) and compares it with
+//! [`eks_gpusim::occupancy::live_registers`]. A mismatch is an internal
+//! model error and reported at deny level; agreement plus an over-budget
+//! register file yields the pre-simulation warning the paper's occupancy
+//! reasoning (Section VI, Volkov's bound) calls for.
+
+use eks_gpusim::codegen::CompiledKernel;
+use eks_gpusim::liveness::{live_ranges, LiveRange};
+use eks_gpusim::occupancy;
+
+use crate::diagnostic::{Diagnostic, Lint, Span};
+
+/// The analyzer's independent register-pressure estimate.
+#[derive(Debug, Clone)]
+pub struct PressureEstimate {
+    /// Live range per register.
+    pub ranges: Vec<LiveRange>,
+    /// Maximum simultaneously-live registers (per-thread footprint).
+    pub max_live: u32,
+    /// Resident warps after clamping by the register file.
+    pub resident_warps: u32,
+    /// Architecture maximum resident warps.
+    pub max_warps: u32,
+}
+
+/// Estimate pressure by brute force over the live ranges: at every
+/// instruction index, count the ranges covering it.
+pub fn estimate(kernel: &CompiledKernel) -> PressureEstimate {
+    let ranges = live_ranges(&kernel.instrs);
+    let max_live = (0..kernel.instrs.len())
+        .map(|i| ranges.iter().filter(|r| r.contains(i)).count() as u32)
+        .max()
+        .unwrap_or(0);
+    PressureEstimate {
+        ranges,
+        max_live,
+        resident_warps: occupancy::resident_warps(kernel),
+        max_warps: kernel.cc.mp_spec().max_warps,
+    }
+}
+
+/// Run the pressure checks against a lowered kernel.
+pub fn check_pressure(kernel: &CompiledKernel) -> Vec<Diagnostic> {
+    let est = estimate(kernel);
+    let mut out = Vec::new();
+
+    // Cross-check: the occupancy model's linear sweep must agree with the
+    // reference count. Divergence means one of the models is wrong.
+    let model = occupancy::live_registers(kernel);
+    if model != est.max_live {
+        out.push(Diagnostic::deny(
+            Lint::PressureModelMismatch,
+            Span::kernel(),
+            format!(
+                "occupancy model reports {model} live registers, live-range reference says {}",
+                est.max_live
+            ),
+        ));
+    }
+
+    if est.resident_warps < est.max_warps {
+        let volkov = occupancy::latency_hiding_warps(kernel.cc);
+        let severity_note = if est.resident_warps < volkov {
+            format!(" — below the {volkov}-warp latency-hiding bound")
+        } else {
+            String::new()
+        };
+        out.push(Diagnostic::warn(
+            Lint::RegisterPressure,
+            Span::kernel(),
+            format!(
+                "{} registers/thread limit occupancy to {}/{} warps on cc {}{}",
+                est.max_live,
+                est.resident_warps,
+                est.max_warps,
+                kernel.cc.label(),
+                severity_note
+            ),
+        ));
+    }
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eks_gpusim::arch::ComputeCapability;
+    use eks_gpusim::codegen::{lower, LoweringOptions};
+    use eks_gpusim::isa::KernelBuilder;
+
+    fn hog(n: u32) -> CompiledKernel {
+        let mut b = KernelBuilder::new("hog");
+        let inputs: Vec<_> = (0..n).map(|i| b.param(i)).collect();
+        let mut acc = inputs[0];
+        for &x in &inputs[1..] {
+            acc = b.xor(acc, x);
+        }
+        for &x in &inputs {
+            acc = b.add(acc, x);
+        }
+        lower(&b.build(), LoweringOptions::plain(ComputeCapability::Sm30))
+    }
+
+    #[test]
+    fn lean_kernel_is_clean() {
+        let mut b = KernelBuilder::new("lean");
+        let x = b.param(0);
+        let y = b.rotl(x, 7);
+        let _ = b.add(x, y);
+        let k = lower(&b.build(), LoweringOptions::plain(ComputeCapability::Sm30));
+        assert!(check_pressure(&k).is_empty());
+    }
+
+    #[test]
+    fn register_hog_warns() {
+        let k = hog(200);
+        let diags = check_pressure(&k);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].lint, Lint::RegisterPressure);
+        assert!(diags[0].message.contains("warps"), "{}", diags[0].message);
+    }
+
+    #[test]
+    fn estimate_agrees_with_occupancy_model() {
+        for n in [4, 16, 64, 200] {
+            let k = hog(n);
+            let est = estimate(&k);
+            assert_eq!(est.max_live, occupancy::live_registers(&k), "hog({n})");
+        }
+    }
+}

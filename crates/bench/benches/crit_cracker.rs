@@ -1,8 +1,8 @@
-//! Criterion benchmarks for the real CPU cracking engine: raw scan
-//! throughput and thread scaling (the fine-grain half of the paper mapped
-//! onto a multicore host).
+//! Benchmarks for the real CPU cracking engine: raw scan throughput and
+//! thread scaling (the fine-grain half of the paper mapped onto a
+//! multicore host).
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use eks_bench::harness::Group;
 use eks_cracker::{crack_parallel, ParallelConfig, TargetSet};
 use eks_hashes::HashAlgo;
 use eks_keyspace::{Charset, Interval, KeySpace, Order};
@@ -16,61 +16,52 @@ fn impossible_targets() -> TargetSet {
     TargetSet::new(HashAlgo::Md5, &[vec![0u8; 16]])
 }
 
-fn bench_scan_throughput(c: &mut Criterion) {
+fn bench_scan_throughput() {
     let s = space();
     let t = impossible_targets();
-    let mut g = c.benchmark_group("scan_throughput");
+    let mut g = Group::new("scan_throughput");
     const KEYS: u64 = 200_000;
-    g.throughput(Throughput::Elements(KEYS));
-    g.sample_size(10);
+    g.throughput_elements(KEYS);
     for threads in [1usize, 2, 4, 8] {
-        g.bench_function(format!("threads_{threads}"), |b| {
-            b.iter(|| {
-                let cfg = ParallelConfig { threads, chunk: 1 << 12, first_hit_only: false };
-                crack_parallel(&s, &t, Interval::new(0, KEYS as u128), cfg)
-            })
+        g.bench(&format!("threads_{threads}"), || {
+            let cfg = ParallelConfig { threads, chunk: 1 << 12, first_hit_only: false };
+            crack_parallel(&s, &t, Interval::new(0, KEYS as u128), cfg)
         });
     }
-    g.finish();
 }
 
-fn bench_sha1_scan(c: &mut Criterion) {
+fn bench_sha1_scan() {
     let s = space();
     let t = TargetSet::new(HashAlgo::Sha1, &[vec![0u8; 20]]);
-    let mut g = c.benchmark_group("sha1_scan");
+    let mut g = Group::new("sha1_scan");
     const KEYS: u64 = 100_000;
-    g.throughput(Throughput::Elements(KEYS));
-    g.sample_size(10);
-    g.bench_function("threads_4", |b| {
-        b.iter(|| {
-            let cfg = ParallelConfig { threads: 4, chunk: 1 << 12, first_hit_only: false };
-            crack_parallel(&s, &t, Interval::new(0, KEYS as u128), cfg)
-        })
+    g.throughput_elements(KEYS);
+    g.bench("threads_4", || {
+        let cfg = ParallelConfig { threads: 4, chunk: 1 << 12, first_hit_only: false };
+        crack_parallel(&s, &t, Interval::new(0, KEYS as u128), cfg)
     });
-    g.finish();
 }
 
-fn bench_multi_target(c: &mut Criterion) {
+fn bench_multi_target() {
     // Audit scenario: does testing 100 digests at once slow the scan?
     let s = space();
-    let mut g = c.benchmark_group("multi_target");
+    let mut g = Group::new("multi_target");
     const KEYS: u64 = 100_000;
-    g.throughput(Throughput::Elements(KEYS));
-    g.sample_size(10);
+    g.throughput_elements(KEYS);
     for n_targets in [1usize, 10, 100] {
         let digests: Vec<Vec<u8>> = (0..n_targets)
             .map(|i| HashAlgo::Md5.hash_long(format!("zzzz-{i}").as_bytes()))
             .collect();
         let t = TargetSet::new(HashAlgo::Md5, &digests);
-        g.bench_function(format!("targets_{n_targets}"), |b| {
-            b.iter(|| {
-                let cfg = ParallelConfig { threads: 4, chunk: 1 << 12, first_hit_only: false };
-                crack_parallel(&s, &t, Interval::new(0, KEYS as u128), cfg)
-            })
+        g.bench(&format!("targets_{n_targets}"), || {
+            let cfg = ParallelConfig { threads: 4, chunk: 1 << 12, first_hit_only: false };
+            crack_parallel(&s, &t, Interval::new(0, KEYS as u128), cfg)
         });
     }
-    g.finish();
 }
 
-criterion_group!(benches, bench_scan_throughput, bench_sha1_scan, bench_multi_target);
-criterion_main!(benches);
+fn main() {
+    bench_scan_throughput();
+    bench_sha1_scan();
+    bench_multi_target();
+}

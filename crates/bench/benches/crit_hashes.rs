@@ -1,8 +1,8 @@
-//! Criterion micro-benchmarks for the hash substrate: single-block
-//! kernels, streaming hashers, the reversed-MD5 candidate test, and the
-//! §V claim that the `next` operator costs under 1 % of a hash.
+//! Micro-benchmarks for the hash substrate: single-block kernels,
+//! streaming hashers, the reversed-MD5 candidate test, and the §V claim
+//! that the `next` operator costs under 1 % of a hash.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use eks_bench::harness::Group;
 use eks_hashes::md5::{md5, md5_single_block};
 use eks_hashes::md5_reverse::Md5PrefixSearch;
 use eks_hashes::sha1::sha1_single_block;
@@ -10,60 +10,53 @@ use eks_hashes::sha256::sha256d;
 use eks_keyspace::{encode, Charset, Order};
 use std::hint::black_box;
 
-fn bench_single_block(c: &mut Criterion) {
-    let mut g = c.benchmark_group("single_block");
-    g.throughput(Throughput::Elements(1));
+fn bench_single_block() {
+    let mut g = Group::new("single_block");
+    g.throughput_elements(1);
     let key = b"Zb3qpepper";
-    g.bench_function("md5", |b| b.iter(|| md5_single_block(black_box(key))));
-    g.bench_function("sha1", |b| b.iter(|| sha1_single_block(black_box(key))));
-    g.bench_function("sha256d", |b| b.iter(|| sha256d(black_box(key))));
-    g.finish();
+    g.bench("md5", || md5_single_block(black_box(key)));
+    g.bench("sha1", || sha1_single_block(black_box(key)));
+    g.bench("sha256d", || sha256d(black_box(key)));
 }
 
-fn bench_reversed_vs_full(c: &mut Criterion) {
-    let mut g = c.benchmark_group("md5_candidate_test");
-    g.throughput(Throughput::Elements(1));
+fn bench_reversed_vs_full() {
+    let mut g = Group::new("md5_candidate_test");
+    g.throughput_elements(1);
     let target = md5(b"Zb3q");
     let search = Md5PrefixSearch::from_sample_key(&target, b"AAAA");
     let mut w0 = 0u32;
-    g.bench_function("full_64_steps", |b| {
-        b.iter(|| {
-            w0 = w0.wrapping_add(1);
-            let mut key = *b"AAAA";
-            key.copy_from_slice(&w0.to_le_bytes());
-            md5_single_block(black_box(&key))
-        })
+    g.bench("full_64_steps", || {
+        w0 = w0.wrapping_add(1);
+        let mut key = *b"AAAA";
+        key.copy_from_slice(&w0.to_le_bytes());
+        md5_single_block(black_box(&key))
     });
-    g.bench_function("reversed_49_steps", |b| {
-        b.iter(|| {
-            w0 = w0.wrapping_add(1);
-            search.matches_w0(black_box(w0))
-        })
+    let mut w0 = 0u32;
+    g.bench("reversed_49_steps", || {
+        w0 = w0.wrapping_add(1);
+        search.matches_w0(black_box(w0))
     });
-    g.finish();
 }
 
-fn bench_next_vs_hash(c: &mut Criterion) {
+fn bench_next_vs_hash() {
     // §V: "the overhead caused at each iteration by the next operator is
     // less than the 1% of the time spent by the hash function".
-    let mut g = c.benchmark_group("next_vs_hash");
+    let mut g = Group::new("next_vs_hash");
     let cs = Charset::alphanumeric();
-    g.bench_function("next_operator", |b| {
-        b.iter_batched(
-            || encode(123_456_789, &cs, Order::FirstCharFastest),
-            |mut k| {
-                eks_keyspace::encode::advance(&mut k, &cs, Order::FirstCharFastest);
-                k
-            },
-            BatchSize::SmallInput,
-        )
-    });
-    g.bench_function("md5_hash", |b| {
-        let k = encode(123_456_789, &cs, Order::FirstCharFastest);
-        b.iter(|| md5_single_block(black_box(k.as_bytes())))
-    });
-    g.finish();
+    g.bench_with_setup(
+        "next_operator",
+        || encode(123_456_789, &cs, Order::FirstCharFastest),
+        |mut k| {
+            eks_keyspace::encode::advance(&mut k, &cs, Order::FirstCharFastest);
+            k
+        },
+    );
+    let k = encode(123_456_789, &cs, Order::FirstCharFastest);
+    g.bench("md5_hash", || md5_single_block(black_box(k.as_bytes())));
 }
 
-criterion_group!(benches, bench_single_block, bench_reversed_vs_full, bench_next_vs_hash);
-criterion_main!(benches);
+fn main() {
+    bench_single_block();
+    bench_reversed_vs_full();
+    bench_next_vs_hash();
+}

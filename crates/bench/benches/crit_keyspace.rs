@@ -1,84 +1,76 @@
-//! Criterion micro-benchmarks for the enumeration layer: `f(id)` versus
-//! the `next` operator (the cost asymmetry the whole pattern exploits),
+//! Micro-benchmarks for the enumeration layer: `f(id)` versus the
+//! `next` operator (the cost asymmetry the whole pattern exploits),
 //! decode, and iterator throughput.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use eks_bench::harness::Group;
 use eks_keyspace::{decode, encode, Charset, Interval, KeySpace, Order};
 use std::hint::black_box;
 
-fn bench_encode_vs_next(c: &mut Criterion) {
+fn bench_encode_vs_next() {
     let cs = Charset::alphanumeric();
-    let mut g = c.benchmark_group("f_vs_next");
-    g.throughput(Throughput::Elements(1));
-    g.bench_function("f(id) from scratch", |b| {
-        let mut id = 1u128 << 40;
-        b.iter(|| {
-            id += 1;
-            encode(black_box(id), &cs, Order::LastCharFastest)
-        })
+    let mut g = Group::new("f_vs_next");
+    g.throughput_elements(1);
+    let mut id = 1u128 << 40;
+    g.bench("f(id) from scratch", || {
+        id += 1;
+        encode(black_box(id), &cs, Order::LastCharFastest)
     });
-    g.bench_function("next operator", |b| {
-        b.iter_batched(
-            || encode(1u128 << 40, &cs, Order::LastCharFastest),
-            |mut k| {
-                eks_keyspace::encode::advance(&mut k, &cs, Order::LastCharFastest);
-                k
-            },
-            BatchSize::SmallInput,
-        )
-    });
-    g.finish();
+    g.bench_with_setup(
+        "next operator",
+        || encode(1u128 << 40, &cs, Order::LastCharFastest),
+        |mut k| {
+            eks_keyspace::encode::advance(&mut k, &cs, Order::LastCharFastest);
+            k
+        },
+    );
 }
 
-fn bench_orders(c: &mut Criterion) {
+fn bench_orders() {
     let cs = Charset::alphanumeric();
-    let mut g = c.benchmark_group("enumeration_order");
+    let mut g = Group::new("enumeration_order");
     for (name, order) in [
         ("last_char_fastest", Order::LastCharFastest),
         ("first_char_fastest", Order::FirstCharFastest),
     ] {
-        g.bench_function(name, |b| {
-            b.iter_batched(
-                || encode(1u128 << 40, &cs, order),
-                |mut k| {
-                    for _ in 0..64 {
-                        eks_keyspace::encode::advance(&mut k, &cs, order);
-                    }
-                    k
-                },
-                BatchSize::SmallInput,
-            )
-        });
+        g.bench_with_setup(
+            name,
+            || encode(1u128 << 40, &cs, order),
+            |mut k| {
+                for _ in 0..64 {
+                    eks_keyspace::encode::advance(&mut k, &cs, order);
+                }
+                k
+            },
+        );
     }
-    g.finish();
 }
 
-fn bench_decode(c: &mut Criterion) {
+fn bench_decode() {
     let cs = Charset::alphanumeric();
     let k = encode(1u128 << 40, &cs, Order::LastCharFastest);
-    c.bench_function("decode", |b| {
-        b.iter(|| decode(black_box(&k), &cs, Order::LastCharFastest))
-    });
+    let mut g = Group::new("decode");
+    g.bench("decode", || decode(black_box(&k), &cs, Order::LastCharFastest));
 }
 
-fn bench_iterator(c: &mut Criterion) {
+fn bench_iterator() {
     let space = KeySpace::new(Charset::alphanumeric(), 1, 8, Order::FirstCharFastest).unwrap();
-    let mut g = c.benchmark_group("key_iterator");
-    g.throughput(Throughput::Elements(10_000));
-    g.bench_function("for_each_key_10k", |b| {
-        b.iter(|| {
-            let mut n = 0u64;
-            space
-                .iter(Interval::new(1 << 30, 10_000))
-                .for_each_key(|_, k| {
-                    n += k.len() as u64;
-                    true
-                });
-            n
-        })
+    let mut g = Group::new("key_iterator");
+    g.throughput_elements(10_000);
+    g.bench("for_each_key_10k", || {
+        let mut n = 0u64;
+        space
+            .iter(Interval::new(1 << 30, 10_000))
+            .for_each_key(|_, k| {
+                n += k.len() as u64;
+                true
+            });
+        n
     });
-    g.finish();
 }
 
-criterion_group!(benches, bench_encode_vs_next, bench_orders, bench_decode, bench_iterator);
-criterion_main!(benches);
+fn main() {
+    bench_encode_vs_next();
+    bench_orders();
+    bench_decode();
+    bench_iterator();
+}

@@ -1,52 +1,51 @@
-//! Criterion benchmarks for the simulator stack itself: kernel building,
-//! lowering, instruction scheduling and the cycle-level simulation —
-//! the costs a user pays when tuning or exploring configurations.
+//! Benchmarks for the simulator stack itself: kernel building, lowering,
+//! instruction scheduling and the cycle-level simulation — the costs a
+//! user pays when tuning or exploring configurations.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use eks_bench::harness::Group;
 use eks_gpusim::arch::ComputeCapability;
 use eks_gpusim::codegen::{lower, LoweringOptions};
-use eks_gpusim::schedule::schedule_for_pairing;
 use eks_gpusim::sched::{simulate, SimConfig};
+use eks_gpusim::schedule::schedule_for_pairing;
 use eks_kernels::md5::{build_md5, Md5Variant};
 use eks_kernels::words_for_key_len;
 use std::hint::black_box;
 
-fn bench_build_and_lower(c: &mut Criterion) {
+fn bench_build_and_lower() {
     let words = words_for_key_len(4);
-    c.bench_function("build_md5_optimized_ir", |b| {
-        b.iter(|| build_md5(Md5Variant::Optimized, black_box(&words)))
+    let mut g = Group::new("build_and_lower");
+    g.bench("build_md5_optimized_ir", || {
+        build_md5(Md5Variant::Optimized, black_box(&words))
     });
     let ir = build_md5(Md5Variant::Optimized, &words).ir;
-    c.bench_function("lower_sm30", |b| {
-        b.iter(|| lower(black_box(&ir), LoweringOptions::for_cc(ComputeCapability::Sm30)))
+    g.bench("lower_sm30", || {
+        lower(black_box(&ir), LoweringOptions::for_cc(ComputeCapability::Sm30))
     });
 }
 
-fn bench_schedule_pass(c: &mut Criterion) {
+fn bench_schedule_pass() {
     let ir = build_md5(Md5Variant::Optimized, &words_for_key_len(4)).ir;
     let k = lower(&ir, LoweringOptions::for_cc(ComputeCapability::Sm30));
-    c.bench_function("schedule_for_pairing", |b| {
-        b.iter(|| schedule_for_pairing(black_box(&k.instrs)))
-    });
+    let mut g = Group::new("schedule");
+    g.bench("schedule_for_pairing", || schedule_for_pairing(black_box(&k.instrs)));
 }
 
-fn bench_cycle_sim(c: &mut Criterion) {
+fn bench_cycle_sim() {
     let ir = build_md5(Md5Variant::Optimized, &words_for_key_len(4)).ir;
-    let mut g = c.benchmark_group("cycle_sim");
-    g.sample_size(10);
+    let mut g = Group::new("cycle_sim");
     for cc in [ComputeCapability::Sm1x, ComputeCapability::Sm21, ComputeCapability::Sm30] {
         let k = lower(&ir, LoweringOptions::for_cc(cc));
-        g.bench_function(format!("md5_optimized_{}", cc.label()), |b| {
-            b.iter(|| {
-                simulate(
-                    black_box(&k),
-                    SimConfig { warps: cc.mp_spec().max_warps, iterations: 4, max_cycles: 50_000_000 },
-                )
-            })
+        g.bench(&format!("md5_optimized_{}", cc.label()), || {
+            simulate(
+                black_box(&k),
+                SimConfig { warps: cc.mp_spec().max_warps, iterations: 4, max_cycles: 50_000_000 },
+            )
         });
     }
-    g.finish();
 }
 
-criterion_group!(benches, bench_build_and_lower, bench_schedule_pass, bench_cycle_sim);
-criterion_main!(benches);
+fn main() {
+    bench_build_and_lower();
+    bench_schedule_pass();
+    bench_cycle_sim();
+}

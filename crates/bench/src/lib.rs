@@ -60,6 +60,7 @@ pub const TABLE9: [Table9Row; 2] = [
     Table9Row { algo: "SHA1", theoretical: 1058.0, achieved: 950.1, efficiency: 0.898 },
 ];
 
+pub mod harness;
 pub mod workload;
 
 /// Print a table header line.

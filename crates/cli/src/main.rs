@@ -5,7 +5,8 @@
 //!              [--threads 8] [--salt-prefix S] [--salt-suffix S]
 //! eks hash     --algo md5 <plaintext>
 //! eks mine     [--difficulty 16] [--header STR] [--threads 8]
-//! eks analyze  [--algo md5]
+//! eks analyze  [--algo md5] [--variant optimized] [--json] [--deny warnings]
+//!              [--tolerance 0.12]
 //! eks devices
 //! eks simulate [--keys 5e11] [--algo md5]
 //! eks tune     [--threads 4]

@@ -13,7 +13,7 @@
 //!   tuning error, producing the aggregate throughput and efficiency of
 //!   Table IX;
 //! * [`runtime`] — a real multi-threaded runtime (one thread per node,
-//!   crossbeam channels) that actually cracks keys through the same
+//!   scoped std threads) that actually cracks keys through the same
 //!   dispatch pattern, for end-to-end functional verification;
 //! * [`fault`] — the minimum fault-tolerance model the paper sketches:
 //!   detect a dead subtree, requeue its outstanding interval, repartition

@@ -102,7 +102,7 @@ pub fn run_rounds(
         let parts = round_iv.split_weighted(&rotated);
         // Scatter: one thread per worker; gather at the scope end.
         let mut results: Vec<Option<(usize, eks_cracker::CrackOutcome)>> = Vec::new();
-        crossbeam::scope(|scope| {
+        std::thread::scope(|scope| {
             let mut handles = Vec::new();
             for (i, part) in parts.iter().enumerate() {
                 let part = *part;
@@ -110,7 +110,7 @@ pub fn run_rounds(
                     continue; // the worker went silent: nothing comes back
                 }
                 let stop = &stop;
-                handles.push(scope.spawn(move |_| {
+                handles.push(scope.spawn(move || {
                     (i, crack_interval(space, targets, part, stop, config.first_hit_only))
                 }));
             }
@@ -118,8 +118,7 @@ pub fn run_rounds(
                 .into_iter()
                 .map(|h| Some(h.join().expect("worker panicked")))
                 .collect();
-        })
-        .expect("round scope panicked");
+        });
 
         // Gather: account completed intervals; lost assignments stay
         // pending in the checkpoint and are re-dispatched next round.

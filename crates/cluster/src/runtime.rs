@@ -95,13 +95,13 @@ fn search_node(
     let n_cpus = node.cpus.len();
 
     let mut results: Vec<Option<ClusterSearchResult>> = Vec::new();
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         let mut handles = Vec::new();
         for (i, part) in parts.iter().enumerate() {
             let part = *part;
             if i < n_devices {
                 let label = format!("{}/{}", node.name, node.devices[i].device.name);
-                handles.push(scope.spawn(move |_| {
+                handles.push(scope.spawn(move || {
                     let out = crack_interval(space, targets, part, stop, first_hit_only);
                     if first_hit_only && !out.hits.is_empty() {
                         stop.store(true, Ordering::Relaxed);
@@ -117,16 +117,16 @@ fn search_node(
                 let cpu = &node.cpus[i - n_devices];
                 let label = format!("{}/{}", node.name, cpu.name);
                 let threads = cpu.threads;
-                handles.push(scope.spawn(move |_| {
+                handles.push(scope.spawn(move || {
                     let sub = part.split_even(threads);
                     let mut merged =
                         ClusterSearchResult { hits: Vec::new(), tested: 0, per_device: Vec::new() };
-                    crossbeam::scope(|inner| {
+                    std::thread::scope(|inner| {
                         let hs: Vec<_> = sub
                             .iter()
                             .map(|p| {
                                 let p = *p;
-                                inner.spawn(move |_| {
+                                inner.spawn(move || {
                                     let out =
                                         crack_interval(space, targets, p, stop, first_hit_only);
                                     if first_hit_only && !out.hits.is_empty() {
@@ -141,21 +141,19 @@ fn search_node(
                             merged.tested += out.tested;
                             merged.hits.extend(out.hits);
                         }
-                    })
-                    .expect("cpu scope panicked");
+                    });
                     merged.per_device = vec![(label, merged.tested)];
                     merged
                 }));
             } else {
                 let child = &node.children[i - n_devices - n_cpus];
-                handles.push(scope.spawn(move |_| {
+                handles.push(scope.spawn(move || {
                     search_node(child, space, targets, part, stop, first_hit_only)
                 }));
             }
         }
         results = handles.into_iter().map(|h| Some(h.join().expect("worker panicked"))).collect();
-    })
-    .expect("node scope panicked");
+    });
 
     let mut merged = ClusterSearchResult { hits: Vec::new(), tested: 0, per_device: Vec::new() };
     for r in results.into_iter().flatten() {

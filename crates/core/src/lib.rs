@@ -29,6 +29,7 @@ pub mod driver;
 pub mod parallel;
 pub mod partition;
 pub mod pattern;
+pub mod prop;
 pub mod space;
 
 pub use cost::{measure_cost_model, CostModel, DispatchCosts, Efficiency};

@@ -8,7 +8,7 @@ use std::time::Instant;
 
 use eks_core::SolutionSpace;
 use eks_keyspace::Key;
-use parking_lot::Mutex;
+use std::sync::Mutex;
 
 use crate::parallel::{ParallelConfig, ParallelReport};
 use crate::target::TargetSet;
@@ -86,9 +86,9 @@ where
     let hits: Mutex<Vec<(u128, Key, usize)>> = Mutex::new(Vec::new());
     let tested = AtomicU64::new(0);
 
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         for _ in 0..config.threads {
-            scope.spawn(|_| loop {
+            scope.spawn(|| loop {
                 if stop.load(Ordering::Relaxed) {
                     break;
                 }
@@ -102,7 +102,7 @@ where
                     crack_space_interval(space, targets, lo, len, &stop, config.first_hit_only);
                 tested.fetch_add(out.tested as u64, Ordering::Relaxed);
                 if !out.hits.is_empty() {
-                    hits.lock().extend(out.hits);
+                    hits.lock().expect("hits lock").extend(out.hits);
                     if config.first_hit_only {
                         stop.store(true, Ordering::Relaxed);
                         break;
@@ -110,11 +110,10 @@ where
                 }
             });
         }
-    })
-    .expect("worker thread panicked");
+    });
 
     let elapsed_s = start_t.elapsed().as_secs_f64().max(1e-9);
-    let mut all = hits.into_inner();
+    let mut all = hits.into_inner().expect("hits lock");
     all.sort_by_key(|(id, _, _)| *id);
     let tested = tested.load(Ordering::Relaxed) as u128;
     ParallelReport { hits: all, tested, elapsed_s, mkeys_per_s: tested as f64 / elapsed_s / 1e6 }

@@ -10,7 +10,7 @@
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
 use eks_hashes::sha256::{leading_zero_bits, sha256d};
-use parking_lot::Mutex;
+use std::sync::Mutex;
 
 /// A mining work item: header template plus difficulty.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -61,9 +61,9 @@ pub fn mine(
     let stop = AtomicBool::new(false);
     let best: Mutex<Option<(u32, [u8; 32])>> = Mutex::new(None);
     let tested = AtomicU64::new(0);
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         for _ in 0..threads {
-            scope.spawn(|_| loop {
+            scope.spawn(|| loop {
                 if stop.load(Ordering::Relaxed) {
                     break;
                 }
@@ -75,7 +75,7 @@ pub fn mine(
                 for n in lo..hi {
                     tested.fetch_add(1, Ordering::Relaxed);
                     if let Some(d) = job.test(n as u32) {
-                        let mut b = best.lock();
+                        let mut b = best.lock().expect("best lock");
                         // Keep the lowest nonce for determinism.
                         if b.is_none() || b.as_ref().expect("checked").0 > n as u32 {
                             *b = Some((n as u32, d));
@@ -86,9 +86,8 @@ pub fn mine(
                 }
             });
         }
-    })
-    .expect("mining thread panicked");
-    let found = best.into_inner();
+    });
+    let found = best.into_inner().expect("best lock");
     found.map(|(nonce, digest)| MiningResult {
         nonce,
         digest,

@@ -11,7 +11,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::time::Instant;
 
 use eks_keyspace::{Interval, Key, KeySpace};
-use parking_lot::Mutex;
+use std::sync::Mutex;
 
 use crate::engine::{crack_interval, CrackOutcome};
 use crate::target::TargetSet;
@@ -73,9 +73,9 @@ pub fn crack_parallel(
     let hits: Mutex<Vec<(u128, Key, usize)>> = Mutex::new(Vec::new());
     let tested = AtomicU64::new(0);
 
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         for _ in 0..config.threads {
-            scope.spawn(|_| {
+            scope.spawn(|| {
                 loop {
                     if stop.load(Ordering::Relaxed) {
                         break;
@@ -95,7 +95,7 @@ pub fn crack_parallel(
                     );
                     tested.fetch_add(out.tested as u64, Ordering::Relaxed);
                     if !out.hits.is_empty() {
-                        hits.lock().extend(out.hits);
+                        hits.lock().expect("hits lock").extend(out.hits);
                         if config.first_hit_only {
                             stop.store(true, Ordering::Relaxed);
                             break;
@@ -104,11 +104,10 @@ pub fn crack_parallel(
                 }
             });
         }
-    })
-    .expect("worker thread panicked");
+    });
 
     let elapsed_s = start.elapsed().as_secs_f64().max(1e-9);
-    let mut all = hits.into_inner();
+    let mut all = hits.into_inner().expect("hits lock");
     all.sort_by_key(|(id, _, _)| *id);
     let tested = tested.load(Ordering::Relaxed) as u128;
     ParallelReport {

@@ -216,7 +216,11 @@ impl Lowerer {
     }
 
     fn emit(&mut self, class: MachineClass, dst: Reg, srcs: Vec<Reg>) {
-        self.instrs.push(MachineInstr { class, dst, srcs });
+        self.instrs.push(MachineInstr::new(class, dst, srcs));
+    }
+
+    fn emit_imm(&mut self, class: MachineClass, dst: Reg, srcs: Vec<Reg>, imm: u32) {
+        self.instrs.push(MachineInstr::new(class, dst, srcs).with_imm(imm));
     }
 
     /// Emit a binary ALU op after folding; `f` computes the constant case.
@@ -240,8 +244,10 @@ impl Lowerer {
                 let y = if nb { !y } else { y };
                 self.consts.insert(dst, f(x, y));
             }
-            (Val::Runtime(r), Val::Const(_)) | (Val::Const(_), Val::Runtime(r)) => {
-                self.emit(class, dst, vec![r]);
+            (Val::Runtime(r), Val::Const(c)) | (Val::Const(c), Val::Runtime(r)) => {
+                // Record the folded constant as the instruction immediate
+                // so downstream analyses see the real operand.
+                self.emit_imm(class, dst, vec![r], c);
             }
             (Val::Runtime(r1), Val::Runtime(r2)) => {
                 self.emit(class, dst, vec![r1, r2]);
@@ -257,8 +263,10 @@ impl Lowerer {
         match v {
             Val::Const(c) => (Val::Const(!c), false),
             Val::Runtime(r) => {
+                // A materialized NOT is `LOP.XOR dst, r, -1`; the all-ones
+                // immediate lets peephole analyses recognize it.
                 let tmp = self.fresh();
-                self.emit(MachineClass::Lop, tmp, vec![r]);
+                self.emit_imm(MachineClass::Lop, tmp, vec![r], u32::MAX);
                 (Val::Runtime(tmp), false)
             }
         }
@@ -305,8 +313,8 @@ impl Lowerer {
                     }
                 }
             },
-            AbstractOp::Shl { dst, a, n } => self.shift(MachineClass::Shift, dst, a, |x| x << n),
-            AbstractOp::Shr { dst, a, n } => self.shift(MachineClass::Shift, dst, a, |x| x >> n),
+            AbstractOp::Shl { dst, a, n } => self.shift(dst, a, n, |x| x << n),
+            AbstractOp::Shr { dst, a, n } => self.shift(dst, a, n, |x| x >> n),
             AbstractOp::Rotl { dst, a, n } => self.rotate(dst, a, n),
         }
     }
@@ -320,14 +328,14 @@ impl Lowerer {
         self.identity.insert(dst, src);
     }
 
-    fn shift(&mut self, class: MachineClass, dst: Reg, a: Operand, f: impl Fn(u32) -> u32) {
+    fn shift(&mut self, dst: Reg, a: Operand, n: u32, f: impl Fn(u32) -> u32) {
         let (v, negated) = self.resolve(a);
         let (v, _) = self.force_not(v, negated, false);
         match v {
             Val::Const(x) => {
                 self.consts.insert(dst, f(x));
             }
-            Val::Runtime(r) => self.emit(class, dst, vec![r]),
+            Val::Runtime(r) => self.emit_imm(MachineClass::Shift, dst, vec![r], n),
         }
     }
 
@@ -343,22 +351,22 @@ impl Lowerer {
         };
         if self.options.use_funnel && self.options.cc.has_funnel_shift() {
             // cc 3.5: one SHF instruction performs the whole rotate.
-            self.emit(MachineClass::Funnel, dst, vec![r]);
+            self.emit_imm(MachineClass::Funnel, dst, vec![r], n);
         } else if self.options.use_prmt_rot16 && n == 16 {
             // __byte_perm: swap half-words in a single PRMT.
-            self.emit(MachineClass::Prmt, dst, vec![r]);
+            self.emit_imm(MachineClass::Prmt, dst, vec![r], n);
         } else if self.options.cc >= ComputeCapability::Sm20 {
             // SHL tmp, r, n ; IMAD.HI dst, r, 2^(32-n), tmp — the IMAD
             // performs the emulated right shift and the addition.
             let tmp = self.fresh();
-            self.emit(MachineClass::Shift, tmp, vec![r]);
+            self.emit_imm(MachineClass::Shift, tmp, vec![r], n);
             self.emit(MachineClass::Imad, dst, vec![r, tmp]);
         } else {
             // cc 1.x: SHL + SHR + ADD.
             let t1 = self.fresh();
             let t2 = self.fresh();
-            self.emit(MachineClass::Shift, t1, vec![r]);
-            self.emit(MachineClass::Shift, t2, vec![r]);
+            self.emit_imm(MachineClass::Shift, t1, vec![r], n);
+            self.emit_imm(MachineClass::Shift, t2, vec![r], 32 - n);
             self.emit(MachineClass::IAdd, dst, vec![t1, t2]);
         }
     }

@@ -25,8 +25,10 @@ pub fn disasm_instr(i: &MachineInstr) -> String {
     for s in &i.srcs {
         write!(out, ", R{}", s.0).expect("write to string");
     }
-    if i.srcs.len() < 2 {
-        out.push_str(", imm");
+    match i.imm {
+        Some(v) => write!(out, ", {v:#x}").expect("write to string"),
+        None if i.srcs.len() < 2 => out.push_str(", imm"),
+        None => {}
     }
     out
 }

@@ -18,7 +18,12 @@ impl fmt::Display for Reg {
 }
 
 /// Abstract (source-level) operations.
+///
+/// Field names are uniform across variants: `dst` is the destination
+/// register, `a`/`b` the input operands, `n` a compile-time shift or
+/// rotate distance.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)] // fields follow the uniform naming documented above
 pub enum AbstractOp {
     /// `dst = a + b` (wrapping 32-bit).
     Add { dst: Reg, a: Operand, b: Operand },
@@ -63,6 +68,61 @@ impl From<Reg> for Operand {
 impl From<u32> for Operand {
     fn from(v: u32) -> Self {
         Operand::Imm(v)
+    }
+}
+
+impl Operand {
+    /// The register this operand reads, if any.
+    pub fn reg(self) -> Option<Reg> {
+        match self {
+            Operand::R(r) => Some(r),
+            Operand::Imm(_) => None,
+        }
+    }
+}
+
+impl AbstractOp {
+    /// The register this operation defines.
+    pub fn dst(&self) -> Reg {
+        match *self {
+            AbstractOp::Add { dst, .. }
+            | AbstractOp::And { dst, .. }
+            | AbstractOp::Or { dst, .. }
+            | AbstractOp::Xor { dst, .. }
+            | AbstractOp::Not { dst, .. }
+            | AbstractOp::Shl { dst, .. }
+            | AbstractOp::Shr { dst, .. }
+            | AbstractOp::Rotl { dst, .. }
+            | AbstractOp::Const { dst, .. }
+            | AbstractOp::LoadParam { dst, .. } => dst,
+        }
+    }
+
+    /// The operands this operation reads (0–2 of them).
+    pub fn operands(&self) -> [Option<Operand>; 2] {
+        match *self {
+            AbstractOp::Add { a, b, .. }
+            | AbstractOp::And { a, b, .. }
+            | AbstractOp::Or { a, b, .. }
+            | AbstractOp::Xor { a, b, .. } => [Some(a), Some(b)],
+            AbstractOp::Not { a, .. }
+            | AbstractOp::Shl { a, .. }
+            | AbstractOp::Shr { a, .. }
+            | AbstractOp::Rotl { a, .. } => [Some(a), None],
+            AbstractOp::Const { .. } | AbstractOp::LoadParam { .. } => [None, None],
+        }
+    }
+
+    /// The registers this operation reads (def-use hook for dataflow
+    /// analyses; immediates impose no dependence).
+    pub fn src_regs(&self) -> impl Iterator<Item = Reg> {
+        self.operands().into_iter().flatten().filter_map(Operand::reg)
+    }
+
+    /// Whether the operation has an input-independent result (constant
+    /// and parameter loads; everything else computes from its sources).
+    pub fn is_load(&self) -> bool {
+        matches!(self, AbstractOp::Const { .. } | AbstractOp::LoadParam { .. })
     }
 }
 
@@ -119,6 +179,24 @@ pub struct MachineInstr {
     pub dst: Reg,
     /// Source registers (0–3 of them).
     pub srcs: Vec<Reg>,
+    /// Compile-time immediate the instruction carries, when the class
+    /// takes one: the shift distance for `Shift`, the rotate amount for
+    /// `Prmt`/`Funnel`. `None` for plain ALU instructions. Peephole
+    /// analyses use it to recognize rotate-emulation sequences.
+    pub imm: Option<u32>,
+}
+
+impl MachineInstr {
+    /// An instruction with no immediate operand.
+    pub fn new(class: MachineClass, dst: Reg, srcs: Vec<Reg>) -> Self {
+        Self { class, dst, srcs, imm: None }
+    }
+
+    /// Attach an immediate operand (shift or rotate amount).
+    pub fn with_imm(mut self, imm: u32) -> Self {
+        self.imm = Some(imm);
+        self
+    }
 }
 
 /// A kernel body in abstract form: the per-candidate loop body of a

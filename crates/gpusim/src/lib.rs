@@ -44,12 +44,15 @@
 //! assert_eq!(k.counts.imad(), 1);
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod arch;
 pub mod codegen;
 pub mod device;
 pub mod disasm;
 pub mod grid;
 pub mod isa;
+pub mod liveness;
 pub mod memory;
 pub mod occupancy;
 pub mod profiler;

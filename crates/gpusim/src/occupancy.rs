@@ -9,11 +9,9 @@
 //! occupancy") is the classic treatment of why this matters: latency
 //! hiding needs `latency / issue` warps, not necessarily the maximum.
 
-use std::collections::HashMap;
-
 use crate::arch::ComputeCapability;
 use crate::codegen::CompiledKernel;
-use crate::isa::Reg;
+use crate::liveness;
 
 /// Register file size (32-bit registers per multiprocessor).
 pub fn register_file_size(cc: ComputeCapability) -> u32 {
@@ -29,37 +27,7 @@ pub fn register_file_size(cc: ComputeCapability) -> u32 {
 /// is live from its definition to its last use; parameters are live from
 /// entry to their last use).
 pub fn live_registers(kernel: &CompiledKernel) -> u32 {
-    let n = kernel.instrs.len();
-    if n == 0 {
-        return 0;
-    }
-    // Last use / definition points per register.
-    let mut last_use: HashMap<Reg, usize> = HashMap::new();
-    let mut def_point: HashMap<Reg, usize> = HashMap::new();
-    for (i, ins) in kernel.instrs.iter().enumerate() {
-        def_point.entry(ins.dst).or_insert(i);
-        last_use.insert(ins.dst, i);
-        for s in &ins.srcs {
-            last_use.insert(*s, i);
-            // A register read before any definition is a parameter: live
-            // from entry.
-            def_point.entry(*s).or_insert(0);
-        }
-    }
-    // Sweep: +1 at definition, -1 after last use.
-    let mut delta = vec![0i32; n + 1];
-    for (reg, &d) in &def_point {
-        let u = last_use.get(reg).copied().unwrap_or(d);
-        delta[d] += 1;
-        delta[u + 1] -= 1;
-    }
-    let mut live = 0i32;
-    let mut max_live = 0i32;
-    for d in delta {
-        live += d;
-        max_live = max_live.max(live);
-    }
-    max_live as u32
+    liveness::max_live(&kernel.instrs)
 }
 
 /// Resident warps given the kernel's register pressure: the architecture

@@ -99,7 +99,7 @@ mod tests {
         let mut instrs = Vec::new();
         let mut push = |class: MachineClass, n: u32| {
             for _ in 0..n {
-                instrs.push(MachineInstr { class, dst: Reg(0), srcs: vec![] });
+                instrs.push(MachineInstr::new(class, Reg(0), vec![]));
             }
         };
         push(MachineClass::IAdd, iadd);
@@ -198,13 +198,13 @@ mod tests {
         // rotations; keep 0 plain for the model check.
         let mut instrs = Vec::new();
         for _ in 0..150 {
-            instrs.push(MachineInstr { class: MachineClass::IAdd, dst: Reg(0), srcs: vec![] });
+            instrs.push(MachineInstr::new(MachineClass::IAdd, Reg(0), vec![]));
         }
         for _ in 0..120 {
-            instrs.push(MachineInstr { class: MachineClass::Lop, dst: Reg(0), srcs: vec![] });
+            instrs.push(MachineInstr::new(MachineClass::Lop, Reg(0), vec![]));
         }
         for _ in 0..46 {
-            instrs.push(MachineInstr { class: MachineClass::Funnel, dst: Reg(0), srcs: vec![] });
+            instrs.push(MachineInstr::new(MachineClass::Funnel, Reg(0), vec![]));
         }
         let c = InstrCounts::of(&instrs);
         let h35 = mp_hashes_per_cycle(ComputeCapability::Sm35, &c);

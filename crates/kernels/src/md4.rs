@@ -66,6 +66,9 @@ pub struct BuiltKernel {
     pub ir: KernelIr,
     /// Output state words, in comparison order.
     pub outputs: Vec<Reg>,
+    /// Loop-carried registers (the advanced candidate word): roots for
+    /// dead-store analysis alongside `outputs`.
+    pub carried: Vec<Reg>,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -217,11 +220,13 @@ pub fn build_md4(variant: Md4Variant, words: &[WordSource; 16]) -> BuiltKernel {
         Md4Variant::Optimized => vec![f.materialize(state[1])],
     };
 
+    let mut carried = Vec::new();
     if let Some(&V::R(w0)) = w.first() {
-        let _ = f.add(V::R(w0), V::C(1));
+        let advanced = f.add(V::R(w0), V::C(1));
+        carried.push(f.materialize(advanced));
     }
 
-    BuiltKernel { ir: b.build(), outputs }
+    BuiltKernel { ir: b.build(), outputs, carried }
 }
 
 #[cfg(test)]

@@ -44,6 +44,10 @@ pub struct BuiltKernel {
     pub ir: KernelIr,
     /// Registers holding the output state words, in comparison order.
     pub outputs: Vec<Reg>,
+    /// Loop-carried registers: values the *next* iteration consumes (the
+    /// advanced candidate word from the `next` operator). Dead-store
+    /// analysis must treat these as roots alongside `outputs`.
+    pub carried: Vec<Reg>,
 }
 
 /// A value during building: compile-time constant or emitted register.
@@ -226,11 +230,13 @@ pub fn build_md5(variant: Md5Variant, words: &[WordSource; 16]) -> BuiltKernel {
     // following iteration (FirstCharFastest enumeration touches only the
     // first block in the common case; the paper measures this at < 1 % of
     // the hash cost).
+    let mut carried = Vec::new();
     if let Some(&V::R(w0)) = w.first() {
-        let _ = f.add(V::R(w0), V::C(1));
+        let advanced = f.add(V::R(w0), V::C(1));
+        carried.push(f.materialize(advanced));
     }
 
-    BuiltKernel { ir: b.build(), outputs }
+    BuiltKernel { ir: b.build(), outputs, carried }
 }
 
 #[cfg(test)]

@@ -40,6 +40,9 @@ pub struct BuiltKernel {
     pub ir: KernelIr,
     /// Output state words (5 chained words for naive; `a75` for optimized).
     pub outputs: Vec<Reg>,
+    /// Loop-carried registers (the advanced candidate word): roots for
+    /// dead-store analysis alongside `outputs`.
+    pub carried: Vec<Reg>,
 }
 
 /// Message-word layout for SHA-1 (big-endian packing): bit length lives in
@@ -211,7 +214,14 @@ pub fn build_sha1(variant: Sha1Variant, words: &[WordSource; 16]) -> BuiltKernel
         let fv = round_fn(&mut f, i, bb, c, d);
         let rot5 = f.rotl(a, 5);
         let temp = f.sum(&[rot5, fv, e, V::C(K[i / 20]), w[i]]);
-        let b30 = f.rotl(bb, 30);
+        // The early-exit variant compares only `temp` after the final
+        // round, so its last `rotl(b, 30)` would be a dead store (the
+        // dead-store lint flagged it); skip it there.
+        let b30 = if i + 1 < rounds || variant == Sha1Variant::Naive {
+            f.rotl(bb, 30)
+        } else {
+            bb
+        };
         state = [temp, a, b30, c, d];
     }
 
@@ -236,11 +246,13 @@ pub fn build_sha1(variant: Sha1Variant, words: &[WordSource; 16]) -> BuiltKernel
     };
 
     // The next operator on the low candidate word.
+    let mut carried = Vec::new();
     if let Some(&V::R(w0)) = w0_16.first() {
-        let _ = f.add(V::R(w0), V::C(1));
+        let advanced = f.add(V::R(w0), V::C(1));
+        carried.push(f.materialize(advanced));
     }
 
-    BuiltKernel { ir: b.build(), outputs }
+    BuiltKernel { ir: b.build(), outputs, carried }
 }
 
 #[cfg(test)]

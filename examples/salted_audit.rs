@@ -24,7 +24,7 @@ fn main() {
         .iter()
         .map(|(user, pw)| {
             let mut msg = salt.to_vec();
-            msg.extend_from_slice(*pw);
+            msg.extend_from_slice(pw);
             let digest = algo.hash_long(&msg);
             (user.to_string(), HashTarget::salted(algo, &digest, salt, b""))
         })

@@ -17,6 +17,9 @@
 //!   scoreboard scheduler, throughput models, Table I/II/VII data);
 //! * [`kernels`] — cracking kernels as executable GPU IR, including the
 //!   BarsWF and Cryptohaze baseline models (Tables III–VI);
+//! * [`analyzer`] — static analysis over the kernel IR: dataflow lints,
+//!   per-architecture peephole checks, register-pressure estimation and
+//!   machine-checkable Table III–VI budgets;
 //! * [`cracker`] — the real multi-threaded CPU cracking engine and the
 //!   Bitcoin-style mining search;
 //! * [`cluster`] — hierarchical dispatch: tuning, balancing, the
@@ -43,6 +46,7 @@
 //! ```
 
 pub use eks_core as core;
+pub use eks_analyzer as analyzer;
 pub use eks_cluster as cluster;
 pub use eks_cracker as cracker;
 pub use eks_gpusim as gpusim;

@@ -30,7 +30,7 @@ fn all_engines_agree_on_the_same_hit() {
     assert!(matches!(out, SearchOutcome::Found { .. }));
 
     // 2. Parallel CPU cracker.
-    let targets = TargetSet::new(HashAlgo::Md5, &[digest.clone()]);
+    let targets = TargetSet::new(HashAlgo::Md5, std::slice::from_ref(&digest));
     let r = crack_parallel(&s, &targets, s.interval(), ParallelConfig::default());
     assert_eq!(r.hits[0].0, id, "parallel cracker");
     assert_eq!(r.hits[0].1, secret);
@@ -53,7 +53,7 @@ fn sha1_end_to_end() {
     let s = space();
     let secret = Key::from_bytes(b"sha");
     let digest = HashAlgo::Sha1.hash(secret.as_bytes());
-    let targets = TargetSet::new(HashAlgo::Sha1, &[digest.clone()]);
+    let targets = TargetSet::new(HashAlgo::Sha1, std::slice::from_ref(&digest));
     let r = crack_parallel(&s, &targets, s.interval(), ParallelConfig::default());
     assert_eq!(r.hits[0].1, secret);
     let hs = HostSearch::new(HashAlgo::Sha1, &digest);
