@@ -4,16 +4,19 @@
 set -euo pipefail
 cd "$(dirname "$0")"
 
-echo "==> cargo build --release"
-cargo build --release
+echo "==> cargo build --release --workspace"
+cargo build --release --workspace
 
-echo "==> cargo test -q"
-cargo test -q
+echo "==> cargo test -q --workspace"
+cargo test -q --workspace
 
 echo "==> cargo clippy --all-targets -- -D warnings"
 cargo clippy --all-targets -- -D warnings
 
 echo "==> eks analyze --deny warnings"
 ./target/release/eks analyze --deny warnings
+
+echo "==> bench_cracker --json BENCH_cracker.json (fails if batched < scalar)"
+cargo bench -q -p eks-bench --bench bench_cracker -- --json "$PWD/BENCH_cracker.json"
 
 echo "CI green."

@@ -1,0 +1,145 @@
+//! The bench-trajectory artifact: scalar vs lane-batched cracking
+//! throughput (MKey/s) per algorithm per thread count.
+//!
+//! Run directly for a human-readable table, or with `--json <path>` to
+//! also write a machine-readable artifact (the committed
+//! `BENCH_cracker.json`); `ci.sh` runs the JSON mode and this binary
+//! exits non-zero if any batched configuration is slower than its scalar
+//! baseline at one thread — the perf gate for the batched pipeline.
+//!
+//! The sweeps use an impossible target (no hit, no early exit), so every
+//! number is a pure full-scan throughput, best of three short runs.
+
+use std::fmt::Write as _;
+
+use eks_cracker::batch::Lanes;
+use eks_cracker::{crack_parallel, ParallelConfig, TargetSet};
+use eks_hashes::HashAlgo;
+use eks_keyspace::{Charset, Interval, KeySpace, Order};
+
+/// Keys per timed sweep — small enough for CI, large enough to swamp
+/// thread startup at the thread counts measured here.
+const KEYS: u64 = 300_000;
+/// Timed sweeps per configuration; the best is reported.
+const BEST_OF: usize = 3;
+const ALGOS: [HashAlgo; 3] = [HashAlgo::Md5, HashAlgo::Sha1, HashAlgo::Ntlm];
+const LANES: [Lanes; 3] = [Lanes::Scalar, Lanes::L8, Lanes::L16];
+const THREADS: [usize; 2] = [1, 2];
+
+fn algo_name(algo: HashAlgo) -> &'static str {
+    match algo {
+        HashAlgo::Md5 => "md5",
+        HashAlgo::Sha1 => "sha1",
+        HashAlgo::Ntlm => "ntlm",
+    }
+}
+
+/// Best-of-N full-sweep throughput for one configuration.
+fn measure(algo: HashAlgo, threads: usize, lanes: Lanes) -> f64 {
+    let space =
+        KeySpace::new(Charset::lowercase(), 1, 8, Order::FirstCharFastest).expect("space");
+    let impossible = TargetSet::new(algo, &[vec![0u8; algo.digest_len()]]);
+    let config = ParallelConfig {
+        threads,
+        first_hit_only: false,
+        lanes,
+        ..ParallelConfig::for_threads(threads)
+    };
+    let mut best = 0.0f64;
+    // One extra untimed sweep warms caches and thread pools.
+    for i in 0..=BEST_OF {
+        let report =
+            crack_parallel(&space, &impossible, Interval::new(0, KEYS as u128), config);
+        assert!(report.hits.is_empty(), "impossible target must not hit");
+        if i > 0 {
+            best = best.max(report.mkeys_per_s);
+        }
+    }
+    best
+}
+
+struct Row {
+    algo: &'static str,
+    threads: usize,
+    lanes: &'static str,
+    mkeys: f64,
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let mut json_path: Option<String> = None;
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--json" => {
+                json_path =
+                    Some(args.next().unwrap_or_else(|| "BENCH_cracker.json".to_string()));
+            }
+            // `cargo bench` passes `--bench`; ignore it and any filters.
+            _ => {}
+        }
+    }
+
+    let mut rows: Vec<Row> = Vec::new();
+    println!("{:<6} {:>7} {:>7} {:>10}", "algo", "threads", "lanes", "MKey/s");
+    for algo in ALGOS {
+        for threads in THREADS {
+            for lanes in LANES {
+                let mkeys = measure(algo, threads, lanes);
+                println!(
+                    "{:<6} {:>7} {:>7} {:>10.3}",
+                    algo_name(algo),
+                    threads,
+                    lanes.name(),
+                    mkeys
+                );
+                rows.push(Row { algo: algo_name(algo), threads, lanes: lanes.name(), mkeys });
+            }
+        }
+    }
+
+    // The gate: at one thread, the best batched width must beat scalar
+    // for every algorithm.
+    let one_thread = |algo: &str, lanes: &str| {
+        rows.iter()
+            .find(|r| r.algo == algo && r.threads == 1 && r.lanes == lanes)
+            .map(|r| r.mkeys)
+            .expect("measured above")
+    };
+    let mut gates = String::new();
+    let mut failed = false;
+    for algo in ALGOS.map(algo_name) {
+        let scalar = one_thread(algo, "scalar");
+        let batched = one_thread(algo, "8").max(one_thread(algo, "16"));
+        let speedup = batched / scalar;
+        println!("{algo}: best batched {batched:.3} vs scalar {scalar:.3} → {speedup:.2}x");
+        let _ = write!(gates, "{}\"{algo}_1t_speedup\": {speedup:.3}", if gates.is_empty() { "" } else { ", " });
+        if speedup < 1.0 {
+            eprintln!("GATE FAILED: batched {algo} is slower than scalar at 1 thread");
+            failed = true;
+        }
+    }
+
+    if let Some(path) = json_path {
+        let mut body = String::new();
+        for r in &rows {
+            let _ = write!(
+                body,
+                "{}    {{\"algo\": \"{}\", \"threads\": {}, \"lanes\": \"{}\", \"mkeys_per_s\": {:.3}}}",
+                if body.is_empty() { "" } else { ",\n" },
+                r.algo,
+                r.threads,
+                r.lanes,
+                r.mkeys
+            );
+        }
+        let json = format!(
+            "{{\n  \"bench\": \"cracker_batched_vs_scalar\",\n  \"keys_per_sweep\": {KEYS},\n  \"best_of\": {BEST_OF},\n  \"results\": [\n{body}\n  ],\n  \"gates\": {{{gates}}}\n}}\n"
+        );
+        std::fs::write(&path, json).expect("write json artifact");
+        println!("wrote {path}");
+    }
+
+    if failed {
+        std::process::exit(1);
+    }
+}

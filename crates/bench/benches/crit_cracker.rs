@@ -24,7 +24,7 @@ fn bench_scan_throughput() {
     g.throughput_elements(KEYS);
     for threads in [1usize, 2, 4, 8] {
         g.bench(&format!("threads_{threads}"), || {
-            let cfg = ParallelConfig { threads, chunk: 1 << 12, first_hit_only: false };
+            let cfg = ParallelConfig { threads, chunk: 1 << 12, first_hit_only: false, ..ParallelConfig::default() };
             crack_parallel(&s, &t, Interval::new(0, KEYS as u128), cfg)
         });
     }
@@ -37,7 +37,7 @@ fn bench_sha1_scan() {
     const KEYS: u64 = 100_000;
     g.throughput_elements(KEYS);
     g.bench("threads_4", || {
-        let cfg = ParallelConfig { threads: 4, chunk: 1 << 12, first_hit_only: false };
+        let cfg = ParallelConfig { threads: 4, chunk: 1 << 12, first_hit_only: false, ..ParallelConfig::default() };
         crack_parallel(&s, &t, Interval::new(0, KEYS as u128), cfg)
     });
 }
@@ -54,7 +54,7 @@ fn bench_multi_target() {
             .collect();
         let t = TargetSet::new(HashAlgo::Md5, &digests);
         g.bench(&format!("targets_{n_targets}"), || {
-            let cfg = ParallelConfig { threads: 4, chunk: 1 << 12, first_hit_only: false };
+            let cfg = ParallelConfig { threads: 4, chunk: 1 << 12, first_hit_only: false, ..ParallelConfig::default() };
             crack_parallel(&s, &t, Interval::new(0, KEYS as u128), cfg)
         });
     }

@@ -2,7 +2,7 @@
 
 use crate::args::Args;
 use eks_cluster::{paper_network, simulate_search, tune_device, AchievedModel, SimParams};
-use eks_cracker::{crack_parallel, mine, HashTarget, MiningJob, ParallelConfig, TargetSet};
+use eks_cracker::{crack_parallel, mine, HashTarget, Lanes, MiningJob, ParallelConfig, TargetSet};
 use eks_gpusim::codegen::lower;
 use eks_gpusim::device::DeviceCatalog;
 use eks_gpusim::sched::{simulate, SimConfig};
@@ -40,6 +40,8 @@ fn print_help() {
     println!("  crack    --algo md5|sha1|ntlm --digest HEX [--charset lower|upper|digits|alpha|alnum|print]");
     println!("           [--min N] [--max N] [--threads N] [--all] [--salt-prefix S] [--salt-suffix S]");
     println!("           [--mask \"?u?l?l?d?d\"] [--words w1,w2,... [--suffix-digits N]]");
+    println!("           [--batch] [--lanes scalar|8|16]   lane-batched hashing (default: 8 lanes;");
+    println!("           mask/hybrid/salted searches always use the scalar path)");
     println!("  hash     --algo md5|sha1 PLAINTEXT       compute a digest");
     println!("  mine     [--difficulty BITS] [--header STR] [--threads N]");
     println!("  analyze  [--algo md5|sha1|ntlm] [--variant optimized|naive|reversed]");
@@ -78,6 +80,22 @@ fn parse_charset(args: &Args) -> Result<Charset, String> {
     })
 }
 
+/// `--batch` opts into the lane-batched path explicitly (it is already the
+/// default); `--lanes scalar|8|16` picks the width. The combination
+/// `--batch --lanes scalar` is contradictory and rejected.
+fn parse_lanes(args: &Args) -> Result<Lanes, String> {
+    let lanes = match args.get("lanes") {
+        Some(s) => {
+            Lanes::parse(s).ok_or(format!("unsupported --lanes {s:?} (scalar, 8 or 16)"))?
+        }
+        None => Lanes::default(),
+    };
+    if args.has("batch") && lanes == Lanes::Scalar {
+        return Err("--batch contradicts --lanes scalar".into());
+    }
+    Ok(lanes)
+}
+
 fn cmd_crack(args: &Args) -> Result<(), String> {
     let algo = parse_algo(args)?;
     let digest_hex = args
@@ -93,13 +111,19 @@ fn cmd_crack(args: &Args) -> Result<(), String> {
         ));
     }
     let threads: usize = args.get_parse_or("threads", 8)?;
+    let lanes = parse_lanes(args)?;
 
     // Mask attack: --mask "?u?l?l?d?d".
     if let Some(mask) = args.get("mask") {
         let space = eks_keyspace::MaskSpace::parse(mask).map_err(|e| e.to_string())?;
         println!("mask {mask}: {} candidates, {threads} threads", space.size());
         let targets = TargetSet::new(algo, &[digest]);
-        let config = ParallelConfig { threads, chunk: 1 << 12, first_hit_only: !args.has("all") };
+        let config = ParallelConfig {
+            threads,
+            chunk: 1 << 12,
+            first_hit_only: !args.has("all"),
+            ..ParallelConfig::default()
+        };
         let report = eks_cracker::crack_space_parallel(&space, &targets, config);
         return finish_report(report);
     }
@@ -116,7 +140,12 @@ fn cmd_crack(args: &Args) -> Result<(), String> {
             space.size()
         );
         let targets = TargetSet::new(algo, &[digest]);
-        let config = ParallelConfig { threads, chunk: 256, first_hit_only: !args.has("all") };
+        let config = ParallelConfig {
+            threads,
+            chunk: 256,
+            first_hit_only: !args.has("all"),
+            ..ParallelConfig::default()
+        };
         let report = eks_cracker::crack_space_parallel(&space, &targets, config);
         return finish_report(report);
     }
@@ -158,9 +187,9 @@ fn cmd_crack(args: &Args) -> Result<(), String> {
 
     let targets = TargetSet::new(algo, &[digest]);
     let config = ParallelConfig {
-        threads,
-        chunk: 1 << 14,
         first_hit_only: !args.has("all"),
+        lanes,
+        ..ParallelConfig::for_threads(threads)
     };
     let report = crack_parallel(&space, &targets, space.interval(), config);
     finish_report(report)
@@ -532,6 +561,24 @@ mod tests {
         let digest = to_hex(&HashAlgo::Md5.hash(b"cab"));
         let a = args(&["crack", "--algo", "md5", "--digest", &digest, "--max", "3", "--threads", "2"]);
         assert!(run("crack", &a).is_ok());
+    }
+
+    #[test]
+    fn crack_lanes_flags() {
+        let digest = to_hex(&HashAlgo::Md5.hash(b"cab"));
+        for lanes in ["scalar", "8", "16"] {
+            let a = args(&[
+                "crack", "--digest", &digest, "--max", "3", "--threads", "2", "--lanes", lanes,
+            ]);
+            assert!(run("crack", &a).is_ok(), "--lanes {lanes}");
+        }
+        let a = args(&["crack", "--digest", &digest, "--max", "3", "--batch"]);
+        assert!(run("crack", &a).is_ok(), "--batch is the default made explicit");
+        let bad = args(&["crack", "--digest", &digest, "--lanes", "32"]);
+        assert!(run("crack", &bad).is_err(), "unsupported width");
+        let contradiction =
+            args(&["crack", "--digest", &digest, "--batch", "--lanes", "scalar"]);
+        assert!(run("crack", &contradiction).is_err());
     }
 
     #[test]

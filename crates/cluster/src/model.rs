@@ -181,7 +181,12 @@ mod tests {
                 &space,
                 &targets,
                 Interval::new(0, n as u128),
-                ParallelConfig { threads: 2, chunk: 1 << 12, first_hit_only: false },
+                ParallelConfig {
+                    threads: 2,
+                    chunk: 1 << 12,
+                    first_hit_only: false,
+                    ..Default::default()
+                },
             );
             r.elapsed_s
         };

@@ -10,7 +10,7 @@
 
 use std::sync::atomic::AtomicBool;
 
-use eks_cracker::engine::crack_interval;
+use eks_cracker::batch::{crack_interval_batched, Lanes};
 use eks_cracker::resume::Checkpoint;
 use eks_cracker::target::TargetSet;
 use eks_keyspace::{Interval, Key, KeySpace};
@@ -111,7 +111,17 @@ pub fn run_rounds(
                 }
                 let stop = &stop;
                 handles.push(scope.spawn(move || {
-                    (i, crack_interval(space, targets, part, stop, config.first_hit_only))
+                    // Batched tested counts stay a contiguous prefix of the
+                    // part, which checkpoint completion below relies on.
+                    let out = crack_interval_batched(
+                        space,
+                        targets,
+                        part,
+                        stop,
+                        config.first_hit_only,
+                        Lanes::default(),
+                    );
+                    (i, out)
                 }));
             }
             results = handles

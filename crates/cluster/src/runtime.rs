@@ -13,7 +13,7 @@ use eks_hashes::HashAlgo;
 use eks_keyspace::{Interval, Key, KeySpace};
 use eks_kernels::Tool;
 
-use eks_cracker::engine::crack_interval;
+use eks_cracker::batch::{crack_interval_batched, Lanes};
 use eks_cracker::target::TargetSet;
 
 use crate::spec::ClusterNode;
@@ -102,7 +102,16 @@ fn search_node(
             if i < n_devices {
                 let label = format!("{}/{}", node.name, node.devices[i].device.name);
                 handles.push(scope.spawn(move || {
-                    let out = crack_interval(space, targets, part, stop, first_hit_only);
+                    // Device workers run on host threads too: the batched
+                    // lane path is the CPU stand-in for the warp kernel.
+                    let out = crack_interval_batched(
+                        space,
+                        targets,
+                        part,
+                        stop,
+                        first_hit_only,
+                        Lanes::default(),
+                    );
                     if first_hit_only && !out.hits.is_empty() {
                         stop.store(true, Ordering::Relaxed);
                     }
@@ -127,8 +136,14 @@ fn search_node(
                             .map(|p| {
                                 let p = *p;
                                 inner.spawn(move || {
-                                    let out =
-                                        crack_interval(space, targets, p, stop, first_hit_only);
+                                    let out = crack_interval_batched(
+                                        space,
+                                        targets,
+                                        p,
+                                        stop,
+                                        first_hit_only,
+                                        Lanes::default(),
+                                    );
                                     if first_hit_only && !out.hits.is_empty() {
                                         stop.store(true, Ordering::Relaxed);
                                     }

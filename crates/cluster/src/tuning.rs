@@ -145,7 +145,7 @@ pub fn measure_cpu_mkeys(threads: usize, algo: HashAlgo) -> f64 {
         &space,
         &impossible,
         Interval::new(0, 300_000),
-        ParallelConfig { threads, chunk: 1 << 12, first_hit_only: false },
+        ParallelConfig { threads, chunk: 1 << 12, first_hit_only: false, ..Default::default() },
     );
     let mkeys = report.mkeys_per_s.max(0.01);
     cache.lock().expect("cpu cache").insert((threads, algo), mkeys);

@@ -78,10 +78,13 @@ where
     let size = SolutionSpace::size(space).expect("finite space");
     let start_t = Instant::now();
     let cursor = AtomicU64::new(0);
+    // Same cursor-width guard as `crack_parallel`: widen the effective
+    // chunk so the chunk count always fits the u64 cursor.
+    let chunk: u128 = (config.chunk as u128).max(size.div_ceil(u64::MAX as u128));
     let total_chunks: u64 = size
-        .div_ceil(config.chunk as u128)
+        .div_ceil(chunk)
         .try_into()
-        .expect("space too large for chunked dispatch");
+        .expect("size/ceil(size/u64::MAX) chunks always fit a u64");
     let stop = AtomicBool::new(false);
     let hits: Mutex<Vec<(u128, Key, usize)>> = Mutex::new(Vec::new());
     let tested = AtomicU64::new(0);
@@ -96,8 +99,8 @@ where
                 if n >= total_chunks {
                     break;
                 }
-                let lo = (n as u128) * (config.chunk as u128);
-                let len = (config.chunk as u128).min(size - lo);
+                let lo = (n as u128) * chunk;
+                let len = chunk.min(size - lo);
                 let out =
                     crack_space_interval(space, targets, lo, len, &stop, config.first_hit_only);
                 tested.fetch_add(out.tested as u64, Ordering::Relaxed);
@@ -135,7 +138,7 @@ mod tests {
         // "Capitalized word-ish + two digits" pattern.
         let mask = MaskSpace::parse("?u?l?l?d?d").unwrap();
         let t = targets(&[b"Cat42"]);
-        let cfg = ParallelConfig { threads: 4, chunk: 1 << 12, first_hit_only: true };
+        let cfg = ParallelConfig { threads: 4, chunk: 1 << 12, ..ParallelConfig::default() };
         let r = crack_space_parallel(&mask, &t, cfg);
         assert_eq!(r.hits[0].1.as_bytes(), b"Cat42");
         assert!(r.tested <= mask.size());
@@ -146,7 +149,7 @@ mod tests {
         let words: Vec<&[u8]> = vec![b"winter", b"dragon", b"summer"];
         let space = HybridSpace::with_digit_suffixes(&words, 2).unwrap();
         let t = targets(&[b"dragon77"]);
-        let cfg = ParallelConfig { threads: 2, chunk: 64, first_hit_only: true };
+        let cfg = ParallelConfig { threads: 2, chunk: 64, ..ParallelConfig::default() };
         let r = crack_space_parallel(&space, &t, cfg);
         assert_eq!(r.hits[0].1.as_bytes(), b"dragon77");
     }
@@ -155,7 +158,12 @@ mod tests {
     fn full_sweep_counts_every_candidate() {
         let mask = MaskSpace::parse("?d?d?d").unwrap();
         let t = targets(&[b"zzz-not-there"]);
-        let cfg = ParallelConfig { threads: 3, chunk: 97, first_hit_only: false };
+        let cfg = ParallelConfig {
+            threads: 3,
+            chunk: 97,
+            first_hit_only: false,
+            ..ParallelConfig::default()
+        };
         let r = crack_space_parallel(&mask, &t, cfg);
         assert_eq!(r.tested, 1000);
         assert!(r.hits.is_empty());

@@ -12,6 +12,7 @@
 //! ([`mining`]).
 
 pub mod audit;
+pub mod batch;
 pub mod engine;
 pub mod generic;
 pub mod mining;
@@ -22,6 +23,7 @@ pub mod stats;
 pub mod target;
 
 pub use audit::{AuditEntry, AuditFinding, AuditReport, AuditSession};
+pub use batch::{crack_interval_batched, layout_for, Lanes};
 pub use engine::{crack_interval, CrackOutcome};
 pub use generic::{crack_space_interval, crack_space_parallel};
 pub use mining::{mine, MiningJob, MiningResult};

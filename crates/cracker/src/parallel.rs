@@ -13,7 +13,8 @@ use std::time::Instant;
 use eks_keyspace::{Interval, Key, KeySpace};
 use std::sync::Mutex;
 
-use crate::engine::{crack_interval, CrackOutcome};
+use crate::batch::{crack_interval_batched, Lanes};
+use crate::engine::CrackOutcome;
 use crate::target::TargetSet;
 
 /// Parallel search configuration.
@@ -25,11 +26,41 @@ pub struct ParallelConfig {
     pub chunk: u64,
     /// Stop the whole search at the first hit.
     pub first_hit_only: bool,
+    /// Lane width of the per-thread test path (batched by default).
+    pub lanes: Lanes,
 }
 
 impl Default for ParallelConfig {
     fn default() -> Self {
-        Self { threads: 4, chunk: 1 << 16, first_hit_only: true }
+        Self::for_threads(4)
+    }
+}
+
+impl ParallelConfig {
+    /// A configuration whose chunk size is derived from the thread count
+    /// via [`ParallelConfig::default_chunk`], first-hit semantics, default
+    /// lane width.
+    pub fn for_threads(threads: usize) -> Self {
+        Self {
+            threads,
+            chunk: Self::default_chunk(threads),
+            first_hit_only: true,
+            lanes: Lanes::default(),
+        }
+    }
+
+    /// Chunk size for a thread count: a fixed per-sweep work budget
+    /// (2¹⁸ keys) divided across threads, so more workers pull finer
+    /// chunks (better load balance and first-hit latency) while few
+    /// workers amortize cursor traffic over bigger ones. Clamped to
+    /// `[16, 2¹⁶]` and kept a multiple of 16 so chunks compose with every
+    /// lane width.
+    ///
+    /// # Panics
+    /// Panics when `threads == 0`.
+    pub fn default_chunk(threads: usize) -> u64 {
+        assert!(threads >= 1, "need at least one thread");
+        ((1u64 << 18) / threads as u64).clamp(16, 1 << 16).next_multiple_of(16)
     }
 }
 
@@ -64,11 +95,15 @@ pub fn crack_parallel(
     // Shared chunk cursor: chunk index n covers
     // [start + n·chunk, start + (n+1)·chunk).
     let cursor = AtomicU64::new(0);
+    // Intervals can span up to u128::MAX identifiers while the cursor is a
+    // u64: widen the effective chunk just enough that the chunk count
+    // always fits, instead of panicking on huge (if impractical) spaces.
+    let chunk: u128 = (config.chunk as u128).max(clamped.len.div_ceil(u64::MAX as u128));
     let total_chunks: u64 = clamped
         .len
-        .div_ceil(config.chunk as u128)
+        .div_ceil(chunk)
         .try_into()
-        .expect("interval too large for chunked dispatch");
+        .expect("len/ceil(len/u64::MAX) chunks always fit a u64");
     let stop = AtomicBool::new(false);
     let hits: Mutex<Vec<(u128, Key, usize)>> = Mutex::new(Vec::new());
     let tested = AtomicU64::new(0);
@@ -84,14 +119,15 @@ pub fn crack_parallel(
                     if n >= total_chunks {
                         break;
                     }
-                    let lo = clamped.start + (n as u128) * (config.chunk as u128);
-                    let len = (config.chunk as u128).min(clamped.end() - lo);
-                    let out: CrackOutcome = crack_interval(
+                    let lo = clamped.start + (n as u128) * chunk;
+                    let len = chunk.min(clamped.end() - lo);
+                    let out: CrackOutcome = crack_interval_batched(
                         space,
                         targets,
                         Interval::new(lo, len),
                         &stop,
                         config.first_hit_only,
+                        config.lanes,
                     );
                     tested.fetch_add(out.tested as u64, Ordering::Relaxed);
                     if !out.hits.is_empty() {
@@ -137,7 +173,7 @@ mod tests {
     fn parallel_finds_planted_key() {
         let s = space();
         let t = targets(&[b"mule"]);
-        let cfg = ParallelConfig { threads: 4, chunk: 1 << 12, first_hit_only: true };
+        let cfg = ParallelConfig { threads: 4, chunk: 1 << 12, ..ParallelConfig::default() };
         let r = crack_parallel(&s, &t, s.interval(), cfg);
         assert_eq!(r.hits.len(), 1);
         assert_eq!(r.hits[0].1.as_bytes(), b"mule");
@@ -149,7 +185,12 @@ mod tests {
         let s = space();
         let words: Vec<&[u8]> = vec![b"a", b"zz", b"cat", b"mnop"];
         let t = targets(&words);
-        let cfg = ParallelConfig { threads: 3, chunk: 1 << 10, first_hit_only: false };
+        let cfg = ParallelConfig {
+            threads: 3,
+            chunk: 1 << 10,
+            first_hit_only: false,
+            ..ParallelConfig::default()
+        };
         let r = crack_parallel(&s, &t, s.interval(), cfg);
         assert_eq!(r.hits.len(), 4);
         assert_eq!(r.tested, s.size(), "full sweep tests everything");
@@ -164,11 +205,60 @@ mod tests {
     fn single_thread_matches_multi_thread_results() {
         let s = space();
         let t = targets(&[b"dog", b"pig"]);
-        let base = ParallelConfig { threads: 1, chunk: 1 << 10, first_hit_only: false };
+        let base = ParallelConfig {
+            threads: 1,
+            chunk: 1 << 10,
+            first_hit_only: false,
+            ..ParallelConfig::default()
+        };
         let multi = ParallelConfig { threads: 4, ..base };
         let r1 = crack_parallel(&s, &t, s.interval(), base);
         let r4 = crack_parallel(&s, &t, s.interval(), multi);
         assert_eq!(r1.hits, r4.hits);
+    }
+
+    #[test]
+    fn batched_lanes_find_the_same_hits_as_scalar() {
+        let s = space();
+        let t = targets(&[b"dog", b"pig", b"mnop"]);
+        let base = ParallelConfig {
+            threads: 2,
+            chunk: 1 << 10,
+            first_hit_only: false,
+            lanes: Lanes::Scalar,
+        };
+        let scalar = crack_parallel(&s, &t, s.interval(), base);
+        for lanes in [Lanes::L8, Lanes::L16] {
+            let batched = crack_parallel(&s, &t, s.interval(), ParallelConfig { lanes, ..base });
+            assert_eq!(batched.hits, scalar.hits, "{lanes}");
+            assert_eq!(batched.tested, scalar.tested, "{lanes}");
+        }
+    }
+
+    #[test]
+    fn huge_interval_does_not_overflow_chunk_dispatch() {
+        // Σ_{i=1}^{20} 62^i ≈ 7.2·10³⁵ candidates: with chunk = 1 the old
+        // dispatch computed ≈ 7.2·10³⁵ chunks and panicked converting to
+        // the u64 cursor. The widened effective chunk must handle it.
+        let s = KeySpace::new(Charset::alphanumeric(), 1, 20, Order::FirstCharFastest).unwrap();
+        let t = targets(&[b"a"]); // identifier 0: found immediately
+        let cfg = ParallelConfig { threads: 2, chunk: 1, first_hit_only: true, lanes: Lanes::L8 };
+        let r = crack_parallel(&s, &t, s.interval(), cfg);
+        assert_eq!(r.hits.len(), 1);
+        assert_eq!(r.hits[0].1.as_bytes(), b"a");
+    }
+
+    #[test]
+    fn default_chunk_scales_with_threads_and_composes_with_lanes() {
+        assert_eq!(ParallelConfig::default_chunk(1), 1 << 16);
+        assert_eq!(ParallelConfig::default_chunk(4), 1 << 16);
+        assert_eq!(ParallelConfig::default_chunk(8), 1 << 15);
+        assert_eq!(ParallelConfig::default_chunk(1 << 20), 16);
+        for threads in 1..=64 {
+            let chunk = ParallelConfig::default_chunk(threads);
+            assert_eq!(chunk % 16, 0, "chunk must compose with every lane width");
+            assert!(chunk >= 16);
+        }
     }
 
     #[test]
@@ -186,7 +276,7 @@ mod tests {
         // "a" is identifier 0: the search should terminate almost
         // immediately even over the full space.
         let t = targets(&[b"a"]);
-        let cfg = ParallelConfig { threads: 4, chunk: 1 << 10, first_hit_only: true };
+        let cfg = ParallelConfig { threads: 4, chunk: 1 << 10, ..ParallelConfig::default() };
         let r = crack_parallel(&s, &t, s.interval(), cfg);
         assert_eq!(r.hits[0].1.as_bytes(), b"a");
         assert!(r.tested < s.size() / 2, "tested {} of {}", r.tested, s.size());
@@ -203,7 +293,12 @@ mod tests {
             HashAlgo::Md5.hash_long(k2.as_bytes()),
         ];
         let t = TargetSet::new(HashAlgo::Md5, &ds);
-        let cfg = ParallelConfig { threads: 8, chunk: 1024, first_hit_only: false };
+        let cfg = ParallelConfig {
+            threads: 8,
+            chunk: 1024,
+            first_hit_only: false,
+            ..ParallelConfig::default()
+        };
         let r = crack_parallel(&s, &t, Interval::new(0, 4096), cfg);
         assert_eq!(r.hits.len(), 2);
     }

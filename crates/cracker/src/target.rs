@@ -78,6 +78,12 @@ pub struct TargetSet {
     algo: HashAlgo,
     /// Sorted digests for binary search.
     digests: Vec<Vec<u8>>,
+    /// Sorted per-target prefilter words for the lane-batched path: the
+    /// first word a batched kernel produces per candidate (MD5/NTLM final
+    /// `a` state, SHA-1 `a75`). The common miss is one `u32` compare per
+    /// lane — the paper's "anticipate the checks as soon as each part is
+    /// computed", generalized to many targets.
+    lane_words: Vec<u32>,
 }
 
 impl TargetSet {
@@ -92,7 +98,29 @@ impl TargetSet {
         let mut digests = digests.to_vec();
         digests.sort();
         digests.dedup();
-        Self { algo, digests }
+        let mut lane_words: Vec<u32> = digests.iter().map(|d| Self::lane_word(algo, d)).collect();
+        lane_words.sort_unstable();
+        lane_words.dedup();
+        Self { algo, digests, lane_words }
+    }
+
+    /// The prefilter word a digest implies: what the batched kernel's
+    /// cheapest per-candidate output must equal for this digest to match.
+    fn lane_word(algo: HashAlgo, digest: &[u8]) -> u32 {
+        match algo {
+            // Little-endian serialization: digest bytes 0..4 are the final
+            // `a` state word, the first thing md5_lanes/md4_lanes yield.
+            HashAlgo::Md5 | HashAlgo::Ntlm => {
+                u32::from_le_bytes(digest[0..4].try_into().expect("4 bytes"))
+            }
+            // SHA-1 cannot compare the digest directly 4 rounds early; the
+            // partial search compares `a75 = rotr30(e_target - IV[4])`,
+            // which is target-only and thus works across a whole set.
+            HashAlgo::Sha1 => {
+                let e = u32::from_be_bytes(digest[16..20].try_into().expect("4 bytes"));
+                e.wrapping_sub(eks_hashes::sha1::IV[4]).rotate_right(30)
+            }
+        }
     }
 
     /// Number of distinct targets.
@@ -114,6 +142,28 @@ impl TargetSet {
     pub fn matches(&self, key: &Key) -> Option<usize> {
         let h = self.algo.hash(key.as_bytes());
         self.digests.binary_search(&h).ok()
+    }
+
+    /// Lane prefilter: could a candidate whose cheapest kernel output is
+    /// `w` match any target? False rejects are impossible; a rare true
+    /// here (≈ `len·2⁻³²` per candidate) is confirmed via
+    /// [`TargetSet::match_digest`].
+    #[inline]
+    pub fn prefilter_match(&self, w: u32) -> bool {
+        // Tiny sets (the usual case) scan linearly — branch-predictable
+        // and vectorizable; big audit sets fall back to binary search.
+        if self.lane_words.len() <= 4 {
+            self.lane_words.contains(&w)
+        } else {
+            self.lane_words.binary_search(&w).is_ok()
+        }
+    }
+
+    /// Match an already-computed digest without rehashing; returns the
+    /// index of the matched digest (same indices as [`TargetSet::matches`]).
+    #[inline]
+    pub fn match_digest(&self, digest: &[u8]) -> Option<usize> {
+        self.digests.binary_search_by(|d| d.as_slice().cmp(digest)).ok()
     }
 
     /// The digest at `index` (as returned by [`TargetSet::matches`]).

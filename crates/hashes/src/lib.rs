@@ -21,6 +21,7 @@
 
 pub mod algo;
 pub mod digest;
+pub mod lanes;
 pub mod md4;
 pub mod md5;
 pub mod md5_reverse;
@@ -31,6 +32,7 @@ pub mod sha256;
 
 pub use algo::HashAlgo;
 pub use digest::{from_hex, to_hex, Digest};
+pub use lanes::{md4_lanes, md5_forward49_lanes, md5_lanes, sha1_a75_lanes, sha1_lanes};
 pub use md4::{md4, ntlm, Md4};
 pub use md5::{md5, Md5};
 pub use md5_reverse::Md5PrefixSearch;

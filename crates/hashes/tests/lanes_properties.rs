@@ -1,0 +1,172 @@
+//! Seeded property tests for the lane-parallel compression cores: every
+//! lane of every batched algorithm — forward MD5/MD4/SHA-1, the 49-step
+//! reversed-MD5 filter, the 76-round SHA-1 partial — must be bit-for-bit
+//! equal to its scalar reference on random single-block messages, at both
+//! supported widths (L = 8 and L = 16).
+
+use eks_core::prop::{forall, Rng};
+use eks_hashes::lanes::{md4_lanes, md5_forward49_lanes, md5_lanes, sha1_a75_lanes, sha1_lanes};
+use eks_hashes::md5_reverse::FORWARD_STEPS;
+use eks_hashes::padding::{pad_md5_block, pad_sha_block, MAX_SINGLE_BLOCK_MSG};
+use eks_hashes::{md4, md5, sha1, Md5PrefixSearch};
+
+/// A random message of random length (0..=55 bytes, arbitrary bytes).
+fn random_msg(rng: &mut Rng) -> Vec<u8> {
+    let len = rng.index(MAX_SINGLE_BLOCK_MSG + 1);
+    rng.vec(len, |r| r.u32() as u8)
+}
+
+/// `L` random pre-padded blocks and the messages they came from.
+fn random_blocks<const L: usize>(
+    rng: &mut Rng,
+    pad: fn(&[u8]) -> [u32; 16],
+) -> ([[u32; 16]; L], Vec<Vec<u8>>) {
+    let msgs: Vec<Vec<u8>> = (0..L).map(|_| random_msg(rng)).collect();
+    let mut blocks = [[0u32; 16]; L];
+    for (b, m) in blocks.iter_mut().zip(&msgs) {
+        *b = pad(m);
+    }
+    (blocks, msgs)
+}
+
+#[test]
+fn every_md5_lane_equals_scalar() {
+    forall("every_md5_lane_equals_scalar", 64, |rng| {
+        let (blocks, msgs) = random_blocks::<8>(rng, pad_md5_block);
+        for (l, state) in md5_lanes(&blocks).iter().enumerate() {
+            assert_eq!(*state, md5::md5_compress(md5::IV, &blocks[l]), "lane {l}");
+            assert_eq!(md5::state_to_digest(*state), md5::md5_single_block(&msgs[l]));
+        }
+        let (blocks, msgs) = random_blocks::<16>(rng, pad_md5_block);
+        for (l, state) in md5_lanes(&blocks).iter().enumerate() {
+            assert_eq!(*state, md5::md5_compress(md5::IV, &blocks[l]), "lane {l}");
+            assert_eq!(md5::state_to_digest(*state), md5::md5_single_block(&msgs[l]));
+        }
+    });
+}
+
+#[test]
+fn every_md4_lane_equals_scalar() {
+    forall("every_md4_lane_equals_scalar", 64, |rng| {
+        let (blocks, msgs) = random_blocks::<8>(rng, pad_md5_block);
+        for (l, state) in md4_lanes(&blocks).iter().enumerate() {
+            assert_eq!(*state, md4::md4_compress(md4::IV, &blocks[l]), "lane {l}");
+            assert_eq!(md5::state_to_digest(*state), md4::md4_single_block(&msgs[l]));
+        }
+        let (blocks, _) = random_blocks::<16>(rng, pad_md5_block);
+        for (l, state) in md4_lanes(&blocks).iter().enumerate() {
+            assert_eq!(*state, md4::md4_compress(md4::IV, &blocks[l]), "lane {l}");
+        }
+    });
+}
+
+#[test]
+fn md4_lanes_reproduce_ntlm_digests() {
+    // NTLM = MD4 over the UTF-16LE expansion; the lane path sees the
+    // expanded bytes as an ordinary single-block message.
+    forall("md4_lanes_reproduce_ntlm_digests", 64, |rng| {
+        let passwords: Vec<Vec<u8>> = (0..8)
+            .map(|_| {
+                let len = rng.index(21); // ≤ 20 chars → ≤ 40 expanded bytes
+                rng.vec(len, |r| r.range(0x20, 0x7e) as u8)
+            })
+            .collect();
+        let mut blocks = [[0u32; 16]; 8];
+        for (b, p) in blocks.iter_mut().zip(&passwords) {
+            let utf16: Vec<u8> = p.iter().flat_map(|&c| [c, 0]).collect();
+            *b = pad_md5_block(&utf16);
+        }
+        for (l, state) in md4_lanes(&blocks).iter().enumerate() {
+            assert_eq!(md5::state_to_digest(*state), md4::ntlm(&passwords[l]), "lane {l}");
+        }
+    });
+}
+
+#[test]
+fn every_sha1_lane_equals_scalar() {
+    forall("every_sha1_lane_equals_scalar", 64, |rng| {
+        let (blocks, msgs) = random_blocks::<8>(rng, pad_sha_block);
+        for (l, state) in sha1_lanes(&blocks).iter().enumerate() {
+            assert_eq!(*state, sha1::sha1_compress(sha1::IV, &blocks[l]), "lane {l}");
+            assert_eq!(sha1::state_to_digest(*state), sha1::sha1_single_block(&msgs[l]));
+        }
+        let (blocks, _) = random_blocks::<16>(rng, pad_sha_block);
+        for (l, state) in sha1_lanes(&blocks).iter().enumerate() {
+            assert_eq!(*state, sha1::sha1_compress(sha1::IV, &blocks[l]), "lane {l}");
+        }
+    });
+}
+
+#[test]
+fn every_forward49_lane_equals_scalar_steps() {
+    // The reversed-MD5 forward half: lanes share words 1..16 and differ
+    // only in w[0]; each lane must equal 49 scalar steps in rotating form.
+    forall("every_forward49_lane_equals_scalar_steps", 64, |rng| {
+        let mut template = [0u32; 16];
+        for w in template.iter_mut() {
+            *w = rng.u32();
+        }
+        let mut w0s = [0u32; 16];
+        for w in w0s.iter_mut() {
+            *w = rng.u32();
+        }
+        let states = md5_forward49_lanes(&template, &w0s);
+        for (l, got) in states.iter().enumerate() {
+            let mut w = template;
+            w[0] = w0s[l];
+            let mut s = md5::IV;
+            for i in 0..FORWARD_STEPS {
+                s = md5::step(i, s, &w);
+            }
+            assert_eq!(*got, s, "lane {l}");
+        }
+    });
+}
+
+#[test]
+fn reversed_filter_lanes_agree_with_scalar_and_accept_the_planted_key() {
+    forall("reversed_filter_lanes_agree_with_scalar", 48, |rng| {
+        // A real target: some key of a fixed random length; candidates
+        // vary only the leading 4 bytes, as in FirstCharFastest order.
+        let key_len = rng.range(4, 12) as usize;
+        let key = rng.vec(key_len, |r| r.range(0x21, 0x7e) as u8);
+        let target = md5::md5_single_block(&key);
+        let search = Md5PrefixSearch::from_sample_key(&target, &key);
+
+        let mut w0s = [0u32; 8];
+        for w in w0s.iter_mut() {
+            *w = rng.u32();
+        }
+        // Plant the true first word in a random lane.
+        let plant = rng.index(8);
+        w0s[plant] = u32::from_le_bytes(key[..4].try_into().expect("4 bytes"));
+
+        let got = search.matches_w0_lanes(&w0s);
+        for (l, &hit) in got.iter().enumerate() {
+            assert_eq!(hit, search.matches_w0(w0s[l]), "lane {l}");
+        }
+        assert!(got[plant], "the planted key's lane must pass the filter");
+    });
+}
+
+#[test]
+fn every_a75_lane_equals_scalar_partial_rounds() {
+    forall("every_a75_lane_equals_scalar_partial_rounds", 64, |rng| {
+        let (blocks, msgs) = random_blocks::<8>(rng, pad_sha_block);
+        let got = sha1_a75_lanes(&blocks);
+        for l in 0..8 {
+            // Scalar reference: 76 rounds over the rolling schedule.
+            let w = sha1::expand_schedule(&blocks[l]);
+            let mut s = sha1::IV;
+            for (i, &wi) in w.iter().enumerate().take(76) {
+                s = sha1::round(i, s, wi);
+            }
+            assert_eq!(got[l], s[0], "lane {l}");
+            // Cross-check with the search's acceptance rule: the lane's
+            // own digest as target must match exactly this value.
+            let target = sha1::sha1_single_block(&msgs[l]);
+            let search = eks_hashes::Sha1PartialSearch::new(&target);
+            assert_eq!(got[l], search.a75_expected(), "lane {l} self-target");
+        }
+    });
+}

@@ -1,0 +1,383 @@
+//! Zero-allocation candidate generation into pre-padded message blocks.
+//!
+//! A cracking kernel never re-pads a candidate from scratch: the padded
+//! 64-byte block of `f(id+1)` differs from that of `f(id)` in exactly the
+//! bytes the `next` operator changed — usually one (Section IV: "in most
+//! cases it modifies just a single character") — plus, rarely, the
+//! terminator and length words when the key grows. [`BlockBatch`] exploits
+//! this: it keeps the current key's fully padded 16-word block as a
+//! template, advances the key in place, mirrors the byte delta into the
+//! template, and hands out batches of `L` block copies for the
+//! lane-parallel compression cores. Steady state writes ~1–2 bytes per
+//! candidate and performs **no heap allocation** — the key buffer is
+//! inline, the template and the batch output live on the caller's stack.
+//!
+//! The writer also tracks a *suffix epoch*: a counter bumped whenever any
+//! block word other than `w[0]` changes. Batches whose epoch is stable
+//! satisfy the precondition of the reversed-MD5 search (all candidates
+//! share words 1..16), so the consumer can run the 49-step path and only
+//! rebuild the reversed reference when the epoch moves.
+
+use crate::encode::{advance_tracked, Order};
+use crate::interval::Interval;
+use crate::key::Key;
+use crate::space::KeySpace;
+
+/// How key bytes map into the padded single-block message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BlockLayout {
+    /// Little-endian word packing, bit length in `w[14]` (MD5/MD4
+    /// convention).
+    Md5Le,
+    /// Big-endian word packing, bit length in `w[15]` (SHA-1/SHA-256
+    /// convention).
+    ShaBe,
+    /// NTLM: the key is expanded to UTF-16LE (a zero byte after every
+    /// ASCII byte) before little-endian packing — key byte `p` lands at
+    /// block byte `2p`.
+    NtlmUtf16Le,
+}
+
+impl BlockLayout {
+    /// Message length in block bytes for a key of `key_len` bytes.
+    #[inline]
+    pub fn msg_len(self, key_len: usize) -> usize {
+        match self {
+            BlockLayout::Md5Le | BlockLayout::ShaBe => key_len,
+            BlockLayout::NtlmUtf16Le => key_len * 2,
+        }
+    }
+
+    /// `(word, shift)` of the block byte at `byte_pos`.
+    #[inline]
+    fn word_shift(self, byte_pos: usize) -> (usize, u32) {
+        match self {
+            BlockLayout::Md5Le | BlockLayout::NtlmUtf16Le => {
+                (byte_pos >> 2, ((byte_pos & 3) * 8) as u32)
+            }
+            BlockLayout::ShaBe => (byte_pos >> 2, ((3 - (byte_pos & 3)) * 8) as u32),
+        }
+    }
+
+    /// `(word, shift)` of the block byte holding key byte `pos`.
+    #[inline]
+    fn key_byte_slot(self, pos: usize) -> (usize, u32) {
+        match self {
+            BlockLayout::NtlmUtf16Le => self.word_shift(pos * 2),
+            _ => self.word_shift(pos),
+        }
+    }
+}
+
+/// Metadata for one batch handed out by [`BlockBatch::fill`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchInfo {
+    /// Space-local identifier of the batch's first candidate; lane `l`
+    /// holds `start_id + l`.
+    pub start_id: u128,
+    /// The suffix epoch the batch was generated under.
+    pub epoch: u64,
+    /// True when every candidate in the batch shares all block words
+    /// except `w[0]` — the precondition of the reversed-MD5 lane path.
+    pub uniform_suffix: bool,
+}
+
+/// In-place batch writer: walks an interval of a [`KeySpace`] and formats
+/// each candidate into a pre-padded 16-word block, maintained
+/// incrementally from the `next` operator's byte deltas.
+#[derive(Debug, Clone)]
+pub struct BlockBatch<'a> {
+    space: &'a KeySpace,
+    layout: BlockLayout,
+    key: Key,
+    template: [u32; 16],
+    next_id: u128,
+    remaining: u128,
+    epoch: u64,
+}
+
+impl<'a> BlockBatch<'a> {
+    /// Create a writer over `interval` (clamped to the space bounds).
+    pub fn new(space: &'a KeySpace, layout: BlockLayout, interval: Interval) -> Self {
+        let clamped = interval.intersect(&space.interval());
+        let mut b = Self {
+            space,
+            layout,
+            key: Key::empty(),
+            template: [0u32; 16],
+            next_id: clamped.start,
+            remaining: clamped.len,
+            epoch: 0,
+        };
+        if b.remaining > 0 {
+            space.key_at_into(b.next_id, &mut b.key);
+            b.format_full();
+        }
+        b
+    }
+
+    /// Candidates left in the interval.
+    #[inline]
+    pub fn remaining(&self) -> u128 {
+        self.remaining
+    }
+
+    /// Identifier of the next candidate to be handed out.
+    #[inline]
+    pub fn next_id(&self) -> u128 {
+        self.next_id
+    }
+
+    /// The current suffix epoch.
+    #[inline]
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The current key (the candidate `next_id` maps to).
+    #[inline]
+    pub fn key(&self) -> &Key {
+        &self.key
+    }
+
+    /// The current padded block.
+    #[inline]
+    pub fn template(&self) -> &[u32; 16] {
+        &self.template
+    }
+
+    /// Write the next `L` candidates' padded blocks into `out` and
+    /// advance. Lane `l` receives the block of identifier
+    /// `start_id + l`.
+    ///
+    /// # Panics
+    /// Panics when fewer than `L` candidates remain — the caller owns the
+    /// tail (scalar path).
+    #[inline]
+    pub fn fill<const L: usize>(&mut self, out: &mut [[u32; 16]; L]) -> BatchInfo {
+        assert!(
+            self.remaining >= L as u128,
+            "fill of {L} lanes with only {} candidates remaining",
+            self.remaining
+        );
+        let start_id = self.next_id;
+        let epoch0 = self.epoch;
+        for (l, block) in out.iter_mut().enumerate() {
+            *block = self.template;
+            if l + 1 < L {
+                self.advance_template();
+            }
+        }
+        // Uniformity covers the L-1 advances *between* the batch's lanes;
+        // the advance positioning the writer for the next batch may bump
+        // the epoch without invalidating this batch.
+        let uniform_suffix = self.epoch == epoch0;
+        self.next_id += L as u128;
+        self.remaining -= L as u128;
+        if self.remaining > 0 {
+            self.advance_template();
+        }
+        BatchInfo { start_id, epoch: epoch0, uniform_suffix }
+    }
+
+    /// Advance the key once and mirror the byte delta into the template.
+    fn advance_template(&mut self) {
+        let delta = advance_tracked(&mut self.key, self.space.charset(), self.space.order());
+        if delta.grew {
+            // Length changed: terminator and length words move. Rare
+            // (once per charset^len candidates) — reformat from scratch.
+            self.format_full();
+            self.epoch += 1;
+            return;
+        }
+        let len = self.key.len();
+        let range = match self.space.order() {
+            Order::FirstCharFastest => 0..delta.changed,
+            Order::LastCharFastest => len - delta.changed..len,
+        };
+        let mut touched_suffix = false;
+        for pos in range {
+            let byte = self.key.as_bytes()[pos];
+            touched_suffix |= self.write_key_byte(pos, byte);
+        }
+        if touched_suffix {
+            self.epoch += 1;
+        }
+    }
+
+    /// Overwrite the block byte(s) of key byte `pos`; returns true when a
+    /// word other than `w[0]` was touched.
+    #[inline]
+    fn write_key_byte(&mut self, pos: usize, byte: u8) -> bool {
+        let (word, shift) = self.layout.key_byte_slot(pos);
+        self.template[word] = (self.template[word] & !(0xff << shift)) | ((byte as u32) << shift);
+        word != 0
+    }
+
+    /// Format the current key into the template from scratch: key bytes,
+    /// `0x80` terminator, zero fill, length words.
+    fn format_full(&mut self) {
+        self.template = [0u32; 16];
+        let len = self.key.len();
+        let raw = *self.key.raw();
+        for (pos, &byte) in raw[..len].iter().enumerate() {
+            self.write_key_byte(pos, byte);
+        }
+        let msg_len = self.layout.msg_len(len);
+        debug_assert!(msg_len <= 55, "key does not fit a single block");
+        let (word, shift) = self.layout.word_shift(msg_len);
+        self.template[word] |= 0x80 << shift;
+        let bitlen = (msg_len as u64) * 8;
+        match self.layout {
+            BlockLayout::Md5Le | BlockLayout::NtlmUtf16Le => {
+                self.template[14] = bitlen as u32;
+                self.template[15] = (bitlen >> 32) as u32;
+            }
+            BlockLayout::ShaBe => {
+                self.template[14] = (bitlen >> 32) as u32;
+                self.template[15] = bitlen as u32;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::charset::Charset;
+
+    fn fresh_block(space: &KeySpace, layout: BlockLayout, id: u128) -> [u32; 16] {
+        *BlockBatch::new(space, layout, Interval::new(id, 1)).template()
+    }
+
+    #[test]
+    fn incremental_template_equals_full_reformat() {
+        for order in [Order::FirstCharFastest, Order::LastCharFastest] {
+            for layout in [BlockLayout::Md5Le, BlockLayout::ShaBe, BlockLayout::NtlmUtf16Le] {
+                let s =
+                    KeySpace::new(Charset::from_bytes(b"abc").unwrap(), 1, 4, order).unwrap();
+                let mut bb = BlockBatch::new(&s, layout, s.interval());
+                let mut blocks = [[0u32; 16]; 4];
+                let mut id = 0u128;
+                while bb.remaining() >= 4 {
+                    let info = bb.fill(&mut blocks);
+                    assert_eq!(info.start_id, id);
+                    for (l, b) in blocks.iter().enumerate() {
+                        let want = fresh_block(&s, layout, id + l as u128);
+                        assert_eq!(*b, want, "id {} {order:?} {layout:?}", id + l as u128);
+                    }
+                    id += 4;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn md5_layout_matches_hand_padding() {
+        let s = KeySpace::new(Charset::lowercase(), 3, 3, Order::FirstCharFastest).unwrap();
+        let bb = BlockBatch::new(&s, BlockLayout::Md5Le, s.interval());
+        // First key is "aaa": bytes a,a,a,0x80 little-endian in w[0].
+        let t = bb.template();
+        assert_eq!(t[0], u32::from_le_bytes([b'a', b'a', b'a', 0x80]));
+        assert_eq!(t[14], 24, "bit length low word");
+        assert_eq!(t[15], 0);
+        for w in &t[1..14] {
+            assert_eq!(*w, 0);
+        }
+    }
+
+    #[test]
+    fn sha_layout_matches_hand_padding() {
+        let s = KeySpace::new(Charset::lowercase(), 3, 3, Order::FirstCharFastest).unwrap();
+        let bb = BlockBatch::new(&s, BlockLayout::ShaBe, s.interval());
+        let t = bb.template();
+        assert_eq!(t[0], u32::from_be_bytes([b'a', b'a', b'a', 0x80]));
+        assert_eq!(t[15], 24, "bit length lives in w[15] big-endian");
+        assert_eq!(t[14], 0);
+    }
+
+    #[test]
+    fn ntlm_layout_interleaves_zero_bytes() {
+        let s = KeySpace::new(Charset::lowercase(), 2, 2, Order::FirstCharFastest).unwrap();
+        let bb = BlockBatch::new(&s, BlockLayout::NtlmUtf16Le, s.interval());
+        // "aa" -> UTF-16LE "a\0a\0" + 0x80: one word of text, terminator
+        // at byte 4.
+        let t = bb.template();
+        assert_eq!(t[0], u32::from_le_bytes([b'a', 0, b'a', 0]));
+        assert_eq!(t[1], 0x80);
+        assert_eq!(t[14], 32, "4 message bytes = 32 bits");
+    }
+
+    #[test]
+    fn uniform_suffix_tracks_w0_only_batches() {
+        // 26 symbols, first-char-fastest, fixed length 4: the first 26
+        // candidates differ only in byte 0 (inside w[0]); byte 1 changes
+        // every 26 candidates and still lives in w[0]; byte 4 would be
+        // w[1] but length is 4 so suffix words never change except at
+        // format boundaries.
+        let s = KeySpace::new(Charset::lowercase(), 4, 4, Order::FirstCharFastest).unwrap();
+        let mut bb = BlockBatch::new(&s, BlockLayout::Md5Le, s.interval());
+        let mut blocks = [[0u32; 16]; 8];
+        let mut uniform_batches = 0u32;
+        for _ in 0..64 {
+            let info = bb.fill(&mut blocks);
+            if info.uniform_suffix {
+                uniform_batches += 1;
+            }
+        }
+        // All four varying characters live in w[0]: every batch uniform.
+        assert_eq!(uniform_batches, 64);
+    }
+
+    #[test]
+    fn epoch_bumps_when_suffix_words_change() {
+        // Length 5: byte 4 lives in w[1], so every 26^4-th candidate...
+        // use a tiny charset so suffix changes happen quickly: abc, len 2
+        // last-char-fastest — byte 1 changes every step but byte 1 is in
+        // w[0]; use len 5 so the last byte is in w[1].
+        let s = KeySpace::new(Charset::from_bytes(b"abc").unwrap(), 5, 5, Order::LastCharFastest)
+            .unwrap();
+        let mut bb = BlockBatch::new(&s, BlockLayout::Md5Le, s.interval());
+        let e0 = bb.epoch();
+        let mut blocks = [[0u32; 16]; 2];
+        bb.fill(&mut blocks); // advances at least once: byte 4 changes
+        assert!(bb.epoch() > e0, "last byte of a 5-byte key lives in w[1]");
+    }
+
+    #[test]
+    fn growth_reformats_and_bumps_epoch() {
+        let s = KeySpace::new(Charset::from_bytes(b"ab").unwrap(), 1, 3, Order::FirstCharFastest)
+            .unwrap();
+        let mut bb = BlockBatch::new(&s, BlockLayout::Md5Le, s.interval());
+        let mut blocks = [[0u32; 16]; 2];
+        // ids 0.."b" then growth "aa" at id 2.
+        let i1 = bb.fill(&mut blocks); // a, b
+        assert_eq!(i1.start_id, 0);
+        let i2 = bb.fill(&mut blocks); // aa, ba
+        assert_eq!(blocks[0][14], 16, "grown key has 2-byte length");
+        assert!(i2.epoch > i1.epoch);
+    }
+
+    #[test]
+    #[should_panic]
+    fn fill_past_end_panics() {
+        let s = KeySpace::new(Charset::from_bytes(b"ab").unwrap(), 1, 1, Order::FirstCharFastest)
+            .unwrap();
+        let mut bb = BlockBatch::new(&s, BlockLayout::Md5Le, s.interval());
+        let mut blocks = [[0u32; 16]; 4];
+        bb.fill(&mut blocks); // only 2 candidates exist
+    }
+
+    #[test]
+    fn interval_is_clamped_and_offset() {
+        let s = KeySpace::new(Charset::lowercase(), 1, 3, Order::FirstCharFastest).unwrap();
+        let mut bb = BlockBatch::new(&s, BlockLayout::Md5Le, Interval::new(100, 1 << 40));
+        assert_eq!(bb.next_id(), 100);
+        assert_eq!(bb.remaining(), s.size() - 100);
+        let mut blocks = [[0u32; 16]; 2];
+        let info = bb.fill(&mut blocks);
+        assert_eq!(info.start_id, 100);
+        assert_eq!(blocks[0], fresh_block(&s, BlockLayout::Md5Le, 100));
+        assert_eq!(blocks[1], fresh_block(&s, BlockLayout::Md5Le, 101));
+    }
+}

@@ -106,6 +106,31 @@ pub fn decode(key: &Key, charset: &Charset, order: Order) -> Option<u128> {
 /// Panics when the key contains bytes outside the charset, or when the
 /// successor would exceed [`MAX_KEY_LEN`].
 pub fn advance(key: &mut Key, charset: &Charset, order: Order) {
+    advance_tracked(key, charset, order);
+}
+
+/// What [`advance_tracked`] changed: which bytes of the key were
+/// rewritten, so a block writer can mirror the delta into a pre-padded
+/// message buffer instead of reformatting from scratch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AdvanceDelta {
+    /// Number of key positions rewritten. In
+    /// [`Order::FirstCharFastest`] the changed positions are the prefix
+    /// `0..changed`; in [`Order::LastCharFastest`] the suffix
+    /// `len-changed..len`. When the key grew, every position changed and
+    /// `changed == len` (the new length).
+    pub changed: usize,
+    /// True when the key grew by one symbol (all carries rippled out).
+    pub grew: bool,
+}
+
+/// Like [`advance`], but reports which positions changed. Most steps
+/// return `changed == 1` — the amortized-O(1) fact the paper's `next`
+/// operator (and our zero-allocation batch writer) relies on.
+///
+/// # Panics
+/// Same as [`advance`].
+pub fn advance_tracked(key: &mut Key, charset: &Charset, order: Order) -> AdvanceDelta {
     // Bump the digit at `pos`; true when done, false when it carried.
     fn bump(key: &mut Key, charset: &Charset, pos: usize) -> bool {
         let byte = key.as_bytes()[pos];
@@ -123,14 +148,35 @@ pub fn advance(key: &mut Key, charset: &Charset, order: Order) {
     }
 
     let len = key.len();
-    let done = match order {
-        Order::LastCharFastest => (0..len).rev().any(|pos| bump(key, charset, pos)),
-        Order::FirstCharFastest => (0..len).any(|pos| bump(key, charset, pos)),
-    };
-    if !done {
+    let mut changed = 0usize;
+    let mut done = false;
+    match order {
+        Order::LastCharFastest => {
+            for pos in (0..len).rev() {
+                changed += 1;
+                if bump(key, charset, pos) {
+                    done = true;
+                    break;
+                }
+            }
+        }
+        Order::FirstCharFastest => {
+            for pos in 0..len {
+                changed += 1;
+                if bump(key, charset, pos) {
+                    done = true;
+                    break;
+                }
+            }
+        }
+    }
+    if done {
+        AdvanceDelta { changed, grew: false }
+    } else {
         // Every position carried (or the key was empty): the string grows
         // by one zero symbol. "cc" -> "aaa" in both orders.
         key.push(charset.first());
+        AdvanceDelta { changed: key.len(), grew: true }
     }
 }
 

@@ -26,6 +26,7 @@
 //! assert_eq!(k.to_string(), "ab");
 //! ```
 
+pub mod batch;
 pub mod charset;
 pub mod dictionary;
 pub mod encode;
@@ -35,9 +36,10 @@ pub mod key;
 pub mod mask;
 pub mod space;
 
+pub use batch::{BatchInfo, BlockBatch, BlockLayout};
 pub use charset::Charset;
 pub use dictionary::{HybridError, HybridSpace};
-pub use encode::{decode, encode, encode_into, Order};
+pub use encode::{advance_tracked, decode, encode, encode_into, AdvanceDelta, Order};
 pub use interval::Interval;
 pub use iter::KeyIter;
 pub use key::{Key, MAX_KEY_LEN};

@@ -45,7 +45,7 @@ fn main() {
             &space,
             &t,
             Interval::new(0, n as u128),
-            ParallelConfig { threads: 4, chunk: 1 << 12, first_hit_only: false },
+            ParallelConfig { threads: 4, chunk: 1 << 12, first_hit_only: false, ..ParallelConfig::default() },
         )
         .elapsed_s
     })

@@ -14,7 +14,7 @@ fn main() {
     // The victim chose a classic pattern: capitalized word + two digits.
     let secret = b"Cat42";
     let targets = TargetSet::new(HashAlgo::Md5, &[HashAlgo::Md5.hash(secret)]);
-    let cfg = ParallelConfig { threads: 8, chunk: 1 << 12, first_hit_only: true };
+    let cfg = ParallelConfig { threads: 8, chunk: 1 << 12, first_hit_only: true, ..ParallelConfig::default() };
     println!("target: md5(\"Cat42\") — unknown to the attacker\n");
 
     // 1. Plain brute force: correct but the most expensive option. Run a

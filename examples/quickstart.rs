@@ -35,7 +35,7 @@ fn main() {
 
     // Crack it with 8 worker threads.
     let targets = TargetSet::new(HashAlgo::Md5, &[digest]);
-    let config = ParallelConfig { threads: 8, chunk: 1 << 14, first_hit_only: true };
+    let config = ParallelConfig { threads: 8, chunk: 1 << 14, first_hit_only: true, ..ParallelConfig::default() };
     let report = crack_parallel(&space, &targets, space.interval(), config);
 
     match report.hits.first() {

@@ -60,7 +60,7 @@ fn main() {
         &space,
         &set,
         space.interval(),
-        ParallelConfig { threads: 8, chunk: 1 << 14, first_hit_only: false },
+        ParallelConfig { threads: 8, chunk: 1 << 14, first_hit_only: false, ..ParallelConfig::default() },
     );
     println!(
         "\nunsalted contrast: {} of {} cracked in ONE sweep ({:.2} MKey/s)",

@@ -88,7 +88,7 @@ fn generic_engine_matches_enumeration_on_mask() {
     let r = crack_space_parallel(
         &mask,
         &targets,
-        ParallelConfig { threads: 3, chunk: 100, first_hit_only: false },
+        ParallelConfig { threads: 3, chunk: 100, first_hit_only: false, ..ParallelConfig::default() },
     );
     assert_eq!(r.hits.len(), 1);
     assert_eq!(r.hits[0].0, 1234);
@@ -106,7 +106,7 @@ fn hybrid_space_end_to_end() {
     let r = crack_space_parallel(
         &space,
         &targets,
-        ParallelConfig { threads: 2, chunk: 64, first_hit_only: true },
+        ParallelConfig { threads: 2, chunk: 64, first_hit_only: true, ..ParallelConfig::default() },
     );
     assert_eq!(r.hits[0].1.as_bytes(), planted);
 }
