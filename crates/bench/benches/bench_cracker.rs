@@ -1,19 +1,25 @@
-//! The bench-trajectory artifact: scalar vs lane-batched cracking
-//! throughput (MKey/s) per algorithm per thread count.
+//! The bench-trajectory artifact: cracking throughput (MKey/s) per
+//! algorithm per thread count per [`Backend`] — scalar, the 8/16-lane
+//! SIMD widths, and the simulated-GPU kernel backend — all driven
+//! through the one `Dispatcher` core via `crack_parallel_backend`.
 //!
 //! Run directly for a human-readable table, or with `--json <path>` to
 //! also write a machine-readable artifact (the committed
 //! `BENCH_cracker.json`); `ci.sh` runs the JSON mode and this binary
-//! exits non-zero if any batched configuration is slower than its scalar
-//! baseline at one thread — the perf gate for the batched pipeline.
+//! exits non-zero if any batched backend is slower than scalar at one
+//! thread, or if the MD5 speedup falls below `--min-md5-speedup` — the
+//! perf gate for the batched pipeline and the engine refactor.
 //!
 //! The sweeps use an impossible target (no hit, no early exit), so every
 //! number is a pure full-scan throughput, best of three short runs.
 
 use std::fmt::Write as _;
 
+use eks_cluster::SimKernelBackend;
 use eks_cracker::batch::Lanes;
-use eks_cracker::{crack_parallel, ParallelConfig, TargetSet};
+use eks_cracker::{cpu_backend, crack_parallel_backend, ParallelConfig, TargetSet};
+use eks_engine::{Backend, BackendKind};
+use eks_gpusim::device::Device;
 use eks_hashes::HashAlgo;
 use eks_keyspace::{Charset, Interval, KeySpace, Order};
 
@@ -23,7 +29,6 @@ const KEYS: u64 = 300_000;
 /// Timed sweeps per configuration; the best is reported.
 const BEST_OF: usize = 3;
 const ALGOS: [HashAlgo; 3] = [HashAlgo::Md5, HashAlgo::Sha1, HashAlgo::Ntlm];
-const LANES: [Lanes; 3] = [Lanes::Scalar, Lanes::L8, Lanes::L16];
 const THREADS: [usize; 2] = [1, 2];
 
 fn algo_name(algo: HashAlgo) -> &'static str {
@@ -34,22 +39,35 @@ fn algo_name(algo: HashAlgo) -> &'static str {
     }
 }
 
+/// One concrete engine per [`BackendKind`]; the simulated GPU models the
+/// paper's GTX 660 compute node.
+fn backend_for(kind: BackendKind) -> Box<dyn Backend> {
+    match kind {
+        BackendKind::Scalar => cpu_backend(Lanes::Scalar),
+        BackendKind::Lanes8 => cpu_backend(Lanes::L8),
+        BackendKind::Lanes16 => cpu_backend(Lanes::L16),
+        BackendKind::SimGpu => Box::new(SimKernelBackend::new(Device::geforce_gtx_660())),
+    }
+}
+
 /// Best-of-N full-sweep throughput for one configuration.
-fn measure(algo: HashAlgo, threads: usize, lanes: Lanes) -> f64 {
+fn measure(algo: HashAlgo, threads: usize, kind: BackendKind) -> f64 {
     let space =
         KeySpace::new(Charset::lowercase(), 1, 8, Order::FirstCharFastest).expect("space");
     let impossible = TargetSet::new(algo, &[vec![0u8; algo.digest_len()]]);
-    let config = ParallelConfig {
-        threads,
-        first_hit_only: false,
-        lanes,
-        ..ParallelConfig::for_threads(threads)
-    };
+    let backend = backend_for(kind);
+    let config =
+        ParallelConfig { threads, first_hit_only: false, ..ParallelConfig::for_threads(threads) };
     let mut best = 0.0f64;
     // One extra untimed sweep warms caches and thread pools.
     for i in 0..=BEST_OF {
-        let report =
-            crack_parallel(&space, &impossible, Interval::new(0, KEYS as u128), config);
+        let report = crack_parallel_backend(
+            &space,
+            &impossible,
+            Interval::new(0, KEYS as u128),
+            backend.as_ref(),
+            config,
+        );
         assert!(report.hits.is_empty(), "impossible target must not hit");
         if i > 0 {
             best = best.max(report.mkeys_per_s);
@@ -61,18 +79,25 @@ fn measure(algo: HashAlgo, threads: usize, lanes: Lanes) -> f64 {
 struct Row {
     algo: &'static str,
     threads: usize,
-    lanes: &'static str,
+    backend: &'static str,
     mkeys: f64,
 }
 
 fn main() {
     let mut args = std::env::args().skip(1);
     let mut json_path: Option<String> = None;
+    let mut min_md5_speedup = 1.0f64;
     while let Some(a) = args.next() {
         match a.as_str() {
             "--json" => {
                 json_path =
                     Some(args.next().unwrap_or_else(|| "BENCH_cracker.json".to_string()));
+            }
+            "--min-md5-speedup" => {
+                min_md5_speedup = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--min-md5-speedup takes a number");
             }
             // `cargo bench` passes `--bench`; ignore it and any filters.
             _ => {}
@@ -80,28 +105,28 @@ fn main() {
     }
 
     let mut rows: Vec<Row> = Vec::new();
-    println!("{:<6} {:>7} {:>7} {:>10}", "algo", "threads", "lanes", "MKey/s");
+    println!("{:<6} {:>7} {:>8} {:>10}", "algo", "threads", "backend", "MKey/s");
     for algo in ALGOS {
         for threads in THREADS {
-            for lanes in LANES {
-                let mkeys = measure(algo, threads, lanes);
+            for kind in BackendKind::ALL {
+                let mkeys = measure(algo, threads, kind);
                 println!(
-                    "{:<6} {:>7} {:>7} {:>10.3}",
+                    "{:<6} {:>7} {:>8} {:>10.3}",
                     algo_name(algo),
                     threads,
-                    lanes.name(),
+                    kind.name(),
                     mkeys
                 );
-                rows.push(Row { algo: algo_name(algo), threads, lanes: lanes.name(), mkeys });
+                rows.push(Row { algo: algo_name(algo), threads, backend: kind.name(), mkeys });
             }
         }
     }
 
-    // The gate: at one thread, the best batched width must beat scalar
-    // for every algorithm.
-    let one_thread = |algo: &str, lanes: &str| {
+    // The gate: at one thread, the best batched backend must beat scalar
+    // for every algorithm, and MD5 by at least `--min-md5-speedup`.
+    let one_thread = |algo: &str, backend: &str| {
         rows.iter()
-            .find(|r| r.algo == algo && r.threads == 1 && r.lanes == lanes)
+            .find(|r| r.algo == algo && r.threads == 1 && r.backend == backend)
             .map(|r| r.mkeys)
             .expect("measured above")
     };
@@ -109,12 +134,17 @@ fn main() {
     let mut failed = false;
     for algo in ALGOS.map(algo_name) {
         let scalar = one_thread(algo, "scalar");
-        let batched = one_thread(algo, "8").max(one_thread(algo, "16"));
+        let batched = BackendKind::ALL
+            .iter()
+            .filter(|k| !matches!(k, BackendKind::Scalar))
+            .map(|k| one_thread(algo, k.name()))
+            .fold(0.0f64, f64::max);
         let speedup = batched / scalar;
         println!("{algo}: best batched {batched:.3} vs scalar {scalar:.3} → {speedup:.2}x");
         let _ = write!(gates, "{}\"{algo}_1t_speedup\": {speedup:.3}", if gates.is_empty() { "" } else { ", " });
-        if speedup < 1.0 {
-            eprintln!("GATE FAILED: batched {algo} is slower than scalar at 1 thread");
+        let floor = if algo == "md5" { min_md5_speedup } else { 1.0 };
+        if speedup < floor {
+            eprintln!("GATE FAILED: {algo} speedup {speedup:.2}x is below the {floor:.2}x floor");
             failed = true;
         }
     }
@@ -124,16 +154,16 @@ fn main() {
         for r in &rows {
             let _ = write!(
                 body,
-                "{}    {{\"algo\": \"{}\", \"threads\": {}, \"lanes\": \"{}\", \"mkeys_per_s\": {:.3}}}",
+                "{}    {{\"algo\": \"{}\", \"threads\": {}, \"backend\": \"{}\", \"mkeys_per_s\": {:.3}}}",
                 if body.is_empty() { "" } else { ",\n" },
                 r.algo,
                 r.threads,
-                r.lanes,
+                r.backend,
                 r.mkeys
             );
         }
         let json = format!(
-            "{{\n  \"bench\": \"cracker_batched_vs_scalar\",\n  \"keys_per_sweep\": {KEYS},\n  \"best_of\": {BEST_OF},\n  \"results\": [\n{body}\n  ],\n  \"gates\": {{{gates}}}\n}}\n"
+            "{{\n  \"bench\": \"cracker_backends_vs_scalar\",\n  \"keys_per_sweep\": {KEYS},\n  \"best_of\": {BEST_OF},\n  \"min_md5_speedup\": {min_md5_speedup},\n  \"results\": [\n{body}\n  ],\n  \"gates\": {{{gates}}}\n}}\n"
         );
         std::fs::write(&path, json).expect("write json artifact");
         println!("wrote {path}");

@@ -1,8 +1,15 @@
 //! Subcommand implementations.
 
 use crate::args::Args;
-use eks_cluster::{paper_network, simulate_search, tune_device, AchievedModel, SimParams};
-use eks_cracker::{crack_parallel, mine, HashTarget, Lanes, MiningJob, ParallelConfig, TargetSet};
+use eks_cluster::{
+    paper_network, run_cluster_search, simulate_search, tune_device, AchievedModel,
+    SimKernelBackend, SimParams,
+};
+use eks_cracker::{
+    cpu_backend, crack_parallel, crack_parallel_backend, mine, HashTarget, Lanes, MiningJob,
+    ParallelConfig, TargetSet,
+};
+use eks_engine::{Backend, BackendKind};
 use eks_gpusim::codegen::lower;
 use eks_gpusim::device::DeviceCatalog;
 use eks_gpusim::sched::{simulate, SimConfig};
@@ -24,6 +31,7 @@ pub fn run(command: &str, args: &Args) -> Result<(), String> {
         "audit" => cmd_audit(args),
         "strength" => cmd_strength(args),
         "simulate" => cmd_simulate(args),
+        "cluster" => cmd_cluster(args),
         "tune" => cmd_tune(args),
         "help" | "--help" | "-h" => {
             print_help();
@@ -42,6 +50,8 @@ fn print_help() {
     println!("           [--mask \"?u?l?l?d?d\"] [--words w1,w2,... [--suffix-digits N]]");
     println!("           [--batch] [--lanes scalar|8|16]   lane-batched hashing (default: 8 lanes;");
     println!("           mask/hybrid/salted searches always use the scalar path)");
+    println!("           [--backend scalar|lanes8|lanes16|simgpu [--device 660]]   pick the engine");
+    println!("           backend explicitly (simgpu drives a simulated device's kernel)");
     println!("  hash     --algo md5|sha1 PLAINTEXT       compute a digest");
     println!("  mine     [--difficulty BITS] [--header STR] [--threads N]");
     println!("  analyze  [--algo md5|sha1|ntlm] [--variant optimized|naive|reversed]");
@@ -55,6 +65,9 @@ fn print_help() {
     println!("  strength PASSWORD [--algo md5] [--charset alnum] [--max N]   time-to-crack");
     println!("  simulate [--keys N] [--algo md5|sha1]    whole-network DES (Table IX)");
     println!("           [--topology \"A(660) -> B(550Ti, cpu:4)\"]   custom cluster");
+    println!("  cluster  --digest HEX [--algo md5|sha1|ntlm] [--charset ...] [--min N] [--max N]");
+    println!("           [--topology \"A(660, cpu:2)\"] [--all]   really crack across a");
+    println!("           heterogeneous cluster of CPU + simulated-GPU backends");
     println!("  tune     [--threads N]                   tune devices and this host's CPU");
 }
 
@@ -96,6 +109,29 @@ fn parse_lanes(args: &Args) -> Result<Lanes, String> {
     Ok(lanes)
 }
 
+/// `--backend scalar|lanes8|lanes16|simgpu` names an engine backend
+/// explicitly. It subsumes the older `--lanes`/`--batch` pair, so
+/// combining them is contradictory and rejected; `simgpu` drives the
+/// kernel of the device picked by `--device` (default: the GTX 660).
+fn parse_backend(args: &Args) -> Result<Option<Box<dyn Backend>>, String> {
+    let Some(s) = args.get("backend") else { return Ok(None) };
+    if args.has("lanes") || args.has("batch") {
+        return Err("--backend conflicts with --lanes/--batch".into());
+    }
+    let kind = BackendKind::parse(s)
+        .ok_or(format!("unsupported --backend {s:?} (scalar, lanes8, lanes16 or simgpu)"))?;
+    Ok(Some(match kind {
+        BackendKind::Scalar => cpu_backend(Lanes::Scalar),
+        BackendKind::Lanes8 => cpu_backend(Lanes::L8),
+        BackendKind::Lanes16 => cpu_backend(Lanes::L16),
+        BackendKind::SimGpu => {
+            let device =
+                DeviceCatalog::find(args.get_or("device", "660")).ok_or("unknown --device")?;
+            Box::new(SimKernelBackend::new(device))
+        }
+    }))
+}
+
 fn cmd_crack(args: &Args) -> Result<(), String> {
     let algo = parse_algo(args)?;
     let digest_hex = args
@@ -112,6 +148,15 @@ fn cmd_crack(args: &Args) -> Result<(), String> {
     }
     let threads: usize = args.get_parse_or("threads", 8)?;
     let lanes = parse_lanes(args)?;
+    let backend = parse_backend(args)?;
+    if backend.is_some()
+        && (args.get("mask").is_some()
+            || args.get("words").is_some()
+            || args.get("salt-prefix").is_some()
+            || args.get("salt-suffix").is_some())
+    {
+        return Err("--backend applies only to plain charset searches".into());
+    }
 
     // Mask attack: --mask "?u?l?l?d?d".
     if let Some(mask) = args.get("mask") {
@@ -191,7 +236,10 @@ fn cmd_crack(args: &Args) -> Result<(), String> {
         lanes,
         ..ParallelConfig::for_threads(threads)
     };
-    let report = crack_parallel(&space, &targets, space.interval(), config);
+    let report = match backend {
+        Some(b) => crack_parallel_backend(&space, &targets, space.interval(), b.as_ref(), config),
+        None => crack_parallel(&space, &targets, space.interval(), config),
+    };
     finish_report(report)
 }
 
@@ -533,6 +581,50 @@ fn cmd_simulate(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// Really crack a digest across a heterogeneous cluster: every simulated
+/// GPU becomes a [`SimKernelBackend`], every `cpu:N` worker a lane
+/// backend, and the whole tree runs through the one dispatch core.
+fn cmd_cluster(args: &Args) -> Result<(), String> {
+    let algo = parse_algo(args)?;
+    let digest_hex = args.get("digest").ok_or("cluster requires --digest <hex>")?;
+    let digest = from_hex(digest_hex).ok_or("digest is not valid hex")?;
+    if digest.len() != algo.digest_len() {
+        return Err(format!(
+            "digest length {} does not match {} ({} bytes)",
+            digest.len(),
+            algo.name(),
+            algo.digest_len()
+        ));
+    }
+    let charset = parse_charset(args)?;
+    let min: u32 = args.get_parse_or("min", 1)?;
+    let max: u32 = args.get_parse_or("max", 4)?;
+    let space =
+        KeySpace::new(charset, min, max, Order::FirstCharFastest).map_err(|e| e.to_string())?;
+    let (net, label) = match args.get("topology") {
+        Some(t) => (eks_cluster::parse_topology(t, 0.0)?, t.to_string()),
+        None => (
+            paper_network(0.0).with_cpu("host-cpu", 2),
+            "paper network + host cpu:2".to_string(),
+        ),
+    };
+    let targets = TargetSet::new(algo, &[digest]);
+    println!("cluster [{label}]: searching {} {} candidates", space.size(), algo.name());
+    let r = run_cluster_search(&net, &space, &targets, space.interval(), !args.has("all"));
+    println!("{:<44}{:>16}", "worker", "tested");
+    for (name, tested) in &r.per_device {
+        println!("{name:<44}{tested:>16}");
+    }
+    if r.hits.is_empty() {
+        return Err(format!("not found; tested {} keys", r.tested));
+    }
+    for (id, key, _) in &r.hits {
+        println!("FOUND: \"{key}\" (identifier {id})");
+    }
+    println!("tested {} keys across {} workers", r.tested, r.per_device.len());
+    Ok(())
+}
+
 fn cmd_tune(args: &Args) -> Result<(), String> {
     let threads: usize = args.get_parse_or("threads", 4)?;
     println!("{:<24}{:>14}{:>14}{:>14}", "worker", "theoretical", "achieved", "n_j (99%)");
@@ -579,6 +671,46 @@ mod tests {
         let contradiction =
             args(&["crack", "--digest", &digest, "--batch", "--lanes", "scalar"]);
         assert!(run("crack", &contradiction).is_err());
+    }
+
+    #[test]
+    fn crack_backend_flag() {
+        let digest = to_hex(&HashAlgo::Md5.hash(b"cab"));
+        for backend in ["scalar", "lanes8", "lanes16", "simgpu"] {
+            let a = args(&[
+                "crack", "--digest", &digest, "--max", "3", "--threads", "2", "--backend", backend,
+            ]);
+            assert!(run("crack", &a).is_ok(), "--backend {backend}");
+        }
+        let bad = args(&["crack", "--digest", &digest, "--backend", "cuda"]);
+        assert!(run("crack", &bad).is_err(), "unknown backend");
+        let conflict =
+            args(&["crack", "--digest", &digest, "--backend", "scalar", "--lanes", "8"]);
+        assert!(run("crack", &conflict).is_err(), "--backend conflicts with --lanes");
+        let masked = args(&[
+            "crack", "--digest", &digest, "--backend", "scalar", "--mask", "?l?l?l",
+        ]);
+        assert!(run("crack", &masked).is_err(), "--backend is plain-search only");
+        let nodev =
+            args(&["crack", "--digest", &digest, "--backend", "simgpu", "--device", "voodoo2"]);
+        assert!(run("crack", &nodev).is_err(), "unknown simgpu device");
+    }
+
+    #[test]
+    fn cluster_command_cracks_heterogeneously() {
+        let digest = to_hex(&HashAlgo::Md5.hash(b"cab"));
+        let a = args(&[
+            "cluster", "--digest", &digest, "--max", "3",
+            "--topology", "box(660, cpu:2)",
+        ]);
+        assert!(run("cluster", &a).is_ok());
+        let not_found = args(&[
+            "cluster", "--digest", &"00".repeat(16), "--max", "2",
+            "--topology", "box(660, cpu:2)",
+        ]);
+        assert!(run("cluster", &not_found).is_err());
+        let no_digest = args(&["cluster"]);
+        assert!(run("cluster", &no_digest).is_err());
     }
 
     #[test]

@@ -10,8 +10,16 @@
 //! rates — and recomputes the balanced assignment. Interval accounting is
 //! exact (`u128`), so tests can assert that every identifier is assigned
 //! exactly once regardless of the membership churn.
+//!
+//! Two masters live here: [`run_dynamic`] advances *virtual* time from
+//! declared rates (the planning model), while [`run_dynamic_search`]
+//! actually cracks keys — its members are [`eks_engine::Backend`] leaves
+//! (CPU lanes or simulated GPUs) whose rates come from their own tuning
+//! step, and every scan runs through one [`Dispatcher`].
 
-use eks_keyspace::Interval;
+use eks_cracker::target::TargetSet;
+use eks_engine::{Backend, Dispatcher, ScanMode, WorkerId};
+use eks_keyspace::{Interval, Key, KeySpace};
 
 /// A membership change the master observes between rounds.
 #[derive(Debug, Clone, PartialEq)]
@@ -180,6 +188,183 @@ fn apply(members: &mut Vec<Member>, event: &MembershipEvent) {
     }
 }
 
+/// A membership change during a real dynamic search. Unlike
+/// [`MembershipEvent`], a join carries the node's executor — its rate is
+/// whatever the backend's own tuning step reports, not a declared number.
+pub enum SearchEvent {
+    /// A node joins with its backend.
+    Join {
+        /// Node name.
+        name: String,
+        /// The executor the node contributes.
+        backend: Box<dyn Backend>,
+    },
+    /// A node leaves (gracefully or detected dead at the gather).
+    Leave {
+        /// Node name.
+        name: String,
+    },
+}
+
+/// A [`SearchEvent`] scheduled before a given round.
+pub struct ScheduledSearchEvent {
+    /// The event fires before this round index (0-based).
+    pub before_round: u32,
+    /// What happens.
+    pub event: SearchEvent,
+}
+
+/// Configuration of the real dynamic master.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DynamicSearchConfig {
+    /// Keys dispatched per round.
+    pub round_keys: u128,
+    /// Stop the search at the first hit.
+    pub first_hit_only: bool,
+}
+
+/// Result of a real dynamic search.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DynamicSearchReport {
+    /// Hits in identifier order.
+    pub hits: Vec<(u128, Key, usize)>,
+    /// Candidates tested.
+    pub tested: u128,
+    /// Rounds executed.
+    pub rounds: u32,
+    /// Times the assignment was recomputed due to membership changes.
+    pub rebalances: u32,
+    /// Per-member `(name [backend], tested)`, join order.
+    pub per_member: Vec<(String, u128)>,
+}
+
+struct SearchMember {
+    name: String,
+    backend: Box<dyn Backend>,
+    worker: WorkerId,
+    active: bool,
+}
+
+/// Run a real search over `interval` with a dynamic membership: each
+/// round re-splits the next slice by the *current* members' tuned rates,
+/// so a join immediately takes its proportional share and a leave stops
+/// receiving work; hits, cancellation and accounting all flow through
+/// the one dispatch core.
+///
+/// # Panics
+/// Panics when the initial membership is empty, when a leave references
+/// an unknown node, when a join duplicates a live name, or when at some
+/// round no member remains active.
+pub fn run_dynamic_search(
+    initial: Vec<(String, Box<dyn Backend>)>,
+    space: &KeySpace,
+    targets: &TargetSet,
+    interval: Interval,
+    config: DynamicSearchConfig,
+    events: Vec<ScheduledSearchEvent>,
+) -> DynamicSearchReport {
+    assert!(!initial.is_empty(), "need at least one initial member");
+    assert!(config.round_keys > 0);
+    let algo = targets.algo();
+    let dispatcher =
+        Dispatcher::new(space, targets, ScanMode::from_first_hit(config.first_hit_only));
+    let mut members: Vec<SearchMember> = initial
+        .into_iter()
+        .map(|(name, backend)| {
+            let worker = dispatcher.register(format!("{name} [{}]", backend.name()));
+            SearchMember { name, backend, worker, active: true }
+        })
+        .collect();
+    let mut events: Vec<ScheduledSearchEvent> = events.into_iter().collect();
+
+    let mut remaining = interval.intersect(&space.interval());
+    let mut round: u32 = 0;
+    let mut rebalances: u32 = 0;
+
+    while !remaining.is_empty() {
+        // Apply events scheduled before this round.
+        let mut changed = false;
+        let mut due = Vec::new();
+        events.retain_mut(|e| {
+            if e.before_round == round {
+                due.push(std::mem::replace(
+                    &mut e.event,
+                    SearchEvent::Leave { name: String::new() },
+                ));
+                false
+            } else {
+                true
+            }
+        });
+        for event in due {
+            apply_search(&mut members, event, &dispatcher);
+            changed = true;
+        }
+        if changed {
+            rebalances += 1;
+        }
+        let active: Vec<usize> =
+            members.iter().enumerate().filter(|(_, m)| m.active).map(|(i, _)| i).collect();
+        assert!(!active.is_empty(), "no active members at round {round}");
+
+        // Take this round's slice and split it by current tuned rates.
+        let slice = remaining.take_front(config.round_keys);
+        let weights: Vec<f64> =
+            active.iter().map(|&i| members[i].backend.tuned_rate(algo)).collect();
+        let parts = slice.split_weighted(&weights);
+        std::thread::scope(|scope| {
+            for (&i, part) in active.iter().zip(&parts) {
+                let part = *part;
+                let member = &members[i];
+                let dispatcher = &dispatcher;
+                scope.spawn(move || {
+                    dispatcher.scan_as(member.worker, member.backend.as_ref(), part);
+                });
+            }
+        });
+        round += 1;
+
+        if config.first_hit_only && dispatcher.any_hits() {
+            break;
+        }
+    }
+
+    let report = dispatcher.finish();
+    DynamicSearchReport {
+        hits: report.hits,
+        tested: report.tested,
+        rounds: round,
+        rebalances,
+        per_member: report.per_worker,
+    }
+}
+
+fn apply_search(members: &mut Vec<SearchMember>, event: SearchEvent, dispatcher: &Dispatcher<'_>) {
+    match event {
+        SearchEvent::Join { name, backend } => {
+            assert!(
+                !members.iter().any(|m| m.active && m.name == name),
+                "duplicate live member {name}"
+            );
+            // Re-joining a previously-left name resumes its accounting.
+            if let Some(m) = members.iter_mut().find(|m| m.name == name) {
+                m.active = true;
+                m.backend = backend;
+            } else {
+                let worker = dispatcher.register(format!("{name} [{}]", backend.name()));
+                members.push(SearchMember { name, backend, worker, active: true });
+            }
+        }
+        SearchEvent::Leave { name } => {
+            let m = members
+                .iter_mut()
+                .find(|m| m.active && m.name == name)
+                .unwrap_or_else(|| panic!("unknown or inactive member {name}"));
+            m.active = false;
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -296,5 +481,98 @@ mod tests {
             config(),
             &[ScheduledEvent { before_round: 1, event: MembershipEvent::Leave { name: "a".into() } }],
         );
+    }
+
+    mod search {
+        use super::*;
+        use crate::simgpu::SimKernelBackend;
+        use eks_cracker::LaneBackend;
+        use eks_gpusim::device::Device;
+        use eks_hashes::HashAlgo;
+        use eks_keyspace::{Charset, KeySpace, Order};
+
+        fn space() -> KeySpace {
+            KeySpace::new(Charset::lowercase(), 1, 4, Order::FirstCharFastest).unwrap()
+        }
+
+        fn targets(words: &[&[u8]]) -> TargetSet {
+            let ds: Vec<Vec<u8>> = words.iter().map(|w| HashAlgo::Md5.hash_long(w)).collect();
+            TargetSet::new(HashAlgo::Md5, &ds)
+        }
+
+        fn cpu(name: &str) -> (String, Box<dyn Backend>) {
+            (name.to_string(), Box::new(LaneBackend::default()))
+        }
+
+        fn gpu(name: &str) -> (String, Box<dyn Backend>) {
+            (name.to_string(), Box::new(SimKernelBackend::new(Device::geforce_gtx_660())))
+        }
+
+        #[test]
+        fn heterogeneous_join_mid_search_takes_a_share() {
+            let s = space();
+            let t = targets(&[b"zzzz"]);
+            let r = run_dynamic_search(
+                vec![cpu("host-cpu")],
+                &s,
+                &t,
+                s.interval(),
+                DynamicSearchConfig { round_keys: 60_000, first_hit_only: false },
+                vec![ScheduledSearchEvent {
+                    before_round: 2,
+                    event: SearchEvent::Join { name: "gpu-box".into(), backend: gpu("x").1 },
+                }],
+            );
+            assert_eq!(r.tested, s.size(), "every key tested exactly once");
+            assert_eq!(r.hits.len(), 1);
+            assert_eq!(r.rebalances, 1);
+            let cpu_row =
+                r.per_member.iter().find(|(n, _)| n.contains("[lanes")).expect("cpu member");
+            let gpu_row =
+                r.per_member.iter().find(|(n, _)| n.contains("[simgpu]")).expect("gpu member");
+            assert!(cpu_row.1 > 0 && gpu_row.1 > 0, "both backend kinds tested");
+            // The tuned GPU rate dwarfs the CPU's, so once joined it
+            // takes nearly everything that is left.
+            assert!(gpu_row.1 > cpu_row.1, "{:?}", r.per_member);
+        }
+
+        #[test]
+        fn leave_mid_search_still_covers_everything() {
+            let s = space();
+            let t = targets(&[b"zzzz"]);
+            let r = run_dynamic_search(
+                vec![cpu("a"), cpu("b")],
+                &s,
+                &t,
+                s.interval(),
+                DynamicSearchConfig { round_keys: 60_000, first_hit_only: false },
+                vec![ScheduledSearchEvent {
+                    before_round: 2,
+                    event: SearchEvent::Leave { name: "b".into() },
+                }],
+            );
+            assert_eq!(r.tested, s.size(), "nothing lost on a graceful leave");
+            assert_eq!(r.hits.len(), 1);
+            // b only worked two rounds: roughly two half-rounds of keys.
+            let b = r.per_member.iter().find(|(n, _)| n.starts_with("b ")).unwrap().1;
+            assert_eq!(b, 60_000, "two 30k half-rounds before leaving");
+        }
+
+        #[test]
+        fn first_hit_stops_the_dynamic_search_early() {
+            let s = space();
+            let t = targets(&[b"bcd"]);
+            let r = run_dynamic_search(
+                vec![cpu("a"), cpu("b")],
+                &s,
+                &t,
+                s.interval(),
+                DynamicSearchConfig { round_keys: 50_000, first_hit_only: true },
+                vec![],
+            );
+            assert_eq!(r.hits.len(), 1);
+            assert_eq!(r.hits[0].1.as_bytes(), b"bcd");
+            assert!(r.tested < s.size(), "stopped before sweeping everything");
+        }
     }
 }

@@ -36,17 +36,22 @@ pub mod fault;
 pub mod model;
 pub mod rounds;
 pub mod runtime;
+pub mod simgpu;
 pub mod spec;
 pub mod strength;
 pub mod topology;
 pub mod tuning;
 
 pub use des::{simulate_search, time_to_first_hit, NetworkReport, SimParams};
-pub use dynamic::{run_dynamic, DynamicConfig, DynamicReport, MembershipEvent, ScheduledEvent};
+pub use dynamic::{
+    run_dynamic, run_dynamic_search, DynamicConfig, DynamicReport, DynamicSearchConfig,
+    DynamicSearchReport, MembershipEvent, ScheduledEvent, ScheduledSearchEvent, SearchEvent,
+};
 pub use fault::{simulate_search_with_failure, FailureEvent, FailureReport};
 pub use model::{calibrate, fit_model, FittedModel};
 pub use rounds::{run_rounds, RoundConfig, RoundReport};
 pub use runtime::{run_cluster_search, ClusterSearchResult};
+pub use simgpu::SimKernelBackend;
 pub use spec::{paper_network, ClusterNode, CpuWorker, GpuSlot};
 pub use strength::{estimate_against_cluster, estimate_against_device, StrengthEstimate};
 pub use topology::parse_topology;

@@ -7,17 +7,23 @@
 //! its round assignment pending so a later round re-covers it. This is
 //! the executable counterpart of the DES round model and of the fault
 //! path; every identifier is still tested exactly once.
+//!
+//! Workers are [`eks_engine::Backend`] leaves (a [`SimKernelBackend`] per
+//! device, a [`LaneBackend`] per CPU worker) and every scan runs through
+//! the one [`Dispatcher`] core, which owns the stop flag, the hit merge
+//! and the per-device accounting; this module only keeps the round
+//! bookkeeping the dispatcher does not know about: the [`Checkpoint`] of
+//! un-covered intervals, the rotation, and the requeue counters.
 
-use std::sync::atomic::AtomicBool;
-
-use eks_cracker::batch::{crack_interval_batched, Lanes};
 use eks_cracker::resume::Checkpoint;
 use eks_cracker::target::TargetSet;
+use eks_cracker::LaneBackend;
+use eks_engine::{Backend, Dispatcher, ScanMode, ScanReport, WorkerId};
 use eks_keyspace::{Interval, Key, KeySpace};
 
+use crate::simgpu::SimKernelBackend;
 use crate::spec::ClusterNode;
-use crate::tuning::{tune_device, AchievedModel};
-use eks_kernels::Tool;
+use crate::tuning::tune_cpu;
 
 /// Configuration of the round-based master.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -46,20 +52,36 @@ pub struct RoundReport {
     pub per_device: Vec<(String, u128)>,
 }
 
+/// A flattened cluster worker: its display label, tuned weight, and the
+/// backend that executes its assignments.
+struct Member {
+    label: String,
+    weight: f64,
+    backend: Box<dyn Backend>,
+}
+
 /// Flatten the tree into weighted workers (the round master treats the
 /// tree as its leaf multiset; hierarchy only matters for latency, which
 /// real threads on one host do not exhibit).
-fn workers(root: &ClusterNode, algo: eks_hashes::HashAlgo) -> Vec<(String, f64)> {
+fn members(root: &ClusterNode, algo: eks_hashes::HashAlgo) -> Vec<Member> {
     let mut out = Vec::new();
     let mut stack = vec![root];
     while let Some(n) = stack.pop() {
         for slot in &n.devices {
-            let t = tune_device(&slot.device, Tool::OurApproach, algo, AchievedModel::Analytic);
-            out.push((format!("{}/{}", n.name, slot.device.name), t.achieved_mkeys));
+            let backend = SimKernelBackend::new(slot.device.clone());
+            out.push(Member {
+                label: format!("{}/{} [{}]", n.name, slot.device.name, backend.name()),
+                weight: backend.tuned_rate(algo),
+                backend: Box::new(backend),
+            });
         }
         for cpu in &n.cpus {
-            let t = crate::tuning::tune_cpu(cpu, algo);
-            out.push((format!("{}/{}", n.name, cpu.name), t.achieved_mkeys));
+            let backend = LaneBackend::default();
+            out.push(Member {
+                label: format!("{}/{} [{}]", n.name, cpu.name, backend.name()),
+                weight: tune_cpu(cpu, algo).achieved_mkeys,
+                backend: Box::new(backend),
+            });
         }
         stack.extend(n.children.iter());
     }
@@ -78,18 +100,17 @@ pub fn run_rounds(
     config: RoundConfig,
 ) -> RoundReport {
     assert!(config.round_keys > 0);
-    let members = workers(root, targets.algo());
+    let members = members(root, targets.algo());
     assert!(!members.is_empty(), "cluster has no workers");
-    let weights: Vec<f64> = members.iter().map(|(_, w)| *w).collect();
+    let weights: Vec<f64> = members.iter().map(|m| m.weight).collect();
+
+    let dispatcher =
+        Dispatcher::new(space, targets, ScanMode::from_first_hit(config.first_hit_only));
+    let ids: Vec<WorkerId> = members.iter().map(|m| dispatcher.register(&m.label)).collect();
 
     let mut checkpoint = Checkpoint::new(interval.intersect(&space.interval()));
-    let mut hits: Vec<(u128, Key, usize)> = Vec::new();
-    let mut tested: u128 = 0;
     let mut requeued: u128 = 0;
     let mut rounds: u32 = 0;
-    let mut per_device: Vec<(String, u128)> =
-        members.iter().map(|(n, _)| (n.clone(), 0)).collect();
-    let stop = AtomicBool::new(false);
 
     while let Some(round_iv) = checkpoint.take_work(config.round_keys) {
         rounds += 1;
@@ -100,8 +121,10 @@ pub fn run_rounds(
         let worker_of = |i: usize| (i + rounds as usize) % members.len();
         let rotated: Vec<f64> = (0..members.len()).map(|i| weights[worker_of(i)]).collect();
         let parts = round_iv.split_weighted(&rotated);
-        // Scatter: one thread per worker; gather at the scope end.
-        let mut results: Vec<Option<(usize, eks_cracker::CrackOutcome)>> = Vec::new();
+        // Scatter: one thread per worker; the dispatcher gathers hits and
+        // accounting as each scan merges, the scope gathers the reports
+        // the checkpoint needs.
+        let mut results: Vec<Option<(usize, ScanReport)>> = Vec::new();
         std::thread::scope(|scope| {
             let mut handles = Vec::new();
             for (i, part) in parts.iter().enumerate() {
@@ -109,19 +132,13 @@ pub fn run_rounds(
                 if Some(worker_of(i)) == config.lose_worker {
                     continue; // the worker went silent: nothing comes back
                 }
-                let stop = &stop;
+                let member = &members[worker_of(i)];
+                let id = ids[worker_of(i)];
+                let dispatcher = &dispatcher;
                 handles.push(scope.spawn(move || {
-                    // Batched tested counts stay a contiguous prefix of the
-                    // part, which checkpoint completion below relies on.
-                    let out = crack_interval_batched(
-                        space,
-                        targets,
-                        part,
-                        stop,
-                        config.first_hit_only,
-                        Lanes::default(),
-                    );
-                    (i, out)
+                    // Tested counts stay a contiguous prefix of the part,
+                    // which checkpoint completion below relies on.
+                    (i, dispatcher.scan_as(id, member.backend.as_ref(), part))
                 }));
             }
             results = handles
@@ -140,9 +157,6 @@ pub fn run_rounds(
                 .map(|(_, out)| out);
             match done {
                 Some(out) => {
-                    tested += out.tested;
-                    per_device[worker_of(i)].1 += out.tested;
-                    hits.extend(out.hits.iter().cloned());
                     // With first-hit cancellation a worker may stop early;
                     // only the scanned prefix counts as complete.
                     let scanned = Interval::new(part.start, out.tested.min(part.len));
@@ -161,16 +175,19 @@ pub fn run_rounds(
             }
         }
 
-        if config.first_hit_only && !hits.is_empty() {
+        if config.first_hit_only && dispatcher.any_hits() {
             break;
         }
     }
 
-    hits.sort_by_key(|(id, _, _)| *id);
-    if config.first_hit_only {
-        hits.truncate(1);
+    let report = dispatcher.finish();
+    RoundReport {
+        hits: report.hits,
+        tested: report.tested,
+        rounds,
+        requeued,
+        per_device: report.per_worker,
     }
-    RoundReport { hits, tested, rounds, requeued, per_device }
 }
 
 #[cfg(test)]
@@ -227,13 +244,10 @@ mod tests {
         let net = paper_network(1e-3);
         let s = space();
         let t = targets(&[b"zzzz"]);
-        // Worker 0 (the 540M) never reports; its share must be requeued
-        // and eventually covered by later rounds... except it is lost
-        // EVERY round, so coverage must still complete through the
-        // checkpoint re-dispatch to OTHER positions? No: the split is
-        // positional, so we lose position 0 of every round — the requeued
-        // intervals land at the front of the next round and are re-split
-        // across all positions, so they drain.
+        // Worker 0 never reports; the split is positional, so position 0
+        // of every round is lost — the requeued intervals land at the
+        // front of the next round, are re-split across all positions, and
+        // drain through the rotation.
         let r = run_rounds(
             &net,
             &s,
@@ -266,5 +280,22 @@ mod tests {
                 .expect("device present")
         };
         assert!(share("660") > 5 * share("8600M"));
+    }
+
+    #[test]
+    fn round_workers_run_backend_labelled_leaves() {
+        let net = paper_network(1e-3).with_cpu("host-cpu", 2);
+        let s = space();
+        let t = targets(&[b"zzzz"]);
+        let r = run_rounds(
+            &net,
+            &s,
+            &t,
+            s.interval(),
+            RoundConfig { round_keys: 80_000, first_hit_only: false, lose_worker: None },
+        );
+        assert_eq!(r.tested, s.size());
+        assert!(r.per_device.iter().any(|(n, _)| n.contains("[simgpu]")));
+        assert!(r.per_device.iter().any(|(n, _)| n.contains("[lanes")));
     }
 }

@@ -1,23 +1,25 @@
 //! A real multi-threaded cluster runtime.
 //!
 //! The DES predicts *performance*; this module executes the same
-//! hierarchical dispatch for *real*: the thread tree mirrors the node
-//! tree, every device gets a worker thread, intervals are split by the
-//! tuned throughput ratios (`N_j = N_max · X_j / X_max`), and each worker
-//! genuinely cracks its interval on the CPU via `eks-cracker`. A shared
-//! stop flag implements the paper's periodic stop-condition check.
-
-use std::sync::atomic::{AtomicBool, Ordering};
+//! hierarchical dispatch for *real*. Planning walks the node tree
+//! exactly as the paper's scatter step does — every interval is split by
+//! the tuned throughput ratios (`N_j = N_max · X_j / X_max`) at every
+//! level — and yields one [`eks_engine::Backend`] leaf per device thread:
+//! a [`SimKernelBackend`] per simulated GPU, a [`LaneBackend`] per CPU
+//! worker thread. Execution then runs every leaf through one
+//! [`Dispatcher`], which owns the shared stop flag (the paper's periodic
+//! stop-condition check), the hit merge, and the per-device accounting.
 
 use eks_hashes::HashAlgo;
 use eks_keyspace::{Interval, Key, KeySpace};
-use eks_kernels::Tool;
 
-use eks_cracker::batch::{crack_interval_batched, Lanes};
 use eks_cracker::target::TargetSet;
+use eks_cracker::LaneBackend;
+use eks_engine::{Backend, Dispatcher, ScanMode, WorkerId};
 
+use crate::simgpu::SimKernelBackend;
 use crate::spec::ClusterNode;
-use crate::tuning::{tune_device, AchievedModel};
+use crate::tuning::tune_cpu;
 
 /// Result of a real cluster search.
 #[derive(Debug, Clone, PartialEq)]
@@ -26,13 +28,23 @@ pub struct ClusterSearchResult {
     pub hits: Vec<(u128, Key, usize)>,
     /// Candidates actually tested across the whole tree.
     pub tested: u128,
-    /// Per-device `(node/device, tested)` accounting, tree order.
+    /// Per-device `(node/device [backend], tested)` accounting, tree order.
     pub per_device: Vec<(String, u128)>,
 }
 
-/// Execute a search over the cluster: every node becomes a thread scope,
-/// every device a worker thread; `first_hit_only` stops the whole tree at
-/// the first match.
+/// One planned unit of execution: a pre-assigned slice of the keyspace,
+/// the backend that scans it, and the worker it is credited to. A CPU
+/// worker's threads share one `worker` id, so accounting stays
+/// per-device rather than per-thread.
+struct Leaf {
+    worker: WorkerId,
+    backend: Box<dyn Backend>,
+    interval: Interval,
+}
+
+/// Execute a search over the cluster: planning mirrors the dispatch
+/// tree, execution runs every leaf backend under one [`Dispatcher`];
+/// `first_hit_only` stops the whole tree at the first match.
 pub fn run_cluster_search(
     root: &ClusterNode,
     space: &KeySpace,
@@ -40,16 +52,23 @@ pub fn run_cluster_search(
     interval: Interval,
     first_hit_only: bool,
 ) -> ClusterSearchResult {
-    let stop = AtomicBool::new(false);
-    let mut result = search_node(root, space, targets, interval, &stop, first_hit_only);
-    result.hits.sort_by_key(|(id, _, _)| *id);
-    if first_hit_only {
-        // Several workers can race to a hit before observing the stop
-        // flag; keep the canonical (lowest-identifier) one — the merge
-        // step of the pattern.
-        result.hits.truncate(1);
+    let dispatcher = Dispatcher::new(space, targets, ScanMode::from_first_hit(first_hit_only));
+    let mut leaves = Vec::new();
+    plan_node(root, targets.algo(), interval, &dispatcher, &mut leaves);
+    std::thread::scope(|scope| {
+        for leaf in &leaves {
+            let dispatcher = &dispatcher;
+            scope.spawn(move || {
+                dispatcher.scan_as(leaf.worker, leaf.backend.as_ref(), leaf.interval);
+            });
+        }
+    });
+    let report = dispatcher.finish();
+    ClusterSearchResult {
+        hits: report.hits,
+        tested: report.tested,
+        per_device: report.per_worker,
     }
-    result
 }
 
 /// Dispatch weight of a subtree: the sum of its devices' and CPU
@@ -58,125 +77,57 @@ fn subtree_rate(node: &ClusterNode, algo: HashAlgo) -> f64 {
     let gpus: f64 = node
         .devices
         .iter()
-        .map(|s| tune_device(&s.device, Tool::OurApproach, algo, AchievedModel::Analytic).achieved_mkeys)
+        .map(|s| SimKernelBackend::new(s.device.clone()).tuned_rate(algo))
         .sum();
-    let cpus: f64 = node
-        .cpus
-        .iter()
-        .map(|c| crate::tuning::tune_cpu(c, algo).achieved_mkeys)
-        .sum();
+    let cpus: f64 = node.cpus.iter().map(|c| tune_cpu(c, algo).achieved_mkeys).sum();
     gpus + cpus + node.children.iter().map(|c| subtree_rate(c, algo)).sum::<f64>()
 }
 
-fn search_node(
+/// The scatter step: split `interval` over this node's devices, CPUs and
+/// children by tuned rate, register one worker per device/CPU (in tree
+/// order), and emit the execution leaves.
+fn plan_node(
     node: &ClusterNode,
-    space: &KeySpace,
-    targets: &TargetSet,
+    algo: HashAlgo,
     interval: Interval,
-    stop: &AtomicBool,
-    first_hit_only: bool,
-) -> ClusterSearchResult {
-    let algo = targets.algo();
-    // Weights: one per local device, one per child subtree.
-    let mut weights: Vec<f64> = node
-        .devices
-        .iter()
-        .map(|s| {
-            tune_device(&s.device, Tool::OurApproach, algo, AchievedModel::Analytic).achieved_mkeys
-        })
-        .collect();
-    weights.extend(node.cpus.iter().map(|c| crate::tuning::tune_cpu(c, algo).achieved_mkeys));
+    dispatcher: &Dispatcher<'_>,
+    leaves: &mut Vec<Leaf>,
+) {
+    let backends: Vec<SimKernelBackend> =
+        node.devices.iter().map(|s| SimKernelBackend::new(s.device.clone())).collect();
+    let mut weights: Vec<f64> = backends.iter().map(|b| b.tuned_rate(algo)).collect();
+    weights.extend(node.cpus.iter().map(|c| tune_cpu(c, algo).achieved_mkeys));
     weights.extend(node.children.iter().map(|c| subtree_rate(c, algo)));
     if weights.is_empty() {
-        return ClusterSearchResult { hits: Vec::new(), tested: 0, per_device: Vec::new() };
+        return;
     }
     let parts = interval.split_weighted(&weights);
     let n_devices = node.devices.len();
     let n_cpus = node.cpus.len();
-
-    let mut results: Vec<Option<ClusterSearchResult>> = Vec::new();
-    std::thread::scope(|scope| {
-        let mut handles = Vec::new();
-        for (i, part) in parts.iter().enumerate() {
-            let part = *part;
-            if i < n_devices {
-                let label = format!("{}/{}", node.name, node.devices[i].device.name);
-                handles.push(scope.spawn(move || {
-                    // Device workers run on host threads too: the batched
-                    // lane path is the CPU stand-in for the warp kernel.
-                    let out = crack_interval_batched(
-                        space,
-                        targets,
-                        part,
-                        stop,
-                        first_hit_only,
-                        Lanes::default(),
-                    );
-                    if first_hit_only && !out.hits.is_empty() {
-                        stop.store(true, Ordering::Relaxed);
-                    }
-                    ClusterSearchResult {
-                        tested: out.tested,
-                        per_device: vec![(label, out.tested)],
-                        hits: out.hits,
-                    }
-                }));
-            } else if i < n_devices + n_cpus {
-                // A CPU worker fans its share out over its own threads.
-                let cpu = &node.cpus[i - n_devices];
-                let label = format!("{}/{}", node.name, cpu.name);
-                let threads = cpu.threads;
-                handles.push(scope.spawn(move || {
-                    let sub = part.split_even(threads);
-                    let mut merged =
-                        ClusterSearchResult { hits: Vec::new(), tested: 0, per_device: Vec::new() };
-                    std::thread::scope(|inner| {
-                        let hs: Vec<_> = sub
-                            .iter()
-                            .map(|p| {
-                                let p = *p;
-                                inner.spawn(move || {
-                                    let out = crack_interval_batched(
-                                        space,
-                                        targets,
-                                        p,
-                                        stop,
-                                        first_hit_only,
-                                        Lanes::default(),
-                                    );
-                                    if first_hit_only && !out.hits.is_empty() {
-                                        stop.store(true, Ordering::Relaxed);
-                                    }
-                                    out
-                                })
-                            })
-                            .collect();
-                        for h in hs {
-                            let out = h.join().expect("cpu worker panicked");
-                            merged.tested += out.tested;
-                            merged.hits.extend(out.hits);
-                        }
-                    });
-                    merged.per_device = vec![(label, merged.tested)];
-                    merged
-                }));
-            } else {
-                let child = &node.children[i - n_devices - n_cpus];
-                handles.push(scope.spawn(move || {
-                    search_node(child, space, targets, part, stop, first_hit_only)
-                }));
+    for (i, part) in parts.iter().enumerate() {
+        if i < n_devices {
+            let backend = backends[i].clone();
+            let worker = dispatcher.register(format!(
+                "{}/{} [{}]",
+                node.name,
+                node.devices[i].device.name,
+                backend.name()
+            ));
+            leaves.push(Leaf { worker, backend: Box::new(backend), interval: *part });
+        } else if i < n_devices + n_cpus {
+            // A CPU worker fans its share out over its own threads; all
+            // of them are credited to the one device-level worker.
+            let cpu = &node.cpus[i - n_devices];
+            let backend = LaneBackend::default();
+            let worker =
+                dispatcher.register(format!("{}/{} [{}]", node.name, cpu.name, backend.name()));
+            for sub in part.split_even(cpu.threads) {
+                leaves.push(Leaf { worker, backend: Box::new(backend), interval: sub });
             }
+        } else {
+            plan_node(&node.children[i - n_devices - n_cpus], algo, *part, dispatcher, leaves);
         }
-        results = handles.into_iter().map(|h| Some(h.join().expect("worker panicked"))).collect();
-    });
-
-    let mut merged = ClusterSearchResult { hits: Vec::new(), tested: 0, per_device: Vec::new() };
-    for r in results.into_iter().flatten() {
-        merged.hits.extend(r.hits);
-        merged.tested += r.tested;
-        merged.per_device.extend(r.per_device);
     }
-    merged
 }
 
 #[cfg(test)]
@@ -249,6 +200,15 @@ mod tests {
     }
 
     #[test]
+    fn device_workers_are_labelled_with_the_simgpu_backend() {
+        let net = paper_network(1e-3);
+        let s = space();
+        let t = targets(&[b"zzzz"]);
+        let r = run_cluster_search(&net, &s, &t, s.interval(), false);
+        assert!(r.per_device.iter().all(|(n, _)| n.contains("[simgpu]")), "{:?}", r.per_device);
+    }
+
+    #[test]
     fn pruned_network_still_finds_the_key() {
         let mut net = paper_network(1e-3);
         assert!(net.remove_subtree("C"));
@@ -286,6 +246,29 @@ mod tests {
         let t = targets(&[b"fox"]);
         let r = run_cluster_search(&net, &s, &t, s.interval(), true);
         assert_eq!(r.hits[0].1.as_bytes(), b"fox");
+    }
+
+    #[test]
+    fn heterogeneous_cluster_accounts_both_backend_kinds() {
+        // The acceptance scenario: a spec mixing CPU workers and a
+        // simulated GPU runs end-to-end through the Backend trait, finds
+        // the planted key, and the per-device table shows both kinds.
+        let net = crate::spec::ClusterNode::device_node(
+            "hetero",
+            vec![eks_gpusim::device::Device::geforce_gtx_660()],
+            0.0,
+        )
+        .with_cpu("host-cpu", 2);
+        let s = space();
+        let t = targets(&[b"zzzz"]); // full sweep: every worker tests
+        let r = run_cluster_search(&net, &s, &t, s.interval(), false);
+        assert_eq!(r.hits.len(), 1);
+        assert_eq!(r.tested, s.size());
+        let gpu = r.per_device.iter().find(|(n, _)| n.contains("[simgpu]")).expect("gpu worker");
+        let cpu = r.per_device.iter().find(|(n, _)| n.contains("[lanes")).expect("cpu worker");
+        assert!(gpu.1 > 0, "gpu tested its share");
+        assert!(cpu.1 > 0, "cpu tested its share");
+        assert_eq!(gpu.1 + cpu.1, r.tested);
     }
 
     #[test]

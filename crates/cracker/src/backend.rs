@@ -1,0 +1,207 @@
+//! CPU implementations of the engine-layer [`Backend`] trait.
+//!
+//! * [`ScalarBackend`] — the one-candidate-at-a-time reference path
+//!   ([`crate::engine::crack_interval`]);
+//! * [`LaneBackend`] — the lane-batched SIMD path
+//!   ([`crate::batch::crack_interval_batched`]), the CPU stand-in for a
+//!   warp of GPU threads.
+//!
+//! `tuned_rate` is a *measured* throughput (the paper's tuning step run
+//! on the host): a short timed sweep per `(lanes, algo)`, cached for the
+//! process lifetime so the balancing step stays cheap.
+
+use std::collections::HashMap;
+use std::sync::atomic::AtomicBool;
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+use eks_engine::{Backend, ScanMode, ScanReport};
+use eks_hashes::HashAlgo;
+use eks_keyspace::{Charset, Interval, KeySpace, Order};
+
+use crate::batch::{crack_interval_batched, Lanes};
+use crate::engine::crack_interval;
+use crate::target::TargetSet;
+
+/// The scalar reference backend.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ScalarBackend;
+
+impl Backend for ScalarBackend {
+    fn name(&self) -> String {
+        "scalar".into()
+    }
+
+    fn scan(
+        &self,
+        space: &KeySpace,
+        targets: &TargetSet,
+        interval: Interval,
+        stop: &AtomicBool,
+        mode: ScanMode,
+    ) -> ScanReport {
+        crack_interval(space, targets, interval, stop, mode.first_hit_only())
+    }
+
+    fn tuned_rate(&self, algo: HashAlgo) -> f64 {
+        measured_rate(Lanes::Scalar, algo)
+    }
+}
+
+/// The lane-batched SIMD backend.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LaneBackend {
+    /// Lane width of the batched test path.
+    pub lanes: Lanes,
+}
+
+impl LaneBackend {
+    /// A backend with the given lane width.
+    pub fn new(lanes: Lanes) -> Self {
+        Self { lanes }
+    }
+}
+
+impl Backend for LaneBackend {
+    fn name(&self) -> String {
+        match self.lanes {
+            Lanes::Scalar => "scalar".into(),
+            lanes => format!("lanes{}", lanes.width()),
+        }
+    }
+
+    fn scan(
+        &self,
+        space: &KeySpace,
+        targets: &TargetSet,
+        interval: Interval,
+        stop: &AtomicBool,
+        mode: ScanMode,
+    ) -> ScanReport {
+        crack_interval_batched(
+            space,
+            targets,
+            interval,
+            stop,
+            mode.first_hit_only(),
+            self.lanes,
+        )
+    }
+
+    fn tuned_rate(&self, algo: HashAlgo) -> f64 {
+        measured_rate(self.lanes, algo)
+    }
+}
+
+/// The CPU backend for a lane width, boxed for heterogeneous dispatch.
+pub fn cpu_backend(lanes: Lanes) -> Box<dyn Backend> {
+    match lanes {
+        Lanes::Scalar => Box::new(ScalarBackend),
+        lanes => Box::new(LaneBackend::new(lanes)),
+    }
+}
+
+/// Keys swept per tuning measurement — enough to amortize startup,
+/// small enough to stay well under a second even on the scalar path.
+const TUNE_KEYS: u128 = 96_000;
+
+/// Measured single-thread throughput (MKey/s) of a lane width on one
+/// algorithm, cached per process.
+fn measured_rate(lanes: Lanes, algo: HashAlgo) -> f64 {
+    static CACHE: OnceLock<Mutex<HashMap<(Lanes, HashAlgo), f64>>> = OnceLock::new();
+    let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
+    if let Some(rate) = cache.lock().expect("tune cache").get(&(lanes, algo)) {
+        return *rate;
+    }
+    // Compute OUTSIDE the lock so concurrent tuners of different keys
+    // don't serialize on each other's sweeps.
+    let space =
+        KeySpace::new(Charset::lowercase(), 1, 5, Order::FirstCharFastest).expect("valid space");
+    // A digest no 1..=5-char lowercase key can produce: nothing matches,
+    // so the sweep measures the pure test-function cost.
+    let impossible = TargetSet::new(algo, &[algo.hash_long(b"not-in-this-space")]);
+    let stop = AtomicBool::new(false);
+    let t0 = Instant::now();
+    let out = crack_interval_batched(
+        &space,
+        &impossible,
+        Interval::new(0, TUNE_KEYS),
+        &stop,
+        false,
+        lanes,
+    );
+    let rate = out.tested as f64 / t0.elapsed().as_secs_f64().max(1e-9) / 1e6;
+    *cache
+        .lock()
+        .expect("tune cache")
+        .entry((lanes, algo))
+        .or_insert(rate)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eks_keyspace::Key;
+
+    fn space() -> KeySpace {
+        KeySpace::new(Charset::lowercase(), 1, 4, Order::FirstCharFastest).unwrap()
+    }
+
+    fn targets(words: &[&[u8]]) -> TargetSet {
+        let ds: Vec<Vec<u8>> = words.iter().map(|w| HashAlgo::Md5.hash_long(w)).collect();
+        TargetSet::new(HashAlgo::Md5, &ds)
+    }
+
+    #[test]
+    fn scalar_and_lane_backends_agree() {
+        let s = space();
+        let t = targets(&[b"cat", b"mnop"]);
+        let stop = AtomicBool::new(false);
+        let reference = ScalarBackend.scan(&s, &t, s.interval(), &stop, ScanMode::Exhaustive);
+        for lanes in [Lanes::L8, Lanes::L16] {
+            let got =
+                LaneBackend::new(lanes).scan(&s, &t, s.interval(), &stop, ScanMode::Exhaustive);
+            assert_eq!(got.hits, reference.hits, "{lanes}");
+            assert_eq!(got.tested, reference.tested, "{lanes}");
+        }
+    }
+
+    #[test]
+    fn backend_names_match_the_cli_vocabulary() {
+        assert_eq!(ScalarBackend.name(), "scalar");
+        assert_eq!(LaneBackend::new(Lanes::L8).name(), "lanes8");
+        assert_eq!(LaneBackend::new(Lanes::L16).name(), "lanes16");
+        assert_eq!(LaneBackend::new(Lanes::Scalar).name(), "scalar");
+    }
+
+    #[test]
+    fn cpu_backend_picks_the_right_implementation() {
+        let s = space();
+        let t = targets(&[b"dog"]);
+        let stop = AtomicBool::new(false);
+        for lanes in [Lanes::Scalar, Lanes::L8, Lanes::L16] {
+            let b = cpu_backend(lanes);
+            let out = b.scan(&s, &t, s.interval(), &stop, ScanMode::FirstHit);
+            assert_eq!(out.hits[0].1.as_bytes(), b"dog", "{lanes}");
+        }
+    }
+
+    #[test]
+    fn tuned_rate_is_positive_and_cached() {
+        let first = LaneBackend::default().tuned_rate(HashAlgo::Md5);
+        assert!(first > 0.0);
+        // Second call must hit the cache and return the identical value.
+        let second = LaneBackend::default().tuned_rate(HashAlgo::Md5);
+        assert_eq!(first, second);
+    }
+
+    #[test]
+    fn first_hit_mode_maps_through() {
+        let s = space();
+        let key = Key::from_bytes(b"b"); // identifier 1
+        let t = TargetSet::new(HashAlgo::Md5, &[HashAlgo::Md5.hash_long(key.as_bytes())]);
+        let stop = AtomicBool::new(false);
+        let out = ScalarBackend.scan(&s, &t, s.interval(), &stop, ScanMode::FirstHit);
+        assert_eq!(out.tested, 2, "scalar first-hit stops at the match");
+    }
+}

@@ -22,12 +22,15 @@
 //!
 //! [`BatchInfo::uniform_suffix`]: eks_keyspace::BatchInfo
 
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::AtomicBool;
 
+use eks_engine::PollCursor;
 use eks_hashes::{md4_lanes, md5_lanes, sha1, sha1_a75_lanes, HashAlgo, Md5PrefixSearch};
 use eks_keyspace::{BlockBatch, BlockLayout, Interval, Key, KeySpace};
 
-use crate::engine::{crack_interval, CrackOutcome, POLL_CHUNK};
+use crate::engine::{crack_interval, CrackOutcome};
+#[cfg(test)]
+use crate::engine::POLL_CHUNK;
 use crate::target::TargetSet;
 
 /// Lane width of the batched test path.
@@ -120,79 +123,83 @@ fn crack_lanes<const L: usize>(
     let mut blocks = [[0u32; 16]; L];
     let mut hits: Vec<(u128, Key, usize)> = Vec::new();
     let mut tested: u128 = 0;
-    let mut cancelled = false;
-    // Poll boundary rounded up to the lane count so batches never straddle
-    // a stop check; starts saturated so a pre-raised stop tests nothing.
-    let poll = POLL_CHUNK.next_multiple_of(L as u128);
-    let mut since_poll = poll;
+    // The shared poll loop, with chunks rounded up to the lane count so
+    // batches never straddle a stop check.
+    let mut cursor = PollCursor::with_stride(clamped, stop, L as u128);
+    let mut found_first = false;
     // The reversed 49-step path needs a single MD5 target (the reversal is
     // per-target) and a batch whose lanes share all words but w[0].
-    let single_md5: Option<[u8; 16]> = (algo == HashAlgo::Md5 && targets.len() == 1)
-        .then(|| targets.digest(0).try_into().expect("MD5 digests are 16 bytes"));
+    let single_md5: Option<[u8; 16]> = (algo == HashAlgo::Md5 && targets.len() == 1).then(|| {
+        targets
+            .digest(0)
+            .try_into()
+            .expect("MD5 digests are 16 bytes")
+    });
     let mut reversed: Option<(u64, Md5PrefixSearch)> = None;
 
-    'outer: while writer.remaining() >= L as u128 {
-        if since_poll >= poll {
-            if stop.load(Ordering::Relaxed) {
-                cancelled = true;
-                break;
-            }
-            since_poll = 0;
-        }
-        let info = writer.fill(&mut blocks);
-        tested += L as u128;
-        since_poll += L as u128;
+    'outer: while let Some(chunk) = cursor.next_chunk() {
+        debug_assert_eq!(chunk.start, writer.next_id(), "writer tracks the cursor");
+        let mut batches = chunk.len / L as u128;
+        while batches > 0 {
+            batches -= 1;
+            let info = writer.fill(&mut blocks);
+            tested += L as u128;
 
-        let mut lane_hit: [Option<usize>; L] = [None; L];
-        match algo {
-            HashAlgo::Md5 if info.uniform_suffix && single_md5.is_some() => {
-                let target = single_md5.as_ref().expect("checked above");
-                // The reversed reference depends only on the target and the
-                // suffix words: rebuild it when the suffix epoch moves,
-                // reuse it otherwise (the overwhelmingly common case).
-                if reversed.as_ref().map(|(e, _)| *e) != Some(info.epoch) {
-                    reversed = Some((info.epoch, Md5PrefixSearch::new(target, blocks[0])));
+            let mut lane_hit: [Option<usize>; L] = [None; L];
+            match algo {
+                HashAlgo::Md5 if info.uniform_suffix && single_md5.is_some() => {
+                    let target = single_md5.as_ref().expect("checked above");
+                    // The reversed reference depends only on the target and the
+                    // suffix words: rebuild it when the suffix epoch moves,
+                    // reuse it otherwise (the overwhelmingly common case).
+                    if reversed.as_ref().map(|(e, _)| *e) != Some(info.epoch) {
+                        reversed = Some((info.epoch, Md5PrefixSearch::new(target, blocks[0])));
+                    }
+                    let (_, search) = reversed.as_ref().expect("just built");
+                    let mut w0s = [0u32; L];
+                    for (w0, block) in w0s.iter_mut().zip(&blocks) {
+                        *w0 = block[0];
+                    }
+                    for (slot, matched) in lane_hit.iter_mut().zip(search.matches_w0_lanes(&w0s)) {
+                        if matched {
+                            *slot = Some(0); // single target: digest index 0
+                        }
+                    }
                 }
-                let (_, search) = reversed.as_ref().expect("just built");
-                let mut w0s = [0u32; L];
-                for (w0, block) in w0s.iter_mut().zip(&blocks) {
-                    *w0 = block[0];
+                HashAlgo::Md5 | HashAlgo::Ntlm => {
+                    let states = if algo == HashAlgo::Md5 {
+                        md5_lanes(&blocks)
+                    } else {
+                        md4_lanes(&blocks)
+                    };
+                    for (slot, state) in lane_hit.iter_mut().zip(&states) {
+                        if targets.prefilter_match(state[0]) {
+                            // MD4 shares MD5's little-endian serialization.
+                            let digest = eks_hashes::md5::state_to_digest(*state);
+                            *slot = targets.match_digest(&digest);
+                        }
+                    }
                 }
-                for (slot, matched) in lane_hit.iter_mut().zip(search.matches_w0_lanes(&w0s)) {
-                    if matched {
-                        *slot = Some(0); // single target: digest index 0
+                HashAlgo::Sha1 => {
+                    let a75s = sha1_a75_lanes(&blocks);
+                    for ((slot, &a75), block) in lane_hit.iter_mut().zip(&a75s).zip(&blocks) {
+                        if targets.prefilter_match(a75) {
+                            // Rare survivor (≈ len·2⁻³² of candidates): confirm
+                            // with the full compression.
+                            let state = sha1::sha1_compress(sha1::IV, block);
+                            *slot = targets.match_digest(&sha1::state_to_digest(state));
+                        }
                     }
                 }
             }
-            HashAlgo::Md5 | HashAlgo::Ntlm => {
-                let states =
-                    if algo == HashAlgo::Md5 { md5_lanes(&blocks) } else { md4_lanes(&blocks) };
-                for (slot, state) in lane_hit.iter_mut().zip(&states) {
-                    if targets.prefilter_match(state[0]) {
-                        // MD4 shares MD5's little-endian serialization.
-                        let digest = eks_hashes::md5::state_to_digest(*state);
-                        *slot = targets.match_digest(&digest);
+            for (l, hit) in lane_hit.iter().enumerate() {
+                if let Some(t) = *hit {
+                    let id = info.start_id + l as u128;
+                    hits.push((id, space.key_at(id), t));
+                    if first_hit_only {
+                        found_first = true;
+                        break 'outer;
                     }
-                }
-            }
-            HashAlgo::Sha1 => {
-                let a75s = sha1_a75_lanes(&blocks);
-                for ((slot, &a75), block) in lane_hit.iter_mut().zip(&a75s).zip(&blocks) {
-                    if targets.prefilter_match(a75) {
-                        // Rare survivor (≈ len·2⁻³² of candidates): confirm
-                        // with the full compression.
-                        let state = sha1::sha1_compress(sha1::IV, block);
-                        *slot = targets.match_digest(&sha1::state_to_digest(state));
-                    }
-                }
-            }
-        }
-        for (l, hit) in lane_hit.iter().enumerate() {
-            if let Some(t) = *hit {
-                let id = info.start_id + l as u128;
-                hits.push((id, space.key_at(id), t));
-                if first_hit_only {
-                    break 'outer;
                 }
             }
         }
@@ -200,15 +207,19 @@ fn crack_lanes<const L: usize>(
 
     // Tail shorter than a batch: hand the remainder to the scalar oracle,
     // unless the batched loop already terminated the search.
-    let stopped_early = cancelled || (first_hit_only && !hits.is_empty());
-    if !stopped_early && writer.remaining() > 0 {
+    let mut cancelled = cursor.cancelled();
+    if !cancelled && !found_first && writer.remaining() > 0 {
         let tail = Interval::new(writer.next_id(), writer.remaining());
         let out = crack_interval(space, targets, tail, stop, first_hit_only);
         hits.extend(out.hits);
         tested += out.tested;
         cancelled = out.cancelled;
     }
-    CrackOutcome { hits, tested, cancelled }
+    CrackOutcome {
+        hits,
+        tested,
+        cancelled,
+    }
 }
 
 #[cfg(test)]
@@ -241,8 +252,7 @@ mod tests {
                 let stop = AtomicBool::new(false);
                 let scalar = crack_interval(&s, &t, s.interval(), &stop, false);
                 for lanes in [Lanes::L8, Lanes::L16] {
-                    let batched =
-                        crack_interval_batched(&s, &t, s.interval(), &stop, false, lanes);
+                    let batched = crack_interval_batched(&s, &t, s.interval(), &stop, false, lanes);
                     assert_eq!(batched.hits, scalar.hits, "{algo:?} {order:?} {lanes}");
                     assert_eq!(batched.tested, scalar.tested, "{algo:?} {order:?} {lanes}");
                 }
@@ -286,7 +296,10 @@ mod tests {
         // 26 + 3 candidates: one L16 batch + 13-candidate tail.
         let iv = Interval::new(0, 29);
         let tail_key = s.key_at(27);
-        let t = TargetSet::new(HashAlgo::Md5, &[HashAlgo::Md5.hash_long(tail_key.as_bytes())]);
+        let t = TargetSet::new(
+            HashAlgo::Md5,
+            &[HashAlgo::Md5.hash_long(tail_key.as_bytes())],
+        );
         let stop = AtomicBool::new(false);
         let out = crack_interval_batched(&s, &t, iv, &stop, false, Lanes::L16);
         assert_eq!(out.hits.len(), 1);

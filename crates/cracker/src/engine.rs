@@ -4,28 +4,26 @@
 //! once, walk the interval with the `next` operator, test every
 //! candidate, and poll a stop flag between fixed-size chunks so a
 //! dispatcher can cancel in-flight work once another node finds the key.
+//!
+//! The chunk/poll/cancel loop itself lives in `eks-engine`
+//! ([`PollCursor`]) — this module supplies only the scalar test body.
 
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::AtomicBool;
 
-use eks_keyspace::{Interval, Key, KeySpace};
+use eks_engine::PollCursor;
+use eks_keyspace::{Interval, KeySpace};
 
 use crate::target::TargetSet;
 
-/// Candidates between stop-flag polls. Small enough for sub-millisecond
-/// cancellation latency, large enough to amortize the atomic load.
-pub const POLL_CHUNK: u128 = 4096;
+/// Candidates between stop-flag polls (re-exported from the dispatch
+/// core, the single source of truth for cancellation latency).
+pub use eks_engine::POLL_CHUNK;
 
-/// Result of scanning one interval.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct CrackOutcome {
-    /// `(identifier, key, target index)` per hit, in identifier order.
-    pub hits: Vec<(u128, Key, usize)>,
-    /// Candidates actually tested.
-    pub tested: u128,
-    /// True when the scan stopped on the stop flag rather than exhaustion
-    /// or a first-hit return.
-    pub cancelled: bool,
-}
+/// Result of scanning one interval (the engine layer's [`ScanReport`],
+/// under its historical name).
+///
+/// [`ScanReport`]: eks_engine::ScanReport
+pub use eks_engine::ScanReport as CrackOutcome;
 
 /// Scan `interval` against a target set, stopping early when `stop` is
 /// raised or — if `first_hit_only` — at the first match.
@@ -36,22 +34,15 @@ pub fn crack_interval(
     stop: &AtomicBool,
     first_hit_only: bool,
 ) -> CrackOutcome {
-    let mut hits = Vec::new();
-    let mut tested: u128 = 0;
-    let mut cancelled = false;
     let clamped = interval.intersect(&space.interval());
-    let mut remaining = clamped;
-    'outer: while !remaining.is_empty() {
-        if stop.load(Ordering::Relaxed) {
-            cancelled = true;
-            break;
-        }
-        let chunk = remaining.take_front(POLL_CHUNK);
+    let mut cursor = PollCursor::new(clamped, stop);
+    let mut out = CrackOutcome::empty();
+    'outer: while let Some(chunk) = cursor.next_chunk() {
         let mut stop_now = false;
         space.iter(chunk).for_each_key(|id, key| {
-            tested += 1;
+            out.tested += 1;
             if let Some(t) = targets.matches(key) {
-                hits.push((id, key.clone(), t));
+                out.hits.push((id, key.clone(), t));
                 if first_hit_only {
                     stop_now = true;
                     return false;
@@ -63,7 +54,8 @@ pub fn crack_interval(
             break 'outer;
         }
     }
-    CrackOutcome { hits, tested, cancelled }
+    out.cancelled = cursor.cancelled();
+    out
 }
 
 #[cfg(test)]

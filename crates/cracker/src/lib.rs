@@ -12,6 +12,7 @@
 //! ([`mining`]).
 
 pub mod audit;
+pub mod backend;
 pub mod batch;
 pub mod engine;
 pub mod generic;
@@ -23,11 +24,12 @@ pub mod stats;
 pub mod target;
 
 pub use audit::{AuditEntry, AuditFinding, AuditReport, AuditSession};
+pub use backend::{cpu_backend, LaneBackend, ScalarBackend};
 pub use batch::{crack_interval_batched, layout_for, Lanes};
 pub use engine::{crack_interval, CrackOutcome};
 pub use generic::{crack_space_interval, crack_space_parallel};
 pub use mining::{mine, MiningJob, MiningResult};
-pub use parallel::{crack_parallel, ParallelConfig, ParallelReport};
+pub use parallel::{crack_parallel, crack_parallel_backend, ParallelConfig, ParallelReport};
 pub use progress::ThroughputMeter;
 pub use resume::Checkpoint;
 pub use stats::{ClassUsage, PasswordStats};

@@ -7,14 +7,13 @@
 //! raise a shared stop flag on the first hit when only one preimage is
 //! wanted.
 
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::time::Instant;
 
+use eks_engine::{Backend, Dispatcher, ScanMode};
 use eks_keyspace::{Interval, Key, KeySpace};
-use std::sync::Mutex;
 
-use crate::batch::{crack_interval_batched, Lanes};
-use crate::engine::CrackOutcome;
+use crate::backend::cpu_backend;
+use crate::batch::Lanes;
 use crate::target::TargetSet;
 
 /// Parallel search configuration.
@@ -60,7 +59,9 @@ impl ParallelConfig {
     /// Panics when `threads == 0`.
     pub fn default_chunk(threads: usize) -> u64 {
         assert!(threads >= 1, "need at least one thread");
-        ((1u64 << 18) / threads as u64).clamp(16, 1 << 16).next_multiple_of(16)
+        ((1u64 << 18) / threads as u64)
+            .clamp(16, 1 << 16)
+            .next_multiple_of(16)
     }
 }
 
@@ -78,7 +79,7 @@ pub struct ParallelReport {
 }
 
 /// Crack `interval` of `space` against `targets` with `config.threads`
-/// workers.
+/// workers on the CPU backend selected by `config.lanes`.
 ///
 /// # Panics
 /// Panics when `config.threads == 0` or `config.chunk == 0`.
@@ -88,69 +89,42 @@ pub fn crack_parallel(
     interval: Interval,
     config: ParallelConfig,
 ) -> ParallelReport {
-    assert!(config.threads >= 1, "need at least one thread");
-    assert!(config.chunk >= 1, "chunk must be positive");
-    let clamped = interval.intersect(&space.interval());
+    crack_parallel_backend(
+        space,
+        targets,
+        interval,
+        &*cpu_backend(config.lanes),
+        config,
+    )
+}
+
+/// Like [`crack_parallel`] but over any engine-layer [`Backend`]: the
+/// shared-cursor work queue is the [`Dispatcher`]'s, so this path and the
+/// cluster runtimes share one chunk/poll/cancel/merge implementation.
+///
+/// # Panics
+/// Panics when `config.threads == 0` or `config.chunk == 0`.
+pub fn crack_parallel_backend(
+    space: &KeySpace,
+    targets: &TargetSet,
+    interval: Interval,
+    backend: &dyn Backend,
+    config: ParallelConfig,
+) -> ParallelReport {
     let start = Instant::now();
-    // Shared chunk cursor: chunk index n covers
-    // [start + n·chunk, start + (n+1)·chunk).
-    let cursor = AtomicU64::new(0);
-    // Intervals can span up to u128::MAX identifiers while the cursor is a
-    // u64: widen the effective chunk just enough that the chunk count
-    // always fits, instead of panicking on huge (if impractical) spaces.
-    let chunk: u128 = (config.chunk as u128).max(clamped.len.div_ceil(u64::MAX as u128));
-    let total_chunks: u64 = clamped
-        .len
-        .div_ceil(chunk)
-        .try_into()
-        .expect("len/ceil(len/u64::MAX) chunks always fit a u64");
-    let stop = AtomicBool::new(false);
-    let hits: Mutex<Vec<(u128, Key, usize)>> = Mutex::new(Vec::new());
-    let tested = AtomicU64::new(0);
-
-    std::thread::scope(|scope| {
-        for _ in 0..config.threads {
-            scope.spawn(|| {
-                loop {
-                    if stop.load(Ordering::Relaxed) {
-                        break;
-                    }
-                    let n = cursor.fetch_add(1, Ordering::Relaxed);
-                    if n >= total_chunks {
-                        break;
-                    }
-                    let lo = clamped.start + (n as u128) * chunk;
-                    let len = chunk.min(clamped.end() - lo);
-                    let out: CrackOutcome = crack_interval_batched(
-                        space,
-                        targets,
-                        Interval::new(lo, len),
-                        &stop,
-                        config.first_hit_only,
-                        config.lanes,
-                    );
-                    tested.fetch_add(out.tested as u64, Ordering::Relaxed);
-                    if !out.hits.is_empty() {
-                        hits.lock().expect("hits lock").extend(out.hits);
-                        if config.first_hit_only {
-                            stop.store(true, Ordering::Relaxed);
-                            break;
-                        }
-                    }
-                }
-            });
-        }
-    });
-
+    let dispatcher = Dispatcher::new(
+        space,
+        targets,
+        ScanMode::from_first_hit(config.first_hit_only),
+    );
+    dispatcher.run_queue(backend, interval, config.threads, config.chunk);
+    let report = dispatcher.finish();
     let elapsed_s = start.elapsed().as_secs_f64().max(1e-9);
-    let mut all = hits.into_inner().expect("hits lock");
-    all.sort_by_key(|(id, _, _)| *id);
-    let tested = tested.load(Ordering::Relaxed) as u128;
     ParallelReport {
-        hits: all,
-        tested,
+        hits: report.hits,
+        tested: report.tested,
         elapsed_s,
-        mkeys_per_s: tested as f64 / elapsed_s / 1e6,
+        mkeys_per_s: report.tested as f64 / elapsed_s / 1e6,
     }
 }
 
@@ -173,7 +147,11 @@ mod tests {
     fn parallel_finds_planted_key() {
         let s = space();
         let t = targets(&[b"mule"]);
-        let cfg = ParallelConfig { threads: 4, chunk: 1 << 12, ..ParallelConfig::default() };
+        let cfg = ParallelConfig {
+            threads: 4,
+            chunk: 1 << 12,
+            ..ParallelConfig::default()
+        };
         let r = crack_parallel(&s, &t, s.interval(), cfg);
         assert_eq!(r.hits.len(), 1);
         assert_eq!(r.hits[0].1.as_bytes(), b"mule");
@@ -242,7 +220,12 @@ mod tests {
         // the u64 cursor. The widened effective chunk must handle it.
         let s = KeySpace::new(Charset::alphanumeric(), 1, 20, Order::FirstCharFastest).unwrap();
         let t = targets(&[b"a"]); // identifier 0: found immediately
-        let cfg = ParallelConfig { threads: 2, chunk: 1, first_hit_only: true, lanes: Lanes::L8 };
+        let cfg = ParallelConfig {
+            threads: 2,
+            chunk: 1,
+            first_hit_only: true,
+            lanes: Lanes::L8,
+        };
         let r = crack_parallel(&s, &t, s.interval(), cfg);
         assert_eq!(r.hits.len(), 1);
         assert_eq!(r.hits[0].1.as_bytes(), b"a");
@@ -276,10 +259,19 @@ mod tests {
         // "a" is identifier 0: the search should terminate almost
         // immediately even over the full space.
         let t = targets(&[b"a"]);
-        let cfg = ParallelConfig { threads: 4, chunk: 1 << 10, ..ParallelConfig::default() };
+        let cfg = ParallelConfig {
+            threads: 4,
+            chunk: 1 << 10,
+            ..ParallelConfig::default()
+        };
         let r = crack_parallel(&s, &t, s.interval(), cfg);
         assert_eq!(r.hits[0].1.as_bytes(), b"a");
-        assert!(r.tested < s.size() / 2, "tested {} of {}", r.tested, s.size());
+        assert!(
+            r.tested < s.size() / 2,
+            "tested {} of {}",
+            r.tested,
+            s.size()
+        );
     }
 
     #[test]

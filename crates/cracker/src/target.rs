@@ -1,235 +1,4 @@
-//! Hash targets: what the test function `C` compares against.
-//!
-//! Supports the paper's auditing scenario: one or many digests, optionally
-//! *salted* (Section I: salting defeats lookup/rainbow tables but "does
-//! not increment the search space since the random part of the string ...
-//! is known by definition" — the salt is simply concatenated before
-//! hashing).
+//! Hash targets — moved down into `eks-engine` so the backend layer can
+//! be implemented below this crate; re-exported here for compatibility.
 
-use eks_hashes::HashAlgo;
-use eks_keyspace::Key;
-
-/// A single hash target with optional salt.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct HashTarget {
-    algo: HashAlgo,
-    digest: Vec<u8>,
-    salt_prefix: Vec<u8>,
-    salt_suffix: Vec<u8>,
-}
-
-impl HashTarget {
-    /// An unsalted target.
-    ///
-    /// # Panics
-    /// Panics when the digest length does not match the algorithm.
-    pub fn new(algo: HashAlgo, digest: &[u8]) -> Self {
-        assert_eq!(digest.len(), algo.digest_len(), "digest length mismatch");
-        Self { algo, digest: digest.to_vec(), salt_prefix: Vec::new(), salt_suffix: Vec::new() }
-    }
-
-    /// A salted target: the stored digest is `hash(prefix ‖ key ‖ suffix)`.
-    pub fn salted(algo: HashAlgo, digest: &[u8], prefix: &[u8], suffix: &[u8]) -> Self {
-        let mut t = Self::new(algo, digest);
-        t.salt_prefix = prefix.to_vec();
-        t.salt_suffix = suffix.to_vec();
-        t
-    }
-
-    /// Build a target from a plaintext (for tests and examples).
-    pub fn from_plaintext(algo: HashAlgo, plaintext: &[u8]) -> Self {
-        Self::new(algo, &algo.hash_long(plaintext))
-    }
-
-    /// The algorithm.
-    pub fn algo(&self) -> HashAlgo {
-        self.algo
-    }
-
-    /// The stored digest.
-    pub fn digest(&self) -> &[u8] {
-        &self.digest
-    }
-
-    /// Whether a salt is attached.
-    pub fn is_salted(&self) -> bool {
-        !self.salt_prefix.is_empty() || !self.salt_suffix.is_empty()
-    }
-
-    /// The test function `C`: does this candidate produce the digest?
-    pub fn matches(&self, key: &Key) -> bool {
-        if self.is_salted() {
-            let mut msg =
-                Vec::with_capacity(self.salt_prefix.len() + key.len() + self.salt_suffix.len());
-            msg.extend_from_slice(&self.salt_prefix);
-            msg.extend_from_slice(key.as_bytes());
-            msg.extend_from_slice(&self.salt_suffix);
-            self.algo.hash_long(&msg) == self.digest
-        } else {
-            self.algo.hash(key.as_bytes()) == self.digest
-        }
-    }
-}
-
-/// Several targets of the same algorithm, tested together — the audit
-/// scenario where one sweep cracks a whole password table.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct TargetSet {
-    algo: HashAlgo,
-    /// Sorted digests for binary search.
-    digests: Vec<Vec<u8>>,
-    /// Sorted per-target prefilter words for the lane-batched path: the
-    /// first word a batched kernel produces per candidate (MD5/NTLM final
-    /// `a` state, SHA-1 `a75`). The common miss is one `u32` compare per
-    /// lane — the paper's "anticipate the checks as soon as each part is
-    /// computed", generalized to many targets.
-    lane_words: Vec<u32>,
-}
-
-impl TargetSet {
-    /// Build from digests (all must match the algorithm's length).
-    ///
-    /// # Panics
-    /// Panics on a digest of the wrong length.
-    pub fn new(algo: HashAlgo, digests: &[Vec<u8>]) -> Self {
-        for d in digests {
-            assert_eq!(d.len(), algo.digest_len(), "digest length mismatch");
-        }
-        let mut digests = digests.to_vec();
-        digests.sort();
-        digests.dedup();
-        let mut lane_words: Vec<u32> = digests.iter().map(|d| Self::lane_word(algo, d)).collect();
-        lane_words.sort_unstable();
-        lane_words.dedup();
-        Self { algo, digests, lane_words }
-    }
-
-    /// The prefilter word a digest implies: what the batched kernel's
-    /// cheapest per-candidate output must equal for this digest to match.
-    fn lane_word(algo: HashAlgo, digest: &[u8]) -> u32 {
-        match algo {
-            // Little-endian serialization: digest bytes 0..4 are the final
-            // `a` state word, the first thing md5_lanes/md4_lanes yield.
-            HashAlgo::Md5 | HashAlgo::Ntlm => {
-                u32::from_le_bytes(digest[0..4].try_into().expect("4 bytes"))
-            }
-            // SHA-1 cannot compare the digest directly 4 rounds early; the
-            // partial search compares `a75 = rotr30(e_target - IV[4])`,
-            // which is target-only and thus works across a whole set.
-            HashAlgo::Sha1 => {
-                let e = u32::from_be_bytes(digest[16..20].try_into().expect("4 bytes"));
-                e.wrapping_sub(eks_hashes::sha1::IV[4]).rotate_right(30)
-            }
-        }
-    }
-
-    /// Number of distinct targets.
-    pub fn len(&self) -> usize {
-        self.digests.len()
-    }
-
-    /// True when there are no targets.
-    pub fn is_empty(&self) -> bool {
-        self.digests.is_empty()
-    }
-
-    /// The algorithm.
-    pub fn algo(&self) -> HashAlgo {
-        self.algo
-    }
-
-    /// Test a candidate; returns the index of the matched digest.
-    pub fn matches(&self, key: &Key) -> Option<usize> {
-        let h = self.algo.hash(key.as_bytes());
-        self.digests.binary_search(&h).ok()
-    }
-
-    /// Lane prefilter: could a candidate whose cheapest kernel output is
-    /// `w` match any target? False rejects are impossible; a rare true
-    /// here (≈ `len·2⁻³²` per candidate) is confirmed via
-    /// [`TargetSet::match_digest`].
-    #[inline]
-    pub fn prefilter_match(&self, w: u32) -> bool {
-        // Tiny sets (the usual case) scan linearly — branch-predictable
-        // and vectorizable; big audit sets fall back to binary search.
-        if self.lane_words.len() <= 4 {
-            self.lane_words.contains(&w)
-        } else {
-            self.lane_words.binary_search(&w).is_ok()
-        }
-    }
-
-    /// Match an already-computed digest without rehashing; returns the
-    /// index of the matched digest (same indices as [`TargetSet::matches`]).
-    #[inline]
-    pub fn match_digest(&self, digest: &[u8]) -> Option<usize> {
-        self.digests.binary_search_by(|d| d.as_slice().cmp(digest)).ok()
-    }
-
-    /// The digest at `index` (as returned by [`TargetSet::matches`]).
-    pub fn digest(&self, index: usize) -> &[u8] {
-        &self.digests[index]
-    }
-
-    /// Iterate over the stored digests (sorted order).
-    pub fn iter_digests(&self) -> impl Iterator<Item = &[u8]> {
-        self.digests.iter().map(Vec::as_slice)
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn unsalted_match() {
-        let t = HashTarget::from_plaintext(HashAlgo::Md5, b"abc");
-        assert!(t.matches(&Key::from_bytes(b"abc")));
-        assert!(!t.matches(&Key::from_bytes(b"abd")));
-        assert!(!t.is_salted());
-    }
-
-    #[test]
-    fn salted_match() {
-        let algo = HashAlgo::Sha1;
-        let digest = algo.hash_long(b"PRE-hunter2-POST");
-        let t = HashTarget::salted(algo, &digest, b"PRE-", b"-POST");
-        assert!(t.is_salted());
-        assert!(t.matches(&Key::from_bytes(b"hunter2")));
-        assert!(!t.matches(&Key::from_bytes(b"hunter3")));
-    }
-
-    #[test]
-    fn salting_changes_the_digest() {
-        let plain = HashTarget::from_plaintext(HashAlgo::Md5, b"pw");
-        let salted_digest = HashAlgo::Md5.hash_long(b"saltpw");
-        assert_ne!(plain.digest(), &salted_digest[..]);
-    }
-
-    #[test]
-    fn target_set_finds_members() {
-        let algo = HashAlgo::Md5;
-        let digests: Vec<Vec<u8>> =
-            [&b"one"[..], b"two", b"three"].iter().map(|p| algo.hash_long(p)).collect();
-        let set = TargetSet::new(algo, &digests);
-        assert_eq!(set.len(), 3);
-        assert!(set.matches(&Key::from_bytes(b"two")).is_some());
-        assert!(set.matches(&Key::from_bytes(b"four")).is_none());
-        let idx = set.matches(&Key::from_bytes(b"three")).unwrap();
-        assert_eq!(set.digest(idx), &algo.hash_long(b"three")[..]);
-    }
-
-    #[test]
-    fn target_set_dedups() {
-        let algo = HashAlgo::Md5;
-        let d = algo.hash_long(b"dup");
-        let set = TargetSet::new(algo, &[d.clone(), d]);
-        assert_eq!(set.len(), 1);
-    }
-
-    #[test]
-    #[should_panic]
-    fn wrong_length_digest_rejected() {
-        HashTarget::new(HashAlgo::Md5, &[0u8; 20]);
-    }
-}
+pub use eks_engine::target::{HashTarget, TargetSet};

@@ -1,0 +1,411 @@
+//! The single dispatch core: stop flag, hit merge, accounting, hooks.
+//!
+//! A [`Dispatcher`] owns everything the paper's master does between
+//! scatter and merge: the shared stop condition, the gathered hits, the
+//! per-worker tested counts, and an optional progress hook. Two
+//! frontends drive the same core:
+//!
+//! * [`Dispatcher::run_queue`] — the fine-grain shape: `workers` threads
+//!   pull fixed-size chunks from a shared cursor (dynamic
+//!   self-balancing, the degenerate single-level dispatch tree);
+//! * [`Dispatcher::scan_as`] — the coarse-grain shape: a caller that
+//!   already split the interval by tuned rates (the cluster runtimes)
+//!   runs each pre-assigned slice as a registered worker.
+//!
+//! ## Merge semantics
+//!
+//! Hits are merged under one lock and sorted by identifier at
+//! [`Dispatcher::finish`]; under [`ScanMode::FirstHit`] the report keeps
+//! only the lowest-identifier hit, so the winner is deterministic across
+//! backends given the same set of reported hits. *Which* hits get
+//! reported under first-hit is inherently timing-dependent — a worker
+//! may race past the stop flag for up to one poll chunk — therefore
+//! `tested` is exact per worker but the total varies run-to-run once a
+//! first hit cancels the others. In [`ScanMode::Exhaustive`] every
+//! identifier is tested exactly once and `tested` is exact.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use eks_keyspace::{Interval, Key, KeySpace};
+
+use crate::backend::{Backend, ScanMode, ScanReport};
+use crate::target::TargetSet;
+
+/// Handle to a registered worker (index into the accounting table).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorkerId(usize);
+
+/// A progress observation, emitted after each merged scan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProgressEvent {
+    /// The worker that finished a scan.
+    pub worker: usize,
+    /// Candidates tested by that scan.
+    pub tested: u128,
+    /// Candidates tested so far across all workers.
+    pub total_tested: u128,
+    /// Hits gathered so far across all workers.
+    pub total_hits: usize,
+}
+
+/// Final state of a dispatch: the paper's gather + merge step.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DispatchReport {
+    /// Hits in identifier order; truncated to the lowest-identifier hit
+    /// under [`ScanMode::FirstHit`].
+    pub hits: Vec<(u128, Key, usize)>,
+    /// Total candidates tested (sum of `per_worker`).
+    pub tested: u128,
+    /// Per-worker `(label, tested)` in registration order.
+    pub per_worker: Vec<(String, u128)>,
+}
+
+struct Gathered {
+    hits: Vec<(u128, Key, usize)>,
+    workers: Vec<(String, u128)>,
+}
+
+type ProgressFn<'a> = Box<dyn Fn(&ProgressEvent) + Sync + 'a>;
+
+/// The one dispatch core every execution path runs through.
+pub struct Dispatcher<'a> {
+    space: &'a KeySpace,
+    targets: &'a TargetSet,
+    mode: ScanMode,
+    stop: AtomicBool,
+    gathered: Mutex<Gathered>,
+    progress: Option<ProgressFn<'a>>,
+}
+
+impl<'a> Dispatcher<'a> {
+    /// A dispatcher for one search over `space` against `targets`.
+    pub fn new(space: &'a KeySpace, targets: &'a TargetSet, mode: ScanMode) -> Self {
+        Self {
+            space,
+            targets,
+            mode,
+            stop: AtomicBool::new(false),
+            gathered: Mutex::new(Gathered {
+                hits: Vec::new(),
+                workers: Vec::new(),
+            }),
+            progress: None,
+        }
+    }
+
+    /// Attach a progress hook, called after every merged scan.
+    pub fn on_progress(mut self, hook: impl Fn(&ProgressEvent) + Sync + 'a) -> Self {
+        self.progress = Some(Box::new(hook));
+        self
+    }
+
+    /// The search mode.
+    pub fn mode(&self) -> ScanMode {
+        self.mode
+    }
+
+    /// The shared stop flag (for backends driven outside `scan_as`).
+    pub fn stop_flag(&self) -> &AtomicBool {
+        &self.stop
+    }
+
+    /// Raise the stop condition: in-flight scans cancel at their next
+    /// poll boundary.
+    pub fn cancel(&self) {
+        self.stop.store(true, Ordering::Relaxed);
+    }
+
+    /// True once any hit has been gathered.
+    pub fn any_hits(&self) -> bool {
+        !self.gathered.lock().expect("dispatch lock").hits.is_empty()
+    }
+
+    /// Register a worker for accounting; labels appear in
+    /// [`DispatchReport::per_worker`] in registration order.
+    pub fn register(&self, label: impl Into<String>) -> WorkerId {
+        let mut g = self.gathered.lock().expect("dispatch lock");
+        g.workers.push((label.into(), 0));
+        WorkerId(g.workers.len() - 1)
+    }
+
+    /// Scan one interval on `backend`, credited to `worker`: raises the
+    /// stop flag on a first-hit match and merges the scan's hits and
+    /// tested count. Returns the backend's report so tree frontends can
+    /// do their own round bookkeeping.
+    pub fn scan_as(
+        &self,
+        worker: WorkerId,
+        backend: &dyn Backend,
+        interval: Interval,
+    ) -> ScanReport {
+        let report = backend.scan(self.space, self.targets, interval, &self.stop, self.mode);
+        if self.mode.first_hit_only() && !report.hits.is_empty() {
+            self.cancel();
+        }
+        let event = {
+            let mut g = self.gathered.lock().expect("dispatch lock");
+            g.workers[worker.0].1 += report.tested;
+            g.hits.extend(report.hits.iter().cloned());
+            ProgressEvent {
+                worker: worker.0,
+                tested: report.tested,
+                total_tested: g.workers.iter().map(|(_, t)| *t).sum(),
+                total_hits: g.hits.len(),
+            }
+        };
+        if let Some(hook) = &self.progress {
+            hook(&event);
+        }
+        report
+    }
+
+    /// The shared-cursor frontend: `workers` threads pull `chunk`-sized
+    /// slices of `interval` (clamped to the space) until exhaustion or a
+    /// first-hit stop. One worker is registered per thread, labelled
+    /// `{backend.name()}#{index}`.
+    ///
+    /// Intervals can span up to `u128::MAX` identifiers while the cursor
+    /// is a `u64`: the effective chunk is widened just enough that the
+    /// chunk count always fits, instead of panicking on huge (if
+    /// impractical) spaces.
+    ///
+    /// # Panics
+    /// Panics when `workers == 0` or `chunk == 0`.
+    pub fn run_queue(&self, backend: &dyn Backend, interval: Interval, workers: usize, chunk: u64) {
+        assert!(workers >= 1, "need at least one worker");
+        assert!(chunk >= 1, "chunk must be positive");
+        let clamped = interval.intersect(&self.space.interval());
+        let chunk: u128 = (chunk as u128).max(clamped.len.div_ceil(u64::MAX as u128));
+        let total_chunks: u64 = clamped
+            .len
+            .div_ceil(chunk)
+            .try_into()
+            .expect("len/ceil(len/u64::MAX) chunks always fit a u64");
+        let cursor = AtomicU64::new(0);
+        let ids: Vec<WorkerId> = (0..workers)
+            .map(|w| self.register(format!("{}#{w}", backend.name())))
+            .collect();
+
+        std::thread::scope(|scope| {
+            for id in ids {
+                let cursor = &cursor;
+                scope.spawn(move || loop {
+                    if self.stop.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    let n = cursor.fetch_add(1, Ordering::Relaxed);
+                    if n >= total_chunks {
+                        break;
+                    }
+                    let lo = clamped.start + (n as u128) * chunk;
+                    let len = chunk.min(clamped.end() - lo);
+                    let out = self.scan_as(id, backend, Interval::new(lo, len));
+                    if self.mode.first_hit_only() && !out.hits.is_empty() {
+                        break;
+                    }
+                });
+            }
+        });
+    }
+
+    /// Gather + merge: sort hits by identifier, keep only the
+    /// lowest-identifier one under first-hit, sum the accounting.
+    pub fn finish(self) -> DispatchReport {
+        let g = self.gathered.into_inner().expect("dispatch lock");
+        let mut hits = g.hits;
+        hits.sort_by_key(|(id, _, _)| *id);
+        hits.dedup_by_key(|(id, _, _)| *id);
+        if self.mode.first_hit_only() {
+            hits.truncate(1);
+        }
+        let tested = g.workers.iter().map(|(_, t)| *t).sum();
+        DispatchReport {
+            hits,
+            tested,
+            per_worker: g.workers,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::poll::PollCursor;
+    use eks_hashes::HashAlgo;
+    use eks_keyspace::{Charset, Order};
+
+    /// Minimal reference backend: the canonical PollCursor walk with the
+    /// one-at-a-time test function. (The production scalar backend in
+    /// `eks-cracker` is this same shape.)
+    struct TestBackend;
+
+    impl Backend for TestBackend {
+        fn name(&self) -> String {
+            "test".into()
+        }
+
+        fn scan(
+            &self,
+            space: &KeySpace,
+            targets: &TargetSet,
+            interval: Interval,
+            stop: &AtomicBool,
+            mode: ScanMode,
+        ) -> ScanReport {
+            let clamped = interval.intersect(&space.interval());
+            let mut cursor = PollCursor::new(clamped, stop);
+            let mut report = ScanReport::empty();
+            'outer: while let Some(chunk) = cursor.next_chunk() {
+                let mut stop_now = false;
+                space.iter(chunk).for_each_key(|id, key| {
+                    report.tested += 1;
+                    if let Some(t) = targets.matches(key) {
+                        report.hits.push((id, key.clone(), t));
+                        if mode.first_hit_only() {
+                            stop_now = true;
+                            return false;
+                        }
+                    }
+                    true
+                });
+                if stop_now {
+                    break 'outer;
+                }
+            }
+            report.cancelled = cursor.cancelled();
+            report
+        }
+
+        fn tuned_rate(&self, _algo: HashAlgo) -> f64 {
+            1.0
+        }
+    }
+
+    fn space() -> KeySpace {
+        KeySpace::new(Charset::lowercase(), 1, 3, Order::FirstCharFastest).unwrap()
+    }
+
+    fn targets(words: &[&[u8]]) -> TargetSet {
+        let ds: Vec<Vec<u8>> = words.iter().map(|w| HashAlgo::Md5.hash_long(w)).collect();
+        TargetSet::new(HashAlgo::Md5, &ds)
+    }
+
+    #[test]
+    fn queue_exhaustive_covers_everything() {
+        let s = space();
+        let t = targets(&[b"cat", b"a", b"zzz"]);
+        let d = Dispatcher::new(&s, &t, ScanMode::Exhaustive);
+        d.run_queue(&TestBackend, s.interval(), 3, 1024);
+        let r = d.finish();
+        assert_eq!(r.tested, s.size());
+        assert_eq!(r.hits.len(), 3);
+        let ids: Vec<u128> = r.hits.iter().map(|(id, _, _)| *id).collect();
+        let mut sorted = ids.clone();
+        sorted.sort();
+        assert_eq!(ids, sorted, "hits come back in identifier order");
+        assert_eq!(r.per_worker.len(), 3);
+        assert_eq!(r.per_worker.iter().map(|(_, c)| *c).sum::<u128>(), r.tested);
+        assert!(r.per_worker[0].0.starts_with("test#"));
+    }
+
+    #[test]
+    fn queue_first_hit_keeps_the_lowest_identifier() {
+        let s = space();
+        let t = targets(&[b"a", b"zzz"]); // identifiers 0 and last
+        let d = Dispatcher::new(&s, &t, ScanMode::FirstHit);
+        d.run_queue(&TestBackend, s.interval(), 4, 256);
+        let r = d.finish();
+        assert_eq!(r.hits.len(), 1, "first-hit truncates to one");
+        assert_eq!(r.hits[0].1.as_bytes(), b"a", "lowest identifier wins");
+    }
+
+    #[test]
+    fn tree_dispatch_accounts_per_worker_in_registration_order() {
+        let s = space();
+        let t = targets(&[b"zzz"]);
+        let d = Dispatcher::new(&s, &t, ScanMode::Exhaustive);
+        let left = d.register("node/left");
+        let right = d.register("node/right");
+        let parts = s.interval().split_even(2);
+        std::thread::scope(|scope| {
+            scope.spawn(|| d.scan_as(left, &TestBackend, parts[0]));
+            scope.spawn(|| d.scan_as(right, &TestBackend, parts[1]));
+        });
+        let r = d.finish();
+        assert_eq!(r.per_worker[0].0, "node/left");
+        assert_eq!(r.per_worker[1].0, "node/right");
+        assert_eq!(r.per_worker[0].1, parts[0].len);
+        assert_eq!(r.per_worker[1].1, parts[1].len);
+        assert_eq!(r.tested, s.size());
+        assert_eq!(r.hits.len(), 1);
+    }
+
+    #[test]
+    fn first_hit_scan_raises_the_shared_stop() {
+        let s = space();
+        let t = targets(&[b"b"]);
+        let d = Dispatcher::new(&s, &t, ScanMode::FirstHit);
+        let w = d.register("solo");
+        let out = d.scan_as(w, &TestBackend, s.interval());
+        assert_eq!(out.hits.len(), 1);
+        assert!(d.stop_flag().load(Ordering::Relaxed), "stop raised on hit");
+        assert!(d.any_hits());
+    }
+
+    #[test]
+    fn cancel_stops_the_queue_early() {
+        let s = space();
+        let t = targets(&[b"zzz"]);
+        let d = Dispatcher::new(&s, &t, ScanMode::Exhaustive);
+        d.cancel();
+        d.run_queue(&TestBackend, s.interval(), 2, 1024);
+        let r = d.finish();
+        assert_eq!(r.tested, 0, "pre-cancelled queue tests nothing");
+        assert!(r.hits.is_empty());
+    }
+
+    #[test]
+    fn progress_hook_observes_monotone_totals() {
+        let s = space();
+        let t = targets(&[b"dog"]);
+        let events: Mutex<Vec<ProgressEvent>> = Mutex::new(Vec::new());
+        let d = Dispatcher::new(&s, &t, ScanMode::Exhaustive)
+            .on_progress(|e| events.lock().unwrap().push(*e));
+        d.run_queue(&TestBackend, s.interval(), 1, 4096);
+        let r = d.finish();
+        let events = events.into_inner().unwrap();
+        assert!(!events.is_empty());
+        let mut last = 0u128;
+        for e in &events {
+            assert!(e.total_tested >= last, "total_tested is monotone");
+            last = e.total_tested;
+        }
+        assert_eq!(last, r.tested);
+        assert_eq!(events.last().unwrap().total_hits, 1);
+    }
+
+    #[test]
+    fn queue_widens_chunks_for_huge_intervals() {
+        // A u128-sized interval with chunk = 1 must not overflow the u64
+        // chunk cursor; the planted key at identifier 0 is found at once.
+        let s = KeySpace::new(Charset::alphanumeric(), 1, 20, Order::FirstCharFastest).unwrap();
+        let t = targets(&[b"a"]);
+        let d = Dispatcher::new(&s, &t, ScanMode::FirstHit);
+        d.run_queue(&TestBackend, s.interval(), 2, 1);
+        let r = d.finish();
+        assert_eq!(r.hits.len(), 1);
+        assert_eq!(r.hits[0].1.as_bytes(), b"a");
+    }
+
+    #[test]
+    fn empty_interval_reports_zero() {
+        let s = space();
+        let t = targets(&[b"dog"]);
+        let d = Dispatcher::new(&s, &t, ScanMode::Exhaustive);
+        d.run_queue(&TestBackend, Interval::new(0, 0), 2, 64);
+        let r = d.finish();
+        assert_eq!(r.tested, 0);
+        assert!(r.hits.is_empty());
+    }
+}

@@ -1,0 +1,35 @@
+//! # eks-engine — pluggable backends, one dispatch core
+//!
+//! The paper's whole point (Section III) is *one* parallelization
+//! pattern dispatched over a heterogeneous tree of devices: split the
+//! identifier interval by tuned throughput (`N_j = N_max · X_j / X_max`),
+//! scan, poll a stop condition, gather and merge. This crate is that
+//! pattern as a library, independent of *how* a leaf tests candidates:
+//!
+//! * [`poll`] — the single chunk/poll/cancel loop ([`PollCursor`]): every
+//!   scan in the workspace walks its interval through this cursor, so
+//!   cancellation latency has exactly one source of truth
+//!   ([`POLL_CHUNK`]);
+//! * [`target`] — the test function `C`: hash targets and target sets;
+//! * [`backend`] — the [`Backend`] trait: a leaf executor that scans an
+//!   interval and reports a tuned throughput for the balancing step;
+//! * [`dispatch`] — the [`Dispatcher`]: owns the stop flag, the hit
+//!   merge (lowest identifier wins under first-hit), per-worker
+//!   accounting and progress hooks, with two frontends over the same
+//!   core — a shared-cursor work queue ([`Dispatcher::run_queue`]) and
+//!   tree dispatch ([`Dispatcher::scan_as`]).
+//!
+//! Backend *implementations* live up-stack: `eks-cracker` provides the
+//! scalar and lane-batched CPU backends, `eks-cluster` the simulated-GPU
+//! kernel backend. This crate only depends on `eks-keyspace` and
+//! `eks-hashes`, so every layer above can plug in.
+
+pub mod backend;
+pub mod dispatch;
+pub mod poll;
+pub mod target;
+
+pub use backend::{Backend, BackendKind, ScanMode, ScanReport};
+pub use dispatch::{DispatchReport, Dispatcher, ProgressEvent, WorkerId};
+pub use poll::{PollCursor, POLL_CHUNK};
+pub use target::{HashTarget, TargetSet};

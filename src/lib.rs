@@ -20,6 +20,9 @@
 //! * [`analyzer`] — static analysis over the kernel IR: dataflow lints,
 //!   per-architecture peephole checks, register-pressure estimation and
 //!   machine-checkable Table III–VI budgets;
+//! * [`engine`] — the pluggable [`Backend`](engine::Backend) layer and
+//!   the single [`Dispatcher`](engine::Dispatcher) every execution path
+//!   (scalar, lane-batched, simulated-GPU) runs through;
 //! * [`cracker`] — the real multi-threaded CPU cracking engine and the
 //!   Bitcoin-style mining search;
 //! * [`cluster`] — hierarchical dispatch: tuning, balancing, the
@@ -49,6 +52,7 @@ pub use eks_core as core;
 pub use eks_analyzer as analyzer;
 pub use eks_cluster as cluster;
 pub use eks_cracker as cracker;
+pub use eks_engine as engine;
 pub use eks_gpusim as gpusim;
 pub use eks_hashes as hashes;
 pub use eks_kernels as kernels;
