@@ -16,7 +16,7 @@ cargo clippy --all-targets -- -D warnings
 echo "==> eks analyze --deny warnings"
 ./target/release/eks analyze --deny warnings
 
-echo "==> bench_cracker --json BENCH_cracker.json (fails if batched < scalar or MD5 < 3x)"
-cargo bench -q -p eks-bench --bench bench_cracker -- --json "$PWD/BENCH_cracker.json" --min-md5-speedup 3.0
+echo "==> bench_cracker --json BENCH_cracker.json (fails if batched < scalar, MD5 < 3x, or 2-worker scaling < 1.6x)"
+cargo bench -q -p eks-bench --bench bench_cracker -- --json "$PWD/BENCH_cracker.json" --min-md5-speedup 3.0 --min-scaling 1.6
 
 echo "CI green."

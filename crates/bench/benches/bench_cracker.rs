@@ -12,13 +12,31 @@
 //!
 //! The sweeps use an impossible target (no hit, no early exit), so every
 //! number is a pure full-scan throughput, best of three short runs.
+//!
+//! ## Thread scaling on a core-starved host
+//!
+//! The wall-clock rows measure real threads, which on a single-core CI
+//! host cannot scale no matter how good the scheduler is. The `scaling`
+//! rows therefore drive the steal scheduler through a deterministic
+//! *virtual-core* loop (same methodology as the simulated GPU devices):
+//! each worker keeps a virtual clock, the driver always advances the
+//! worker whose clock is smallest, every popped chunk is scanned for
+//! real and its measured nanoseconds added to that worker's clock, and
+//! a steal charges a fixed cost. The makespan is the largest clock —
+//! the schedule's critical path as if every worker had a dedicated
+//! core — so `scaling = vt(2 workers) / vt(1 worker)` measures the
+//! scheduler (scatter balance, steal latency, tail effects), not the
+//! host's core count. `parallel_efficiency = scaling / workers` is the
+//! paper's §VI efficiency figure for the simulated 2-worker cluster.
 
 use std::fmt::Write as _;
+use std::sync::atomic::AtomicBool;
+use std::time::Instant;
 
 use eks_cluster::SimKernelBackend;
 use eks_cracker::batch::Lanes;
 use eks_cracker::{cpu_backend, crack_parallel_backend, ParallelConfig, TargetSet};
-use eks_engine::{Backend, BackendKind};
+use eks_engine::{Backend, BackendKind, ChunkPolicy, IntervalDeques, ScanMode};
 use eks_gpusim::device::Device;
 use eks_hashes::HashAlgo;
 use eks_keyspace::{Charset, Interval, KeySpace, Order};
@@ -83,10 +101,71 @@ struct Row {
     mkeys: f64,
 }
 
+/// Virtual cost of one steal (lock the largest victim, halve it,
+/// install the half) — a generous bound for an uncontended mutex pair.
+const STEAL_NS: u64 = 2_000;
+/// Timed sweeps per scaling configuration (caches are already warm from
+/// the wall-clock rows, so no extra warmup sweep).
+const SCALING_BEST_OF: usize = 2;
+/// Workers simulated for the scaling rows.
+const SCALING_WORKERS: usize = 2;
+
+/// Virtual-core throughput of the steal scheduler at `workers` workers
+/// (see the module doc): real-timed guided chunks advance per-worker
+/// virtual clocks, and the makespan is the largest clock.
+fn virtual_throughput(algo: HashAlgo, kind: BackendKind, workers: usize) -> f64 {
+    let space =
+        KeySpace::new(Charset::lowercase(), 1, 8, Order::FirstCharFastest).expect("space");
+    let impossible = TargetSet::new(algo, &[vec![0u8; algo.digest_len()]]);
+    let backend = backend_for(kind);
+    let stop = AtomicBool::new(false);
+    let policy = ChunkPolicy::Guided { min: 1 << 12 };
+    let mut best = 0.0f64;
+    for _ in 0..SCALING_BEST_OF {
+        let deques =
+            IntervalDeques::scatter(Interval::new(0, KEYS as u128), &vec![1.0; workers]);
+        let mut clock = vec![0u64; workers];
+        let mut done = vec![false; workers];
+        // Always advance the worker whose virtual clock is furthest
+        // behind — the order a real multi-core run would interleave in.
+        while let Some(w) =
+            (0..workers).filter(|&w| !done[w]).min_by_key(|&w| clock[w])
+        {
+            match deques.pop(w, policy) {
+                Some(chunk) => {
+                    let t0 = Instant::now();
+                    let out =
+                        backend.scan(&space, &impossible, chunk, &stop, ScanMode::Exhaustive);
+                    clock[w] += t0.elapsed().as_nanos() as u64;
+                    assert!(out.hits.is_empty(), "impossible target must not hit");
+                }
+                None => {
+                    clock[w] += STEAL_NS;
+                    if deques.steal_into(w).is_none() {
+                        done[w] = true;
+                    }
+                }
+            }
+        }
+        let makespan_ns = clock.iter().copied().max().unwrap_or(0).max(1);
+        best = best.max(KEYS as f64 / (makespan_ns as f64 / 1e9) / 1e6);
+    }
+    best
+}
+
+struct ScalingRow {
+    algo: &'static str,
+    backend: &'static str,
+    workers: usize,
+    scaling: f64,
+    parallel_efficiency: f64,
+}
+
 fn main() {
     let mut args = std::env::args().skip(1);
     let mut json_path: Option<String> = None;
     let mut min_md5_speedup = 1.0f64;
+    let mut min_scaling = 0.0f64;
     while let Some(a) = args.next() {
         match a.as_str() {
             "--json" => {
@@ -98,6 +177,12 @@ fn main() {
                     .next()
                     .and_then(|v| v.parse().ok())
                     .expect("--min-md5-speedup takes a number");
+            }
+            "--min-scaling" => {
+                min_scaling = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--min-scaling takes a number");
             }
             // `cargo bench` passes `--bench`; ignore it and any filters.
             _ => {}
@@ -119,6 +204,37 @@ fn main() {
                 );
                 rows.push(Row { algo: algo_name(algo), threads, backend: kind.name(), mkeys });
             }
+        }
+    }
+
+    // Virtual-core thread scaling of the steal scheduler, per
+    // (algo, backend) pair — see the module doc for the methodology.
+    let mut scaling_rows: Vec<ScalingRow> = Vec::new();
+    println!(
+        "{:<6} {:>8} {:>8} {:>8} {:>11}",
+        "algo", "backend", "workers", "scaling", "efficiency"
+    );
+    for algo in ALGOS {
+        for kind in BackendKind::ALL {
+            let vt1 = virtual_throughput(algo, kind, 1);
+            let vtn = virtual_throughput(algo, kind, SCALING_WORKERS);
+            let scaling = vtn / vt1;
+            let parallel_efficiency = scaling / SCALING_WORKERS as f64;
+            println!(
+                "{:<6} {:>8} {:>8} {:>7.2}x {:>10.0}%",
+                algo_name(algo),
+                kind.name(),
+                SCALING_WORKERS,
+                scaling,
+                parallel_efficiency * 100.0
+            );
+            scaling_rows.push(ScalingRow {
+                algo: algo_name(algo),
+                backend: kind.name(),
+                workers: SCALING_WORKERS,
+                scaling,
+                parallel_efficiency,
+            });
         }
     }
 
@@ -149,6 +265,24 @@ fn main() {
         }
     }
 
+    // The scaling gate: the steal scheduler's virtual 2-worker scaling
+    // on md5/lanes8 must clear `--min-scaling`.
+    let md5_lanes8_scaling = scaling_rows
+        .iter()
+        .find(|r| r.algo == "md5" && r.backend == "lanes8")
+        .map(|r| r.scaling)
+        .expect("measured above");
+    let _ = write!(gates, ", \"md5_lanes8_2w_scaling\": {md5_lanes8_scaling:.3}");
+    println!(
+        "md5/lanes8: virtual {SCALING_WORKERS}-worker scaling {md5_lanes8_scaling:.2}x (floor {min_scaling:.2}x)"
+    );
+    if md5_lanes8_scaling < min_scaling {
+        eprintln!(
+            "GATE FAILED: md5/lanes8 scaling {md5_lanes8_scaling:.2}x is below the {min_scaling:.2}x floor"
+        );
+        failed = true;
+    }
+
     if let Some(path) = json_path {
         let mut body = String::new();
         for r in &rows {
@@ -162,8 +296,21 @@ fn main() {
                 r.mkeys
             );
         }
+        let mut scaling_body = String::new();
+        for r in &scaling_rows {
+            let _ = write!(
+                scaling_body,
+                "{}    {{\"algo\": \"{}\", \"backend\": \"{}\", \"workers\": {}, \"scaling\": {:.3}, \"parallel_efficiency\": {:.3}}}",
+                if scaling_body.is_empty() { "" } else { ",\n" },
+                r.algo,
+                r.backend,
+                r.workers,
+                r.scaling,
+                r.parallel_efficiency
+            );
+        }
         let json = format!(
-            "{{\n  \"bench\": \"cracker_backends_vs_scalar\",\n  \"keys_per_sweep\": {KEYS},\n  \"best_of\": {BEST_OF},\n  \"min_md5_speedup\": {min_md5_speedup},\n  \"results\": [\n{body}\n  ],\n  \"gates\": {{{gates}}}\n}}\n"
+            "{{\n  \"bench\": \"cracker_backends_vs_scalar\",\n  \"schema\": 2,\n  \"keys_per_sweep\": {KEYS},\n  \"best_of\": {BEST_OF},\n  \"min_md5_speedup\": {min_md5_speedup},\n  \"min_scaling\": {min_scaling},\n  \"results\": [\n{body}\n  ],\n  \"scaling\": [\n{scaling_body}\n  ],\n  \"gates\": {{{gates}}}\n}}\n"
         );
         std::fs::write(&path, json).expect("write json artifact");
         println!("wrote {path}");

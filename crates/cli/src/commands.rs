@@ -2,14 +2,14 @@
 
 use crate::args::Args;
 use eks_cluster::{
-    paper_network, run_cluster_search, simulate_search, tune_device, AchievedModel,
+    paper_network, run_cluster_search_sched, simulate_search, tune_device, AchievedModel,
     SimKernelBackend, SimParams,
 };
 use eks_cracker::{
-    cpu_backend, crack_parallel, crack_parallel_backend, mine, HashTarget, Lanes, MiningJob,
-    ParallelConfig, TargetSet,
+    cpu_backend, crack_parallel, crack_parallel_backend, mine, render_worker_stats, HashTarget,
+    Lanes, MiningJob, ParallelConfig, TargetSet,
 };
-use eks_engine::{Backend, BackendKind};
+use eks_engine::{Backend, BackendKind, SchedPolicy};
 use eks_gpusim::codegen::lower;
 use eks_gpusim::device::DeviceCatalog;
 use eks_gpusim::sched::{simulate, SimConfig};
@@ -52,6 +52,12 @@ fn print_help() {
     println!("           mask/hybrid/salted searches always use the scalar path)");
     println!("           [--backend scalar|lanes8|lanes16|simgpu [--device 660]]   pick the engine");
     println!("           backend explicitly (simgpu drives a simulated device's kernel)");
+    println!("           [--sched static|queue|steal]   worker scheduling (default: steal —");
+    println!("           per-worker interval deques with steal-half rebalancing)");
+    println!("           [--chunk N]   chunk size: the fixed pop in queue mode, the guided");
+    println!("           floor otherwise (default: derived from --threads; must be >= 1)");
+    println!("           [--stats]   print the per-worker scheduler table (tested, steals,");
+    println!("           splits, busy/idle ms) after the search");
     println!("  hash     --algo md5|sha1 PLAINTEXT       compute a digest");
     println!("  mine     [--difficulty BITS] [--header STR] [--threads N]");
     println!("  analyze  [--algo md5|sha1|ntlm] [--variant optimized|naive|reversed]");
@@ -68,6 +74,8 @@ fn print_help() {
     println!("  cluster  --digest HEX [--algo md5|sha1|ntlm] [--charset ...] [--min N] [--max N]");
     println!("           [--topology \"A(660, cpu:2)\"] [--all]   really crack across a");
     println!("           heterogeneous cluster of CPU + simulated-GPU backends");
+    println!("           [--sched static|queue|steal]   leaf scheduling (default: static —");
+    println!("           rate-proportional shares; steal lets drained leaves rebalance)");
     println!("  tune     [--threads N]                   tune devices and this host's CPU");
 }
 
@@ -132,6 +140,37 @@ fn parse_backend(args: &Args) -> Result<Option<Box<dyn Backend>>, String> {
     }))
 }
 
+/// `--sched static|queue|steal` picks the worker scheduling policy;
+/// `default` is the subcommand's policy when the flag is absent.
+fn parse_sched(args: &Args, default: SchedPolicy) -> Result<SchedPolicy, String> {
+    match args.get("sched") {
+        None => Ok(default),
+        Some(s) => SchedPolicy::parse(s)
+            .ok_or(format!("unsupported --sched {s:?} (static, queue or steal)")),
+    }
+}
+
+/// `--chunk N` overrides the scheduler's chunk size (the fixed pop in
+/// queue mode, the guided floor otherwise). Zero is rejected here so it
+/// surfaces as a usage error instead of an engine panic.
+fn parse_chunk(args: &Args) -> Result<Option<u64>, String> {
+    let Some(s) = args.get("chunk") else { return Ok(None) };
+    let chunk: u64 = s.parse().map_err(|_| format!("invalid --chunk {s:?}"))?;
+    if chunk == 0 {
+        return Err("--chunk must be at least 1".into());
+    }
+    Ok(Some(chunk))
+}
+
+/// `--threads N` with `N >= 1`.
+fn parse_threads(args: &Args, default: usize) -> Result<usize, String> {
+    let threads: usize = args.get_parse_or("threads", default)?;
+    if threads == 0 {
+        return Err("--threads must be at least 1".into());
+    }
+    Ok(threads)
+}
+
 fn cmd_crack(args: &Args) -> Result<(), String> {
     let algo = parse_algo(args)?;
     let digest_hex = args
@@ -146,16 +185,20 @@ fn cmd_crack(args: &Args) -> Result<(), String> {
             algo.digest_len()
         ));
     }
-    let threads: usize = args.get_parse_or("threads", 8)?;
+    let threads = parse_threads(args, 8)?;
     let lanes = parse_lanes(args)?;
     let backend = parse_backend(args)?;
-    if backend.is_some()
-        && (args.get("mask").is_some()
-            || args.get("words").is_some()
-            || args.get("salt-prefix").is_some()
-            || args.get("salt-suffix").is_some())
-    {
+    let chunk = parse_chunk(args)?;
+    let sched = parse_sched(args, SchedPolicy::Steal)?;
+    let structured = args.get("mask").is_some()
+        || args.get("words").is_some()
+        || args.get("salt-prefix").is_some()
+        || args.get("salt-suffix").is_some();
+    if backend.is_some() && structured {
         return Err("--backend applies only to plain charset searches".into());
+    }
+    if args.get("sched").is_some() && structured {
+        return Err("--sched applies only to plain charset searches".into());
     }
 
     // Mask attack: --mask "?u?l?l?d?d".
@@ -165,7 +208,7 @@ fn cmd_crack(args: &Args) -> Result<(), String> {
         let targets = TargetSet::new(algo, &[digest]);
         let config = ParallelConfig {
             threads,
-            chunk: 1 << 12,
+            chunk: chunk.unwrap_or(1 << 12),
             first_hit_only: !args.has("all"),
             ..ParallelConfig::default()
         };
@@ -187,7 +230,7 @@ fn cmd_crack(args: &Args) -> Result<(), String> {
         let targets = TargetSet::new(algo, &[digest]);
         let config = ParallelConfig {
             threads,
-            chunk: 256,
+            chunk: chunk.unwrap_or(256),
             first_hit_only: !args.has("all"),
             ..ParallelConfig::default()
         };
@@ -231,15 +274,22 @@ fn cmd_crack(args: &Args) -> Result<(), String> {
     }
 
     let targets = TargetSet::new(algo, &[digest]);
-    let config = ParallelConfig {
+    let mut config = ParallelConfig {
         first_hit_only: !args.has("all"),
         lanes,
+        sched,
         ..ParallelConfig::for_threads(threads)
     };
+    if let Some(c) = chunk {
+        config.chunk = c;
+    }
     let report = match backend {
         Some(b) => crack_parallel_backend(&space, &targets, space.interval(), b.as_ref(), config),
         None => crack_parallel(&space, &targets, space.interval(), config),
     };
+    if args.has("stats") {
+        print!("{}", render_worker_stats(&report.stats));
+    }
     finish_report(report)
 }
 
@@ -269,7 +319,7 @@ fn cmd_hash(args: &Args) -> Result<(), String> {
 
 fn cmd_mine(args: &Args) -> Result<(), String> {
     let difficulty: u32 = args.get_parse_or("difficulty", 16)?;
-    let threads: usize = args.get_parse_or("threads", 8)?;
+    let threads = parse_threads(args, 8)?;
     let header = args.get_or("header", "eks-block-header").as_bytes().to_vec();
     let job = MiningJob { header, difficulty_bits: difficulty };
     println!("mining: {difficulty} leading zero bits, {threads} threads");
@@ -608,13 +658,15 @@ fn cmd_cluster(args: &Args) -> Result<(), String> {
             "paper network + host cpu:2".to_string(),
         ),
     };
+    let sched = parse_sched(args, SchedPolicy::Static)?;
     let targets = TargetSet::new(algo, &[digest]);
-    println!("cluster [{label}]: searching {} {} candidates", space.size(), algo.name());
-    let r = run_cluster_search(&net, &space, &targets, space.interval(), !args.has("all"));
-    println!("{:<44}{:>16}", "worker", "tested");
-    for (name, tested) in &r.per_device {
-        println!("{name:<44}{tested:>16}");
-    }
+    println!(
+        "cluster [{label}]: searching {} {} candidates ({sched} schedule)",
+        space.size(),
+        algo.name()
+    );
+    let r = run_cluster_search_sched(&net, &space, &targets, space.interval(), !args.has("all"), sched);
+    print!("{}", render_worker_stats(&r.stats));
     if r.hits.is_empty() {
         return Err(format!("not found; tested {} keys", r.tested));
     }
@@ -711,6 +763,52 @@ mod tests {
         assert!(run("cluster", &not_found).is_err());
         let no_digest = args(&["cluster"]);
         assert!(run("cluster", &no_digest).is_err());
+    }
+
+    #[test]
+    fn crack_sched_and_chunk_flags() {
+        let digest = to_hex(&HashAlgo::Md5.hash(b"cab"));
+        for sched in ["static", "queue", "steal"] {
+            let a = args(&[
+                "crack", "--digest", &digest, "--max", "3", "--threads", "2", "--sched", sched,
+            ]);
+            assert!(run("crack", &a).is_ok(), "--sched {sched}");
+        }
+        let a = args(&["crack", "--digest", &digest, "--max", "3", "--chunk", "1024", "--stats"]);
+        assert!(run("crack", &a).is_ok(), "--chunk override with stats table");
+        let bad = args(&["crack", "--digest", &digest, "--sched", "fifo"]);
+        assert!(run("crack", &bad).is_err(), "unknown policy");
+        let masked =
+            args(&["crack", "--digest", &digest, "--sched", "steal", "--mask", "?l?l?l"]);
+        assert!(run("crack", &masked).is_err(), "--sched is plain-search only");
+    }
+
+    #[test]
+    fn crack_chunk_zero_is_a_usage_error_not_a_panic() {
+        let digest = to_hex(&HashAlgo::Md5.hash(b"cab"));
+        let a = args(&["crack", "--digest", &digest, "--max", "3", "--chunk", "0"]);
+        let err = run("crack", &a).expect_err("chunk 0 must be rejected");
+        assert!(err.contains("--chunk"), "{err}");
+        let a = args(&["crack", "--digest", &digest, "--chunk", "lots"]);
+        assert!(run("crack", &a).is_err(), "non-numeric chunk");
+        let a = args(&["crack", "--digest", &digest, "--threads", "0"]);
+        let err = run("crack", &a).expect_err("threads 0 must be rejected");
+        assert!(err.contains("--threads"), "{err}");
+    }
+
+    #[test]
+    fn cluster_sched_flag() {
+        let digest = to_hex(&HashAlgo::Md5.hash(b"cab"));
+        let a = args(&[
+            "cluster", "--digest", &digest, "--max", "3",
+            "--topology", "box(660, cpu:2)", "--sched", "steal",
+        ]);
+        assert!(run("cluster", &a).is_ok());
+        let bad = args(&[
+            "cluster", "--digest", &digest, "--max", "3",
+            "--topology", "box(660)", "--sched", "lifo",
+        ]);
+        assert!(run("cluster", &bad).is_err());
     }
 
     #[test]

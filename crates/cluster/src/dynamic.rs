@@ -18,8 +18,14 @@
 //! step, and every scan runs through one [`Dispatcher`].
 
 use eks_cracker::target::TargetSet;
-use eks_engine::{Backend, Dispatcher, ScanMode, WorkerId};
+use eks_engine::{
+    Backend, DequeLeaf, Dispatcher, IntervalDeques, ScanMode, SchedOptions, SchedPolicy, WorkerId,
+    WorkerStats,
+};
 use eks_keyspace::{Interval, Key, KeySpace};
+
+/// Guided chunk floor inside a dynamic round: one poll quantum.
+const DYNAMIC_CHUNK: u128 = eks_engine::POLL_CHUNK;
 
 /// A membership change the master observes between rounds.
 #[derive(Debug, Clone, PartialEq)]
@@ -221,6 +227,11 @@ pub struct DynamicSearchConfig {
     pub round_keys: u128,
     /// Stop the search at the first hit.
     pub first_hit_only: bool,
+    /// How members are scheduled within a round:
+    /// [`SchedPolicy::Static`] keeps every member on exactly its
+    /// rate-proportional share, the stealing policies let drained
+    /// members rebalance the round's tail.
+    pub sched: SchedPolicy,
 }
 
 /// Result of a real dynamic search.
@@ -236,6 +247,8 @@ pub struct DynamicSearchReport {
     pub rebalances: u32,
     /// Per-member `(name [backend], tested)`, join order.
     pub per_member: Vec<(String, u128)>,
+    /// Full per-member scheduler stats, same order as `per_member`.
+    pub stats: Vec<WorkerStats>,
 }
 
 struct SearchMember {
@@ -312,16 +325,16 @@ pub fn run_dynamic_search(
         let weights: Vec<f64> =
             active.iter().map(|&i| members[i].backend.tuned_rate(algo)).collect();
         let parts = slice.split_weighted(&weights);
-        std::thread::scope(|scope| {
-            for (&i, part) in active.iter().zip(&parts) {
-                let part = *part;
-                let member = &members[i];
-                let dispatcher = &dispatcher;
-                scope.spawn(move || {
-                    dispatcher.scan_as(member.worker, member.backend.as_ref(), part);
-                });
-            }
-        });
+        // Every member owns a deque holding its proportional share; under
+        // the static policy this is exactly one scan per member, under
+        // the stealing policies drained members take the back half of the
+        // largest remaining share.
+        let deques = IntervalDeques::assign(parts);
+        let leaves: Vec<DequeLeaf<'_>> = active
+            .iter()
+            .map(|&i| DequeLeaf { worker: members[i].worker, backend: members[i].backend.as_ref() })
+            .collect();
+        dispatcher.run_deques(&leaves, &deques, SchedOptions::for_policy(config.sched, DYNAMIC_CHUNK));
         round += 1;
 
         if config.first_hit_only && dispatcher.any_hits() {
@@ -336,6 +349,7 @@ pub fn run_dynamic_search(
         rounds: round,
         rebalances,
         per_member: report.per_worker,
+        stats: report.stats,
     }
 }
 
@@ -517,7 +531,7 @@ mod tests {
                 &s,
                 &t,
                 s.interval(),
-                DynamicSearchConfig { round_keys: 60_000, first_hit_only: false },
+                DynamicSearchConfig { round_keys: 60_000, first_hit_only: false, sched: SchedPolicy::Static },
                 vec![ScheduledSearchEvent {
                     before_round: 2,
                     event: SearchEvent::Join { name: "gpu-box".into(), backend: gpu("x").1 },
@@ -545,7 +559,7 @@ mod tests {
                 &s,
                 &t,
                 s.interval(),
-                DynamicSearchConfig { round_keys: 60_000, first_hit_only: false },
+                DynamicSearchConfig { round_keys: 60_000, first_hit_only: false, sched: SchedPolicy::Static },
                 vec![ScheduledSearchEvent {
                     before_round: 2,
                     event: SearchEvent::Leave { name: "b".into() },
@@ -567,12 +581,36 @@ mod tests {
                 &s,
                 &t,
                 s.interval(),
-                DynamicSearchConfig { round_keys: 50_000, first_hit_only: true },
+                DynamicSearchConfig { round_keys: 50_000, first_hit_only: true, sched: SchedPolicy::Static },
                 vec![],
             );
             assert_eq!(r.hits.len(), 1);
             assert_eq!(r.hits[0].1.as_bytes(), b"bcd");
             assert!(r.tested < s.size(), "stopped before sweeping everything");
+        }
+
+        #[test]
+        fn stealing_rounds_cover_exactly_once() {
+            let s = space();
+            let t = targets(&[b"zzzz"]);
+            let r = run_dynamic_search(
+                vec![cpu("a"), cpu("b")],
+                &s,
+                &t,
+                s.interval(),
+                DynamicSearchConfig {
+                    round_keys: 60_000,
+                    first_hit_only: false,
+                    sched: SchedPolicy::Steal,
+                },
+                vec![],
+            );
+            assert_eq!(r.tested, s.size(), "stealing neither drops nor doubles keys");
+            assert_eq!(r.hits.len(), 1);
+            assert_eq!(r.stats.len(), r.per_member.len());
+            let steals: u64 = r.stats.iter().map(|w| w.steals).sum();
+            let splits: u64 = r.stats.iter().map(|w| w.splits).sum();
+            assert_eq!(steals, splits, "every steal splits exactly one victim");
         }
     }
 }

@@ -50,7 +50,7 @@ pub use dynamic::{
 pub use fault::{simulate_search_with_failure, FailureEvent, FailureReport};
 pub use model::{calibrate, fit_model, FittedModel};
 pub use rounds::{run_rounds, RoundConfig, RoundReport};
-pub use runtime::{run_cluster_search, ClusterSearchResult};
+pub use runtime::{run_cluster_search, run_cluster_search_sched, ClusterSearchResult};
 pub use simgpu::SimKernelBackend;
 pub use spec::{paper_network, ClusterNode, CpuWorker, GpuSlot};
 pub use strength::{estimate_against_cluster, estimate_against_device, StrengthEstimate};

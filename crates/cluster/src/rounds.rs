@@ -18,12 +18,18 @@
 use eks_cracker::resume::Checkpoint;
 use eks_cracker::target::TargetSet;
 use eks_cracker::LaneBackend;
-use eks_engine::{Backend, Dispatcher, ScanMode, ScanReport, WorkerId};
+use eks_engine::{
+    Backend, DequeLeaf, Dispatcher, IntervalDeques, ScanMode, ScanReport, SchedOptions,
+    SchedPolicy, WorkerId, WorkerStats,
+};
 use eks_keyspace::{Interval, Key, KeySpace};
 
 use crate::simgpu::SimKernelBackend;
 use crate::spec::ClusterNode;
 use crate::tuning::tune_cpu;
+
+/// Guided chunk floor inside a stealing round: one poll quantum.
+const ROUND_CHUNK: u128 = eks_engine::POLL_CHUNK;
 
 /// Configuration of the round-based master.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -35,6 +41,11 @@ pub struct RoundConfig {
     /// Drop (do not scan) the assignment of the named worker index every
     /// round — fault injection for tests; `None` in normal operation.
     pub lose_worker: Option<usize>,
+    /// How workers are scheduled *within* a round:
+    /// [`SchedPolicy::Static`] keeps the classic one-scan-per-assignment
+    /// shape, the stealing policies let drained workers rebalance the
+    /// round's remaining intervals.
+    pub sched: SchedPolicy,
 }
 
 /// Result of a round-based search.
@@ -50,6 +61,8 @@ pub struct RoundReport {
     pub requeued: u128,
     /// Per-device `(label, tested)`.
     pub per_device: Vec<(String, u128)>,
+    /// Full per-device scheduler stats, same order as `per_device`.
+    pub stats: Vec<WorkerStats>,
 }
 
 /// A flattened cluster worker: its display label, tuned weight, and the
@@ -121,17 +134,58 @@ pub fn run_rounds(
         let worker_of = |i: usize| (i + rounds as usize) % members.len();
         let rotated: Vec<f64> = (0..members.len()).map(|i| weights[worker_of(i)]).collect();
         let parts = round_iv.split_weighted(&rotated);
-        // Scatter: one thread per worker; the dispatcher gathers hits and
-        // accounting as each scan merges, the scope gathers the reports
-        // the checkpoint needs.
-        let mut results: Vec<Option<(usize, ScanReport)>> = Vec::new();
+
+        // A lost worker's assignment goes straight back to the
+        // checkpoint: it stays pending and is re-dispatched next round.
+        let mut live: Vec<usize> = Vec::new();
+        for (i, part) in parts.iter().enumerate() {
+            if Some(worker_of(i)) == config.lose_worker {
+                requeued += part.len;
+                checkpoint.requeue(*part);
+            } else {
+                live.push(i);
+            }
+        }
+
+        if config.sched.steals() {
+            // Stealing round: every live assignment becomes an interval
+            // deque its worker owns; drained workers rebalance the
+            // round's tail instead of idling at the gather barrier.
+            if !live.is_empty() {
+                let deques =
+                    IntervalDeques::assign(live.iter().map(|&i| parts[i]).collect());
+                let leaves: Vec<DequeLeaf<'_>> = live
+                    .iter()
+                    .map(|&i| DequeLeaf {
+                        worker: ids[worker_of(i)],
+                        backend: members[worker_of(i)].backend.as_ref(),
+                    })
+                    .collect();
+                dispatcher.run_deques(
+                    &leaves,
+                    &deques,
+                    SchedOptions::for_policy(config.sched, ROUND_CHUNK),
+                );
+                if config.first_hit_only && dispatcher.any_hits() {
+                    break; // the search ends here; no completion bookkeeping needed
+                }
+                // An uncancelled round drains every deque: the live
+                // assignments are fully covered (moves never duplicate).
+                for &i in &live {
+                    checkpoint.complete(parts[i]);
+                }
+            }
+            continue;
+        }
+
+        // Static round: one scan per assignment; the dispatcher gathers
+        // hits and accounting as each scan merges, the scope gathers the
+        // reports the checkpoint needs.
+        let mut results: Vec<(usize, ScanReport)> = Vec::new();
         std::thread::scope(|scope| {
             let mut handles = Vec::new();
-            for (i, part) in parts.iter().enumerate() {
-                let part = *part;
-                if Some(worker_of(i)) == config.lose_worker {
-                    continue; // the worker went silent: nothing comes back
-                }
+            for &i in &live {
+                let part = parts[i];
                 let member = &members[worker_of(i)];
                 let id = ids[worker_of(i)];
                 let dispatcher = &dispatcher;
@@ -141,38 +195,22 @@ pub fn run_rounds(
                     (i, dispatcher.scan_as(id, member.backend.as_ref(), part))
                 }));
             }
-            results = handles
-                .into_iter()
-                .map(|h| Some(h.join().expect("worker panicked")))
-                .collect();
+            results =
+                handles.into_iter().map(|h| h.join().expect("worker panicked")).collect();
         });
 
-        // Gather: account completed intervals; lost assignments stay
-        // pending in the checkpoint and are re-dispatched next round.
-        for (i, part) in parts.iter().enumerate() {
-            let done = results
-                .iter()
-                .flatten()
-                .find(|(wi, _)| *wi == i)
-                .map(|(_, out)| out);
-            match done {
-                Some(out) => {
-                    // With first-hit cancellation a worker may stop early;
-                    // only the scanned prefix counts as complete.
-                    let scanned = Interval::new(part.start, out.tested.min(part.len));
-                    checkpoint.complete(scanned);
-                    // A cancelled worker (another thread hit first) leaves
-                    // an unscanned suffix; with first-hit we stop anyway,
-                    // but requeue keeps the accounting exact.
-                    let rest =
-                        Interval::new(part.start + scanned.len, part.len - scanned.len);
-                    checkpoint.requeue(rest);
-                }
-                None => {
-                    requeued += part.len;
-                    checkpoint.requeue(*part);
-                }
-            }
+        // Gather: account completed intervals.
+        for (i, out) in &results {
+            let part = &parts[*i];
+            // With first-hit cancellation a worker may stop early; only
+            // the scanned prefix counts as complete.
+            let scanned = Interval::new(part.start, out.tested.min(part.len));
+            checkpoint.complete(scanned);
+            // A cancelled worker (another thread hit first) leaves an
+            // unscanned suffix; with first-hit we stop anyway, but
+            // requeue keeps the accounting exact.
+            let rest = Interval::new(part.start + scanned.len, part.len - scanned.len);
+            checkpoint.requeue(rest);
         }
 
         if config.first_hit_only && dispatcher.any_hits() {
@@ -187,6 +225,7 @@ pub fn run_rounds(
         rounds,
         requeued,
         per_device: report.per_worker,
+        stats: report.stats,
     }
 }
 
@@ -216,7 +255,7 @@ mod tests {
             &s,
             &t,
             s.interval(),
-            RoundConfig { round_keys: 50_000, first_hit_only: true, lose_worker: None },
+            RoundConfig { round_keys: 50_000, first_hit_only: true, lose_worker: None, sched: SchedPolicy::Static },
         );
         assert_eq!(r.hits[0].1.as_bytes(), b"bcd");
         assert!(r.tested < s.size(), "stopped before sweeping everything");
@@ -232,7 +271,7 @@ mod tests {
             &s,
             &t,
             s.interval(),
-            RoundConfig { round_keys: 60_000, first_hit_only: false, lose_worker: None },
+            RoundConfig { round_keys: 60_000, first_hit_only: false, lose_worker: None, sched: SchedPolicy::Static },
         );
         assert_eq!(r.tested, s.size());
         assert_eq!(r.hits.len(), 1);
@@ -253,7 +292,7 @@ mod tests {
             &s,
             &t,
             s.interval(),
-            RoundConfig { round_keys: 60_000, first_hit_only: false, lose_worker: Some(0) },
+            RoundConfig { round_keys: 60_000, first_hit_only: false, lose_worker: Some(0), sched: SchedPolicy::Static },
         );
         assert_eq!(r.tested, s.size(), "lost work is eventually covered");
         assert!(r.requeued > 0);
@@ -270,7 +309,7 @@ mod tests {
             &s,
             &t,
             s.interval(),
-            RoundConfig { round_keys: 100_000, first_hit_only: false, lose_worker: None },
+            RoundConfig { round_keys: 100_000, first_hit_only: false, lose_worker: None, sched: SchedPolicy::Static },
         );
         let share = |pat: &str| {
             r.per_device
@@ -292,7 +331,7 @@ mod tests {
             &s,
             &t,
             s.interval(),
-            RoundConfig { round_keys: 80_000, first_hit_only: false, lose_worker: None },
+            RoundConfig { round_keys: 80_000, first_hit_only: false, lose_worker: None, sched: SchedPolicy::Static },
         );
         assert_eq!(r.tested, s.size());
         assert!(r.per_device.iter().any(|(n, _)| n.contains("[simgpu]")));

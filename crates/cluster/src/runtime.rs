@@ -15,11 +15,18 @@ use eks_keyspace::{Interval, Key, KeySpace};
 
 use eks_cracker::target::TargetSet;
 use eks_cracker::LaneBackend;
-use eks_engine::{Backend, Dispatcher, ScanMode, WorkerId};
+use eks_engine::{
+    Backend, DequeLeaf, Dispatcher, IntervalDeques, ScanMode, SchedOptions, SchedPolicy, WorkerId,
+    WorkerStats,
+};
 
 use crate::simgpu::SimKernelBackend;
 use crate::spec::ClusterNode;
 use crate::tuning::tune_cpu;
+
+/// Guided chunk floor for cluster leaves: one poll quantum, so the
+/// smallest pop still amortizes a stop-flag check.
+const CLUSTER_CHUNK: u128 = eks_engine::POLL_CHUNK;
 
 /// Result of a real cluster search.
 #[derive(Debug, Clone, PartialEq)]
@@ -30,6 +37,8 @@ pub struct ClusterSearchResult {
     pub tested: u128,
     /// Per-device `(node/device [backend], tested)` accounting, tree order.
     pub per_device: Vec<(String, u128)>,
+    /// Full per-device scheduler stats, same order as `per_device`.
+    pub stats: Vec<WorkerStats>,
 }
 
 /// One planned unit of execution: a pre-assigned slice of the keyspace,
@@ -42,9 +51,11 @@ struct Leaf {
     interval: Interval,
 }
 
-/// Execute a search over the cluster: planning mirrors the dispatch
-/// tree, execution runs every leaf backend under one [`Dispatcher`];
-/// `first_hit_only` stops the whole tree at the first match.
+/// Execute a search over the cluster with the static (purely
+/// rate-proportional) schedule: every leaf scans exactly its planned
+/// share, so per-device accounting reproduces the paper's
+/// `N_j = N_max · X_j / X_max` split. See [`run_cluster_search_sched`]
+/// to let drained leaves rebalance by stealing.
 pub fn run_cluster_search(
     root: &ClusterNode,
     space: &KeySpace,
@@ -52,22 +63,45 @@ pub fn run_cluster_search(
     interval: Interval,
     first_hit_only: bool,
 ) -> ClusterSearchResult {
+    run_cluster_search_sched(root, space, targets, interval, first_hit_only, SchedPolicy::Static)
+}
+
+/// Execute a search over the cluster: planning mirrors the dispatch
+/// tree (rate-proportional scatter), execution runs every leaf as an
+/// interval-deque owner under one [`Dispatcher`] with the chosen
+/// scheduling policy — [`SchedPolicy::Static`] keeps each leaf on its
+/// planned share, the stealing policies let drained leaves take the
+/// back half of the largest remaining deque. `first_hit_only` stops the
+/// whole tree at the first match.
+pub fn run_cluster_search_sched(
+    root: &ClusterNode,
+    space: &KeySpace,
+    targets: &TargetSet,
+    interval: Interval,
+    first_hit_only: bool,
+    sched: SchedPolicy,
+) -> ClusterSearchResult {
     let dispatcher = Dispatcher::new(space, targets, ScanMode::from_first_hit(first_hit_only));
     let mut leaves = Vec::new();
     plan_node(root, targets.algo(), interval, &dispatcher, &mut leaves);
-    std::thread::scope(|scope| {
-        for leaf in &leaves {
-            let dispatcher = &dispatcher;
-            scope.spawn(move || {
-                dispatcher.scan_as(leaf.worker, leaf.backend.as_ref(), leaf.interval);
-            });
-        }
-    });
+    if !leaves.is_empty() {
+        let deques = IntervalDeques::assign(leaves.iter().map(|l| l.interval).collect());
+        let deque_leaves: Vec<DequeLeaf<'_>> = leaves
+            .iter()
+            .map(|l| DequeLeaf { worker: l.worker, backend: l.backend.as_ref() })
+            .collect();
+        dispatcher.run_deques(
+            &deque_leaves,
+            &deques,
+            SchedOptions::for_policy(sched, CLUSTER_CHUNK),
+        );
+    }
     let report = dispatcher.finish();
     ClusterSearchResult {
         hits: report.hits,
         tested: report.tested,
         per_device: report.per_worker,
+        stats: report.stats,
     }
 }
 
@@ -292,5 +326,35 @@ mod tests {
         let r = run_cluster_search(&net, &s, &t, Interval::new(0, 0), true);
         assert!(r.hits.is_empty());
         assert_eq!(r.tested, 0);
+    }
+
+    #[test]
+    fn steal_schedule_still_covers_exactly_once() {
+        let net = paper_network(1e-3);
+        let s = space();
+        let t = targets(&[b"zzzz"]);
+        let r = run_cluster_search_sched(
+            &net,
+            &s,
+            &t,
+            s.interval(),
+            false,
+            SchedPolicy::Steal,
+        );
+        assert_eq!(r.tested, s.size(), "stealing neither drops nor doubles keys");
+        assert_eq!(r.hits.len(), 1);
+        assert_eq!(r.stats.len(), r.per_device.len());
+        let steals: u64 = r.stats.iter().map(|w| w.steals).sum();
+        let splits: u64 = r.stats.iter().map(|w| w.splits).sum();
+        assert_eq!(steals, splits, "every steal splits exactly one victim");
+    }
+
+    #[test]
+    fn static_schedule_reports_no_steals() {
+        let net = paper_network(1e-3);
+        let s = space();
+        let t = targets(&[b"zzzz"]);
+        let r = run_cluster_search(&net, &s, &t, s.interval(), false);
+        assert!(r.stats.iter().all(|w| w.steals == 0 && w.splits == 0), "{:?}", r.stats);
     }
 }

@@ -119,7 +119,13 @@ where
     let mut all = hits.into_inner().expect("hits lock");
     all.sort_by_key(|(id, _, _)| *id);
     let tested = tested.load(Ordering::Relaxed) as u128;
-    ParallelReport { hits: all, tested, elapsed_s, mkeys_per_s: tested as f64 / elapsed_s / 1e6 }
+    ParallelReport {
+        hits: all,
+        tested,
+        elapsed_s,
+        mkeys_per_s: tested as f64 / elapsed_s / 1e6,
+        stats: Vec::new(),
+    }
 }
 
 #[cfg(test)]

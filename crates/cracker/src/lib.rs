@@ -32,5 +32,5 @@ pub use mining::{mine, MiningJob, MiningResult};
 pub use parallel::{crack_parallel, crack_parallel_backend, ParallelConfig, ParallelReport};
 pub use progress::ThroughputMeter;
 pub use resume::Checkpoint;
-pub use stats::{ClassUsage, PasswordStats};
+pub use stats::{render_worker_stats, ClassUsage, PasswordStats};
 pub use target::{HashTarget, TargetSet};

@@ -1,15 +1,17 @@
 //! Multi-threaded cracking: the fine-grain parallelization of Section III
 //! mapped onto CPU threads.
 //!
-//! Threads pull fixed-size chunks from a shared cursor (dynamic
-//! self-balancing, the degenerate single-level case of the paper's
-//! dispatch tree), test candidates with the `next`-operator scan, and
-//! raise a shared stop flag on the first hit when only one preimage is
-//! wanted.
+//! Each thread owns a contiguous share of the interval (no shared
+//! cursor in the common case), pops guided-size chunks off its own
+//! deque, and steals the back half of the largest remote deque when it
+//! drains — the engine layer's [`SchedPolicy::Steal`] default. The
+//! legacy shared-queue and purely static splits remain selectable via
+//! [`ParallelConfig::sched`]. A shared stop flag ends the search at the
+//! first hit when only one preimage is wanted.
 
 use std::time::Instant;
 
-use eks_engine::{Backend, Dispatcher, ScanMode};
+use eks_engine::{Backend, Dispatcher, ScanMode, SchedPolicy, WorkerStats};
 use eks_keyspace::{Interval, Key, KeySpace};
 
 use crate::backend::cpu_backend;
@@ -21,12 +23,15 @@ use crate::target::TargetSet;
 pub struct ParallelConfig {
     /// Worker thread count (≥ 1).
     pub threads: usize,
-    /// Keys per work chunk pulled from the shared cursor.
+    /// Keys per work chunk: the fixed pop size under
+    /// [`SchedPolicy::Queue`], the guided floor otherwise.
     pub chunk: u64,
     /// Stop the whole search at the first hit.
     pub first_hit_only: bool,
     /// Lane width of the per-thread test path (batched by default).
     pub lanes: Lanes,
+    /// Scheduling policy across threads (adaptive stealing by default).
+    pub sched: SchedPolicy,
 }
 
 impl Default for ParallelConfig {
@@ -45,6 +50,7 @@ impl ParallelConfig {
             chunk: Self::default_chunk(threads),
             first_hit_only: true,
             lanes: Lanes::default(),
+            sched: SchedPolicy::Steal,
         }
     }
 
@@ -76,6 +82,9 @@ pub struct ParallelReport {
     pub elapsed_s: f64,
     /// Throughput in million key tests per second (the paper's MKey/s).
     pub mkeys_per_s: f64,
+    /// Per-thread scheduler stats (tested, steals, splits, idle/busy
+    /// time) in registration order.
+    pub stats: Vec<WorkerStats>,
 }
 
 /// Crack `interval` of `space` against `targets` with `config.threads`
@@ -99,7 +108,7 @@ pub fn crack_parallel(
 }
 
 /// Like [`crack_parallel`] but over any engine-layer [`Backend`]: the
-/// shared-cursor work queue is the [`Dispatcher`]'s, so this path and the
+/// worker scheduling is the [`Dispatcher`]'s, so this path and the
 /// cluster runtimes share one chunk/poll/cancel/merge implementation.
 ///
 /// # Panics
@@ -117,7 +126,7 @@ pub fn crack_parallel_backend(
         targets,
         ScanMode::from_first_hit(config.first_hit_only),
     );
-    dispatcher.run_queue(backend, interval, config.threads, config.chunk);
+    dispatcher.run_workers(backend, interval, config.threads, config.chunk, config.sched);
     let report = dispatcher.finish();
     let elapsed_s = start.elapsed().as_secs_f64().max(1e-9);
     ParallelReport {
@@ -125,6 +134,7 @@ pub fn crack_parallel_backend(
         tested: report.tested,
         elapsed_s,
         mkeys_per_s: report.tested as f64 / elapsed_s / 1e6,
+        stats: report.stats,
     }
 }
 
@@ -204,6 +214,7 @@ mod tests {
             chunk: 1 << 10,
             first_hit_only: false,
             lanes: Lanes::Scalar,
+            ..ParallelConfig::for_threads(2)
         };
         let scalar = crack_parallel(&s, &t, s.interval(), base);
         for lanes in [Lanes::L8, Lanes::L16] {
@@ -215,9 +226,9 @@ mod tests {
 
     #[test]
     fn huge_interval_does_not_overflow_chunk_dispatch() {
-        // Σ_{i=1}^{20} 62^i ≈ 7.2·10³⁵ candidates: with chunk = 1 the old
-        // dispatch computed ≈ 7.2·10³⁵ chunks and panicked converting to
-        // the u64 cursor. The widened effective chunk must handle it.
+        // Σ_{i=1}^{20} 62^i ≈ 7.2·10³⁵ candidates: an early dispatch
+        // tracked chunks on a u64 cursor and panicked here with chunk = 1.
+        // The interval deques are u128-native, so no widening is needed.
         let s = KeySpace::new(Charset::alphanumeric(), 1, 20, Order::FirstCharFastest).unwrap();
         let t = targets(&[b"a"]); // identifier 0: found immediately
         let cfg = ParallelConfig {
@@ -225,6 +236,7 @@ mod tests {
             chunk: 1,
             first_hit_only: true,
             lanes: Lanes::L8,
+            ..ParallelConfig::for_threads(2)
         };
         let r = crack_parallel(&s, &t, s.interval(), cfg);
         assert_eq!(r.hits.len(), 1);
@@ -242,6 +254,48 @@ mod tests {
             assert_eq!(chunk % 16, 0, "chunk must compose with every lane width");
             assert!(chunk >= 16);
         }
+    }
+
+    #[test]
+    fn every_sched_policy_finds_the_same_hits() {
+        let s = space();
+        let t = targets(&[b"dog", b"pig", b"mnop"]);
+        let mut reference: Option<Vec<(u128, Key, usize)>> = None;
+        for sched in SchedPolicy::ALL {
+            let cfg = ParallelConfig {
+                threads: 3,
+                first_hit_only: false,
+                sched,
+                ..ParallelConfig::for_threads(3)
+            };
+            let r = crack_parallel(&s, &t, s.interval(), cfg);
+            assert_eq!(r.tested, s.size(), "{sched}: full sweep");
+            assert_eq!(r.stats.len(), 3, "{sched}: one stats row per thread");
+            assert_eq!(
+                r.stats.iter().map(|w| w.tested).sum::<u128>(),
+                r.tested,
+                "{sched}: stats account for every test"
+            );
+            match &reference {
+                None => reference = Some(r.hits),
+                Some(hits) => assert_eq!(&r.hits, hits, "{sched}"),
+            }
+        }
+    }
+
+    #[test]
+    fn steal_and_split_counters_balance() {
+        let s = space();
+        let t = targets(&[b"zzzz"]);
+        let cfg = ParallelConfig {
+            threads: 4,
+            first_hit_only: false,
+            ..ParallelConfig::for_threads(4)
+        };
+        let r = crack_parallel(&s, &t, s.interval(), cfg);
+        let steals: u64 = r.stats.iter().map(|w| w.steals).sum();
+        let splits: u64 = r.stats.iter().map(|w| w.splits).sum();
+        assert_eq!(steals, splits, "every steal splits exactly one victim");
     }
 
     #[test]

@@ -1,7 +1,13 @@
 //! Statistics over cracked passwords — the summary section of an audit
 //! report: length distribution, character-class usage, and where in the
 //! enumeration the passwords fell (how much attacker work each survived).
+//!
+//! Also renders the scheduler's per-worker accounting
+//! ([`render_worker_stats`]): tested counts, steals, splits, and
+//! busy/idle time, the numbers behind the bench's measured parallel
+//! efficiency.
 
+use eks_engine::WorkerStats;
 use eks_keyspace::Key;
 
 /// Character classes a password draws from.
@@ -103,6 +109,37 @@ impl PasswordStats {
     }
 }
 
+/// Render the scheduler's per-worker accounting as an aligned table:
+/// one row per worker with tested candidates, steal and split counts,
+/// and busy/idle milliseconds. Empty input renders to an empty string.
+pub fn render_worker_stats(stats: &[WorkerStats]) -> String {
+    use std::fmt::Write as _;
+    if stats.is_empty() {
+        return String::new();
+    }
+    let mut out = String::new();
+    writeln!(
+        out,
+        "{:<32}{:>16}{:>8}{:>8}{:>10}{:>10}",
+        "worker", "tested", "steals", "splits", "busy ms", "idle ms"
+    )
+    .expect("write to string");
+    for w in stats {
+        writeln!(
+            out,
+            "{:<32}{:>16}{:>8}{:>8}{:>10.1}{:>10.1}",
+            w.label,
+            w.tested,
+            w.steals,
+            w.splits,
+            w.busy_ns as f64 / 1e6,
+            w.idle_ns as f64 / 1e6
+        )
+        .expect("write to string");
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -150,5 +187,22 @@ mod tests {
         let text = s.render();
         assert!(text.contains("2 cracked"));
         assert!(text.contains("3:1"), "{text}");
+    }
+
+    #[test]
+    fn worker_stats_table_has_a_row_per_worker() {
+        let mut a = WorkerStats::new("lanes8#0");
+        a.tested = 1000;
+        a.steals = 2;
+        let mut b = WorkerStats::new("lanes8#1");
+        b.tested = 500;
+        b.splits = 2;
+        b.idle_ns = 1_500_000;
+        let table = render_worker_stats(&[a, b]);
+        assert_eq!(table.lines().count(), 3, "header + two rows");
+        assert!(table.contains("lanes8#0"), "{table}");
+        assert!(table.contains("steals"), "{table}");
+        assert!(table.contains("1.5"), "idle ms rendered: {table}");
+        assert!(render_worker_stats(&[]).is_empty());
     }
 }

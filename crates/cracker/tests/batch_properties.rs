@@ -7,7 +7,7 @@
 use std::sync::atomic::AtomicBool;
 
 use eks_core::prop::{forall, Rng};
-use eks_cracker::batch::{crack_interval_batched, layout_for, Lanes};
+use eks_cracker::batch::{crack_interval_batched, Lanes};
 use eks_cracker::{crack_interval, crack_parallel, ParallelConfig, TargetSet};
 use eks_hashes::padding::{pad_md5_block, pad_sha_block};
 use eks_hashes::HashAlgo;
@@ -125,7 +125,7 @@ fn crack_parallel_batched_finds_the_scalar_hits() {
                 &space,
                 &targets,
                 space.interval(),
-                ParallelConfig { threads: 2, chunk, first_hit_only: false, lanes },
+                ParallelConfig { threads: 2, chunk, first_hit_only: false, lanes, ..ParallelConfig::for_threads(2) },
             )
         };
         let scalar = run(Lanes::Scalar);

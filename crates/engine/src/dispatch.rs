@@ -2,12 +2,17 @@
 //!
 //! A [`Dispatcher`] owns everything the paper's master does between
 //! scatter and merge: the shared stop condition, the gathered hits, the
-//! per-worker tested counts, and an optional progress hook. Two
-//! frontends drive the same core:
+//! per-worker tested counts and scheduler stats, and an optional
+//! progress hook. Three frontends drive the same core:
 //!
-//! * [`Dispatcher::run_queue`] — the fine-grain shape: `workers` threads
-//!   pull fixed-size chunks from a shared cursor (dynamic
-//!   self-balancing, the degenerate single-level dispatch tree);
+//! * [`Dispatcher::run_deques`] — the adaptive shape: every worker owns
+//!   a pre-scattered interval deque ([`IntervalDeques`]), pops chunks
+//!   off its own front ([`ChunkPolicy`]), and steals the back half of
+//!   the largest remote deque when drained;
+//! * [`Dispatcher::run_queue`] / [`Dispatcher::run_workers`] — thin
+//!   wrappers that scatter evenly and run `run_deques` in the requested
+//!   [`SchedPolicy`] mode (`run_queue` keeps the old shared-queue
+//!   granularity: fixed chunks, stealing on);
 //! * [`Dispatcher::scan_as`] — the coarse-grain shape: a caller that
 //!   already split the interval by tuned rates (the cluster runtimes)
 //!   runs each pre-assigned slice as a registered worker.
@@ -18,18 +23,29 @@
 //! [`Dispatcher::finish`]; under [`ScanMode::FirstHit`] the report keeps
 //! only the lowest-identifier hit, so the winner is deterministic across
 //! backends given the same set of reported hits. *Which* hits get
-//! reported under first-hit is inherently timing-dependent — a worker
-//! may race past the stop flag for up to one poll chunk — therefore
+//! reported under first-hit is inherently timing-dependent — therefore
 //! `tested` is exact per worker but the total varies run-to-run once a
 //! first hit cancels the others. In [`ScanMode::Exhaustive`] every
 //! identifier is tested exactly once and `tested` is exact.
+//!
+//! ## Cancellation bound
+//!
+//! Once the stop flag is raised, a worker scans at most **one poll
+//! quantum** more: every backend walks its chunk through a
+//! [`crate::poll::PollCursor`], which re-checks the flag every
+//! [`crate::poll::POLL_CHUNK`] keys (rounded up to the backend's lane
+//! stride). With `W` workers in flight, total post-cancel work is
+//! therefore bounded by `W × quantum` keys — a checked bound, see the
+//! cancellation-latency test in `tests/steal_scheduler.rs`.
 
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Mutex;
+use std::time::Instant;
 
 use eks_keyspace::{Interval, Key, KeySpace};
 
 use crate::backend::{Backend, ScanMode, ScanReport};
+use crate::steal::{ChunkPolicy, IntervalDeques, SchedPolicy, WorkerStats};
 use crate::target::TargetSet;
 
 /// Handle to a registered worker (index into the accounting table).
@@ -59,14 +75,44 @@ pub struct DispatchReport {
     pub tested: u128,
     /// Per-worker `(label, tested)` in registration order.
     pub per_worker: Vec<(String, u128)>,
+    /// Full per-worker scheduler stats (steals, splits, idle/busy time),
+    /// same order as `per_worker`.
+    pub stats: Vec<WorkerStats>,
 }
 
 struct Gathered {
     hits: Vec<(u128, Key, usize)>,
-    workers: Vec<(String, u128)>,
+    workers: Vec<WorkerStats>,
 }
 
 type ProgressFn<'a> = Box<dyn Fn(&ProgressEvent) + Sync + 'a>;
+
+/// One executor in a [`Dispatcher::run_deques`] run: deque slot `i`
+/// belongs to leaf `i`. Several leaves may share a [`WorkerId`] (a CPU
+/// device fanning out over threads), so accounting stays per-device.
+pub struct DequeLeaf<'b> {
+    /// The worker this leaf's scans are credited to.
+    pub worker: WorkerId,
+    /// The backend that scans this leaf's chunks.
+    pub backend: &'b dyn Backend,
+}
+
+/// Knobs of a [`Dispatcher::run_deques`] run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SchedOptions {
+    /// How owners size the chunks they pop.
+    pub chunk: ChunkPolicy,
+    /// Whether drained workers steal from remote deques.
+    pub steal: bool,
+}
+
+impl SchedOptions {
+    /// The options a [`SchedPolicy`] names, with `chunk` as the fixed
+    /// size (queue mode) or guided floor (static/steal modes).
+    pub fn for_policy(policy: SchedPolicy, chunk: u128) -> Self {
+        Self { chunk: policy.chunk_policy(chunk), steal: policy.steals() }
+    }
+}
 
 /// The one dispatch core every execution path runs through.
 pub struct Dispatcher<'a> {
@@ -125,7 +171,7 @@ impl<'a> Dispatcher<'a> {
     /// [`DispatchReport::per_worker`] in registration order.
     pub fn register(&self, label: impl Into<String>) -> WorkerId {
         let mut g = self.gathered.lock().expect("dispatch lock");
-        g.workers.push((label.into(), 0));
+        g.workers.push(WorkerStats::new(label));
         WorkerId(g.workers.len() - 1)
     }
 
@@ -145,12 +191,12 @@ impl<'a> Dispatcher<'a> {
         }
         let event = {
             let mut g = self.gathered.lock().expect("dispatch lock");
-            g.workers[worker.0].1 += report.tested;
+            g.workers[worker.0].tested += report.tested;
             g.hits.extend(report.hits.iter().cloned());
             ProgressEvent {
                 worker: worker.0,
                 tested: report.tested,
-                total_tested: g.workers.iter().map(|(_, t)| *t).sum(),
+                total_tested: g.workers.iter().map(|w| w.tested).sum(),
                 total_hits: g.hits.len(),
             }
         };
@@ -160,53 +206,117 @@ impl<'a> Dispatcher<'a> {
         report
     }
 
-    /// The shared-cursor frontend: `workers` threads pull `chunk`-sized
-    /// slices of `interval` (clamped to the space) until exhaustion or a
-    /// first-hit stop. One worker is registered per thread, labelled
-    /// `{backend.name()}#{index}`.
+    /// Merge a worker thread's scheduler accounting (called once per
+    /// leaf as its run loop exits).
+    fn credit_sched(&self, worker: WorkerId, steals: u64, splits: u64, idle_ns: u64, busy_ns: u64) {
+        let mut g = self.gathered.lock().expect("dispatch lock");
+        let w = &mut g.workers[worker.0];
+        w.steals += steals;
+        w.splits += splits;
+        w.idle_ns += idle_ns;
+        w.busy_ns += busy_ns;
+    }
+
+    /// The adaptive frontend: one thread per leaf, leaf `i` owning deque
+    /// slot `i`. Each worker pops chunks off its own deque (sized by
+    /// `opts.chunk`) and scans them via [`Dispatcher::scan_as`]; when
+    /// drained it steals the back half of the largest remote deque
+    /// (`opts.steal`), or exits under the static policy. The run ends
+    /// when every deque is empty or the stop flag is raised; coverage is
+    /// exactly-once by construction (the deques partition the interval
+    /// and chunks only ever move, never duplicate).
     ///
-    /// Intervals can span up to `u128::MAX` identifiers while the cursor
-    /// is a `u64`: the effective chunk is widened just enough that the
-    /// chunk count always fits, instead of panicking on huge (if
-    /// impractical) spaces.
+    /// # Panics
+    /// Panics when `leaves` is empty or its length differs from the
+    /// number of deque slots.
+    pub fn run_deques(&self, leaves: &[DequeLeaf<'_>], deques: &IntervalDeques, opts: SchedOptions) {
+        assert!(!leaves.is_empty(), "need at least one leaf");
+        assert_eq!(leaves.len(), deques.len(), "one deque slot per leaf");
+        std::thread::scope(|scope| {
+            for (slot, leaf) in leaves.iter().enumerate() {
+                scope.spawn(move || self.drive_leaf(slot, leaf, deques, opts));
+            }
+        });
+        // Fold the split counters into the owning workers' stats once the
+        // threads are done (splits are per-slot; workers may own several
+        // slots).
+        for (slot, leaf) in leaves.iter().enumerate() {
+            self.credit_sched(leaf.worker, 0, deques.splits(slot), 0, 0);
+        }
+    }
+
+    /// One worker's pop/scan/steal loop.
+    fn drive_leaf(&self, slot: usize, leaf: &DequeLeaf<'_>, deques: &IntervalDeques, opts: SchedOptions) {
+        let mut steals = 0u64;
+        let mut idle_ns = 0u64;
+        let mut busy_ns = 0u64;
+        'work: loop {
+            if self.stop.load(Ordering::Relaxed) {
+                break;
+            }
+            while let Some(chunk) = deques.pop(slot, opts.chunk) {
+                let t0 = Instant::now();
+                let out = self.scan_as(leaf.worker, leaf.backend, chunk);
+                busy_ns += t0.elapsed().as_nanos() as u64;
+                if self.stop.load(Ordering::Relaxed)
+                    || (self.mode.first_hit_only() && !out.hits.is_empty())
+                {
+                    break 'work;
+                }
+            }
+            if !opts.steal {
+                break;
+            }
+            let t0 = Instant::now();
+            let victim = deques.steal_into(slot);
+            idle_ns += t0.elapsed().as_nanos() as u64;
+            if victim.is_some() {
+                steals += 1;
+            } else {
+                break; // every deque is drained
+            }
+        }
+        self.credit_sched(leaf.worker, steals, 0, idle_ns, busy_ns);
+    }
+
+    /// Even-scatter frontend over one backend: `workers` threads, each
+    /// owning a contiguous share of `interval` (clamped to the space),
+    /// scheduled per `sched` with `chunk` as the fixed size (queue mode)
+    /// or guided floor (static/steal). One worker is registered per
+    /// thread, labelled `{backend.name()}#{index}`.
+    ///
+    /// # Panics
+    /// Panics when `workers == 0` or `chunk == 0`.
+    pub fn run_workers(
+        &self,
+        backend: &dyn Backend,
+        interval: Interval,
+        workers: usize,
+        chunk: u64,
+        sched: SchedPolicy,
+    ) {
+        assert!(workers >= 1, "need at least one worker");
+        assert!(chunk >= 1, "chunk must be positive");
+        let clamped = interval.intersect(&self.space.interval());
+        let ids: Vec<WorkerId> = (0..workers)
+            .map(|w| self.register(format!("{}#{w}", backend.name())))
+            .collect();
+        let leaves: Vec<DequeLeaf<'_>> =
+            ids.iter().map(|&worker| DequeLeaf { worker, backend }).collect();
+        let deques = IntervalDeques::scatter(clamped, &vec![1.0; workers]);
+        self.run_deques(&leaves, &deques, SchedOptions::for_policy(sched, chunk as u128));
+    }
+
+    /// The classic work-queue frontend, kept as a thin wrapper over
+    /// [`Dispatcher::run_workers`] in [`SchedPolicy::Queue`] mode: even
+    /// scatter, fixed `chunk`-sized pops, stealing on. Identifier
+    /// intervals are `u128`-native throughout, so arbitrarily huge (if
+    /// impractical) spaces need no chunk widening.
     ///
     /// # Panics
     /// Panics when `workers == 0` or `chunk == 0`.
     pub fn run_queue(&self, backend: &dyn Backend, interval: Interval, workers: usize, chunk: u64) {
-        assert!(workers >= 1, "need at least one worker");
-        assert!(chunk >= 1, "chunk must be positive");
-        let clamped = interval.intersect(&self.space.interval());
-        let chunk: u128 = (chunk as u128).max(clamped.len.div_ceil(u64::MAX as u128));
-        let total_chunks: u64 = clamped
-            .len
-            .div_ceil(chunk)
-            .try_into()
-            .expect("len/ceil(len/u64::MAX) chunks always fit a u64");
-        let cursor = AtomicU64::new(0);
-        let ids: Vec<WorkerId> = (0..workers)
-            .map(|w| self.register(format!("{}#{w}", backend.name())))
-            .collect();
-
-        std::thread::scope(|scope| {
-            for id in ids {
-                let cursor = &cursor;
-                scope.spawn(move || loop {
-                    if self.stop.load(Ordering::Relaxed) {
-                        break;
-                    }
-                    let n = cursor.fetch_add(1, Ordering::Relaxed);
-                    if n >= total_chunks {
-                        break;
-                    }
-                    let lo = clamped.start + (n as u128) * chunk;
-                    let len = chunk.min(clamped.end() - lo);
-                    let out = self.scan_as(id, backend, Interval::new(lo, len));
-                    if self.mode.first_hit_only() && !out.hits.is_empty() {
-                        break;
-                    }
-                });
-            }
-        });
+        self.run_workers(backend, interval, workers, chunk, SchedPolicy::Queue);
     }
 
     /// Gather + merge: sort hits by identifier, keep only the
@@ -219,11 +329,13 @@ impl<'a> Dispatcher<'a> {
         if self.mode.first_hit_only() {
             hits.truncate(1);
         }
-        let tested = g.workers.iter().map(|(_, t)| *t).sum();
+        let tested = g.workers.iter().map(|w| w.tested).sum();
+        let per_worker = g.workers.iter().map(|w| (w.label.clone(), w.tested)).collect();
         DispatchReport {
             hits,
             tested,
-            per_worker: g.workers,
+            per_worker,
+            stats: g.workers,
         }
     }
 }
@@ -310,6 +422,58 @@ mod tests {
     }
 
     #[test]
+    fn every_sched_policy_covers_exhaustively() {
+        let s = space();
+        let t = targets(&[b"cat", b"a", b"zzz"]);
+        for sched in SchedPolicy::ALL {
+            let d = Dispatcher::new(&s, &t, ScanMode::Exhaustive);
+            d.run_workers(&TestBackend, s.interval(), 3, 512, sched);
+            let r = d.finish();
+            assert_eq!(r.tested, s.size(), "{sched}");
+            assert_eq!(r.hits.len(), 3, "{sched}");
+            assert_eq!(r.stats.len(), 3, "{sched}");
+            let steals: u64 = r.stats.iter().map(|w| w.steals).sum();
+            let splits: u64 = r.stats.iter().map(|w| w.splits).sum();
+            assert_eq!(steals, splits, "{sched}: every steal splits exactly one victim");
+            if sched == SchedPolicy::Static {
+                assert_eq!(steals, 0, "static never steals");
+                // Static accounting equals the even split shares.
+                let parts = s.interval().split_even(3);
+                for (w, part) in r.stats.iter().zip(&parts) {
+                    assert_eq!(w.tested, part.len, "static share of {}", w.label);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn forced_steal_is_accounted_in_worker_stats() {
+        // Leaf 1 starts with an empty deque: everything it tests must
+        // come from stealing. (Whether it wins any chunk is a race on
+        // one core, but the counters must stay consistent either way.)
+        let s = space();
+        let t = targets(&[b"zzz"]);
+        let d = Dispatcher::new(&s, &t, ScanMode::Exhaustive);
+        let ids = [d.register("owner"), d.register("thief")];
+        let leaves: Vec<DequeLeaf<'_>> =
+            ids.iter().map(|&worker| DequeLeaf { worker, backend: &TestBackend }).collect();
+        let deques =
+            IntervalDeques::assign(vec![s.interval(), Interval::new(s.interval().end(), 0)]);
+        d.run_deques(
+            &leaves,
+            &deques,
+            SchedOptions { chunk: ChunkPolicy::Guided { min: 256 }, steal: true },
+        );
+        let r = d.finish();
+        assert_eq!(r.tested, s.size(), "nothing lost, nothing doubled");
+        let thief = &r.stats[1];
+        assert_eq!(thief.tested > 0, thief.steals > 0, "thief only tests what it stole");
+        let steals: u64 = r.stats.iter().map(|w| w.steals).sum();
+        let splits: u64 = r.stats.iter().map(|w| w.splits).sum();
+        assert_eq!(steals, splits);
+    }
+
+    #[test]
     fn queue_first_hit_keeps_the_lowest_identifier() {
         let s = space();
         let t = targets(&[b"a", b"zzz"]); // identifiers 0 and last
@@ -386,9 +550,10 @@ mod tests {
     }
 
     #[test]
-    fn queue_widens_chunks_for_huge_intervals() {
-        // A u128-sized interval with chunk = 1 must not overflow the u64
-        // chunk cursor; the planted key at identifier 0 is found at once.
+    fn huge_intervals_dispatch_without_overflow() {
+        // A u128-sized interval with chunk = 1: the deques are
+        // u128-native, so no cursor-width widening is needed; the
+        // planted key at identifier 0 is found at once.
         let s = KeySpace::new(Charset::alphanumeric(), 1, 20, Order::FirstCharFastest).unwrap();
         let t = targets(&[b"a"]);
         let d = Dispatcher::new(&s, &t, ScanMode::FirstHit);

@@ -13,11 +13,17 @@
 //! * [`target`] — the test function `C`: hash targets and target sets;
 //! * [`backend`] — the [`Backend`] trait: a leaf executor that scans an
 //!   interval and reports a tuned throughput for the balancing step;
+//! * [`steal`] — the adaptive scheduling vocabulary: per-worker interval
+//!   deques with steal-half rebalancing ([`IntervalDeques`]), guided
+//!   chunk sizing ([`ChunkPolicy`]), the `static|queue|steal` policy
+//!   names ([`SchedPolicy`]) and per-worker [`WorkerStats`];
 //! * [`dispatch`] — the [`Dispatcher`]: owns the stop flag, the hit
 //!   merge (lowest identifier wins under first-hit), per-worker
-//!   accounting and progress hooks, with two frontends over the same
-//!   core — a shared-cursor work queue ([`Dispatcher::run_queue`]) and
-//!   tree dispatch ([`Dispatcher::scan_as`]).
+//!   accounting and progress hooks, with three frontends over the same
+//!   core — deque-scheduled workers ([`Dispatcher::run_deques`] /
+//!   [`Dispatcher::run_workers`]), the classic work queue
+//!   ([`Dispatcher::run_queue`], now a thin wrapper) and tree dispatch
+//!   ([`Dispatcher::scan_as`]).
 //!
 //! Backend *implementations* live up-stack: `eks-cracker` provides the
 //! scalar and lane-batched CPU backends, `eks-cluster` the simulated-GPU
@@ -27,9 +33,11 @@
 pub mod backend;
 pub mod dispatch;
 pub mod poll;
+pub mod steal;
 pub mod target;
 
 pub use backend::{Backend, BackendKind, ScanMode, ScanReport};
-pub use dispatch::{DispatchReport, Dispatcher, ProgressEvent, WorkerId};
-pub use poll::{PollCursor, POLL_CHUNK};
+pub use dispatch::{DequeLeaf, DispatchReport, Dispatcher, ProgressEvent, SchedOptions, WorkerId};
+pub use poll::{poll_quantum, PollCursor, POLL_CHUNK};
+pub use steal::{ChunkPolicy, IntervalDeques, SchedPolicy, WorkerStats, GUIDED_DIVISOR};
 pub use target::{HashTarget, TargetSet};

@@ -14,6 +14,14 @@ use eks_keyspace::Interval;
 /// cancellation latency, large enough to amortize the atomic load.
 pub const POLL_CHUNK: u128 = 4096;
 
+/// The poll quantum of a backend with lane stride `stride`: the maximum
+/// number of candidates one scan tests between two stop-flag checks,
+/// i.e. the most it can overshoot a raised flag. This is the checked
+/// cancellation-latency bound used by `tests/steal_scheduler.rs`.
+pub fn poll_quantum(stride: u128) -> u128 {
+    POLL_CHUNK.next_multiple_of(stride.max(1))
+}
+
 /// Walks an interval in poll-bounded chunks, checking a stop flag before
 /// each one. A pre-raised flag cancels before anything is scanned.
 #[derive(Debug)]
@@ -35,7 +43,7 @@ impl<'a> PollCursor<'a> {
     /// of `stride`, so lane-batched scanners never straddle a poll
     /// boundary mid-batch. A `stride` of 0 or 1 keeps the plain chunk.
     pub fn with_stride(interval: Interval, stop: &'a AtomicBool, stride: u128) -> Self {
-        let chunk = POLL_CHUNK.next_multiple_of(stride.max(1));
+        let chunk = poll_quantum(stride);
         Self {
             remaining: interval,
             stop,
@@ -124,6 +132,15 @@ mod tests {
         // Stride 0 behaves like 1 rather than dividing by zero.
         let cursor = PollCursor::with_stride(Interval::new(0, 1), &stop, 0);
         assert_eq!(cursor.chunk_len(), POLL_CHUNK);
+    }
+
+    #[test]
+    fn poll_quantum_matches_the_cursor_chunk() {
+        let stop = AtomicBool::new(false);
+        for stride in [0u128, 1, 8, 16, 100] {
+            let cursor = PollCursor::with_stride(Interval::new(0, 1), &stop, stride);
+            assert_eq!(cursor.chunk_len(), poll_quantum(stride), "stride {stride}");
+        }
     }
 
     #[test]

@@ -1,0 +1,345 @@
+//! Adaptive work distribution: per-worker interval deques, steal-half
+//! rebalancing, and guided chunk sizing.
+//!
+//! The paper's scatter step (Section III) hands every worker a contiguous
+//! interval sized by its tuned rate (`N_j = N_max · X_j / X_max`), so the
+//! common case touches no shared state at all. The tuning step is an
+//! estimate, though: when a worker drains its share early — a mis-tuned
+//! rate, a heterogeneous neighbour, a first-hit race — it *steals* the
+//! back half of the largest remaining remote interval instead of idling
+//! until the gather. Three pieces implement that here:
+//!
+//! * [`IntervalDeques`] — one interval slot per worker. The owner pops
+//!   chunks off the front (oldest identifiers first, so per-owner
+//!   coverage stays a contiguous prefix); a thief splits the *back* half
+//!   off the largest remote slot. Both ends are guarded by one mutex per
+//!   slot, held for O(1) arithmetic, never across a scan; at most one
+//!   lock is held at a time, so the scheme cannot deadlock.
+//! * [`ChunkPolicy`] — how much an owner pops at once. `Fixed` is the
+//!   classic shared-queue granularity; `Guided` starts at
+//!   `remaining / 8` and shrinks toward the tail, so early chunks
+//!   amortize dispatch overhead while late chunks leave work for
+//!   thieves and keep the makespan tail short.
+//! * [`SchedPolicy`] — the CLI-facing knob (`--sched static|queue|steal`)
+//!   naming the three dispatcher modes built from the two pieces above.
+//!
+//! Exactly-once coverage is structural: the slots start as a partition of
+//! the search interval, `pop` and the steal split only ever *move*
+//! identifier ranges between disjoint owners, and nothing is ever copied
+//! or re-inserted — properties the seeded interleaving tests pin down.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use eks_keyspace::Interval;
+
+/// Denominator of the guided self-scheduling rule: each pop takes
+/// `remaining / GUIDED_DIVISOR` keys (clamped below by the policy's
+/// floor), the classic "start large, shrink toward the tail" schedule.
+pub const GUIDED_DIVISOR: u128 = 8;
+
+/// How an owner sizes the chunk it pops from its own deque.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChunkPolicy {
+    /// Every pop takes the same number of keys (at least one).
+    Fixed(u128),
+    /// Guided self-scheduling: pop `remaining / 8`, never less than
+    /// `min` (and never less than one key).
+    Guided {
+        /// Smallest chunk the schedule decays to.
+        min: u128,
+    },
+}
+
+impl ChunkPolicy {
+    /// Keys the next pop should take from a deque holding `remaining`
+    /// keys. Positive whenever `remaining` is.
+    pub fn next_len(&self, remaining: u128) -> u128 {
+        match *self {
+            ChunkPolicy::Fixed(n) => n.max(1),
+            ChunkPolicy::Guided { min } => (remaining / GUIDED_DIVISOR).max(min).max(1),
+        }
+    }
+}
+
+/// The dispatcher's scheduling mode, as named on the CLI.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SchedPolicy {
+    /// Pure scatter: every worker scans exactly its pre-assigned
+    /// interval; no stealing. Accounting equals the split shares.
+    Static,
+    /// Fixed-size chunks with stealing — the load-balancing profile of
+    /// the old shared-cursor queue, without the shared cursor.
+    Queue,
+    /// Guided chunks with stealing: the adaptive default.
+    Steal,
+}
+
+impl SchedPolicy {
+    /// Every policy, in CLI vocabulary order.
+    pub const ALL: [SchedPolicy; 3] =
+        [SchedPolicy::Static, SchedPolicy::Queue, SchedPolicy::Steal];
+
+    /// Parse the CLI spelling.
+    pub fn parse(s: &str) -> Option<SchedPolicy> {
+        match s {
+            "static" => Some(SchedPolicy::Static),
+            "queue" => Some(SchedPolicy::Queue),
+            "steal" => Some(SchedPolicy::Steal),
+            _ => None,
+        }
+    }
+
+    /// The CLI spelling.
+    pub fn name(&self) -> &'static str {
+        match self {
+            SchedPolicy::Static => "static",
+            SchedPolicy::Queue => "queue",
+            SchedPolicy::Steal => "steal",
+        }
+    }
+
+    /// Whether idle workers steal under this policy.
+    pub fn steals(&self) -> bool {
+        !matches!(self, SchedPolicy::Static)
+    }
+
+    /// The chunk policy this mode pairs with, given the caller's chunk
+    /// knob (the fixed size for [`SchedPolicy::Queue`], the guided floor
+    /// otherwise).
+    pub fn chunk_policy(&self, chunk: u128) -> ChunkPolicy {
+        match self {
+            SchedPolicy::Queue => ChunkPolicy::Fixed(chunk),
+            _ => ChunkPolicy::Guided { min: chunk },
+        }
+    }
+}
+
+impl std::fmt::Display for SchedPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Per-worker scheduler accounting, gathered alongside the tested
+/// counts: how often this worker stole, how often it was stolen from,
+/// and where its wall-clock went. `idle_ns` is time spent looking for
+/// work (successful or not); `busy_ns` is time inside scans. The bench
+/// derives measured parallel efficiency from `busy / (busy + idle)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkerStats {
+    /// Display label, registration order.
+    pub label: String,
+    /// Candidates tested by this worker.
+    pub tested: u128,
+    /// Successful steals this worker performed.
+    pub steals: u64,
+    /// Times this worker's deque was split by a thief.
+    pub splits: u64,
+    /// Nanoseconds spent out of work (steal attempts included).
+    pub idle_ns: u64,
+    /// Nanoseconds spent scanning.
+    pub busy_ns: u64,
+}
+
+impl WorkerStats {
+    /// Fresh zeroed stats for a labelled worker.
+    pub fn new(label: impl Into<String>) -> Self {
+        Self { label: label.into(), tested: 0, steals: 0, splits: 0, idle_ns: 0, busy_ns: 0 }
+    }
+}
+
+/// One interval deque per worker: the scatter step's partition, made
+/// stealable. See the module docs for the locking and exactly-once
+/// arguments.
+#[derive(Debug)]
+pub struct IntervalDeques {
+    slots: Vec<Mutex<Interval>>,
+    splits: Vec<AtomicU64>,
+}
+
+impl IntervalDeques {
+    /// Deques over pre-split parts (the cluster planners' scatter: parts
+    /// were already sized by tuned rates, slot `i` belongs to leaf `i`).
+    pub fn assign(parts: Vec<Interval>) -> Self {
+        assert!(!parts.is_empty(), "need at least one deque");
+        let splits = parts.iter().map(|_| AtomicU64::new(0)).collect();
+        Self { slots: parts.into_iter().map(Mutex::new).collect(), splits }
+    }
+
+    /// Scatter `interval` into one contiguous slot per weight,
+    /// proportionally to `weights` (the paper's `N_j = N_max·X_j/X_max`
+    /// step; equal weights give an even split).
+    pub fn scatter(interval: Interval, weights: &[f64]) -> Self {
+        Self::assign(interval.split_weighted(weights))
+    }
+
+    /// Number of deques (== workers).
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// True when there are no deques at all (never: `assign` rejects it).
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Keys currently left in `slot`'s deque.
+    pub fn remaining(&self, slot: usize) -> u128 {
+        self.slots[slot].lock().expect("deque slot").len
+    }
+
+    /// Times `slot`'s deque has been split by thieves so far.
+    pub fn splits(&self, slot: usize) -> u64 {
+        self.splits[slot].load(Ordering::Relaxed)
+    }
+
+    /// Pop the next chunk off the front of `slot`'s own deque, sized by
+    /// `policy`. `None` when the deque is empty (time to steal).
+    pub fn pop(&self, slot: usize, policy: ChunkPolicy) -> Option<Interval> {
+        let mut own = self.slots[slot].lock().expect("deque slot");
+        if own.is_empty() {
+            return None;
+        }
+        let n = policy.next_len(own.len);
+        Some(own.take_front(n))
+    }
+
+    /// Steal-half: split the back half of the largest remote deque into
+    /// `thief`'s (empty) slot. Returns the victim's slot index, or
+    /// `None` when every remote deque is empty — the queue is drained
+    /// (up to chunks already being scanned) and the thief should exit.
+    pub fn steal_into(&self, thief: usize) -> Option<usize> {
+        loop {
+            // Pick the victim with the most work left. Locks are taken
+            // one at a time; the snapshot can go stale, which the
+            // re-check below handles by rescanning.
+            let mut best: Option<(usize, u128)> = None;
+            for (i, slot) in self.slots.iter().enumerate() {
+                if i == thief {
+                    continue;
+                }
+                let len = slot.lock().expect("deque slot").len;
+                if len > 0 && best.is_none_or(|(_, l)| len > l) {
+                    best = Some((i, len));
+                }
+            }
+            let (victim, _) = best?;
+            let stolen = {
+                let mut v = self.slots[victim].lock().expect("deque slot");
+                if v.is_empty() {
+                    continue; // raced with the owner; look again
+                }
+                // The victim keeps the front half (it scans lowest
+                // identifiers first); the thief takes the back half,
+                // never less than one key.
+                let keep = v.len / 2;
+                let stolen = Interval::new(v.start + keep, v.len - keep);
+                v.len = keep;
+                stolen
+            };
+            self.splits[victim].fetch_add(1, Ordering::Relaxed);
+            let mut own = self.slots[thief].lock().expect("deque slot");
+            debug_assert!(own.is_empty(), "thieves only steal when drained");
+            *own = stolen;
+            return Some(victim);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scatter_partitions_contiguously_and_proportionally() {
+        let d = IntervalDeques::scatter(Interval::new(100, 1000), &[3.0, 1.0]);
+        assert_eq!(d.len(), 2);
+        assert_eq!(d.remaining(0), 750);
+        assert_eq!(d.remaining(1), 250);
+        // Contiguous: slot 1 starts where slot 0 ends.
+        let p0 = d.pop(0, ChunkPolicy::Fixed(750)).unwrap();
+        let p1 = d.pop(1, ChunkPolicy::Fixed(250)).unwrap();
+        assert_eq!(p0.end(), p1.start);
+        assert_eq!(p1.end(), 1100);
+    }
+
+    #[test]
+    fn guided_chunks_start_large_and_shrink_to_the_floor() {
+        let d = IntervalDeques::assign(vec![Interval::new(0, 80_000)]);
+        let policy = ChunkPolicy::Guided { min: 1000 };
+        let mut sizes = Vec::new();
+        while let Some(chunk) = d.pop(0, policy) {
+            sizes.push(chunk.len);
+        }
+        assert_eq!(sizes[0], 10_000, "first pop takes remaining/8");
+        assert!(sizes.windows(2).all(|w| w[0] >= w[1]), "monotone shrink {sizes:?}");
+        assert!(sizes.iter().all(|&s| s >= 1), "every pop is nonempty");
+        assert!(sizes.iter().rev().skip(1).all(|&s| s >= 1000), "floor respected");
+        assert_eq!(sizes.iter().sum::<u128>(), 80_000, "pops cover the deque exactly");
+    }
+
+    #[test]
+    fn fixed_chunks_pop_from_the_front_in_order() {
+        let d = IntervalDeques::assign(vec![Interval::new(10, 100)]);
+        let a = d.pop(0, ChunkPolicy::Fixed(64)).unwrap();
+        let b = d.pop(0, ChunkPolicy::Fixed(64)).unwrap();
+        assert_eq!(a, Interval::new(10, 64));
+        assert_eq!(b, Interval::new(74, 36), "tail pop is clipped");
+        assert!(d.pop(0, ChunkPolicy::Fixed(64)).is_none());
+    }
+
+    #[test]
+    fn steal_takes_the_back_half_of_the_largest_remote() {
+        let d = IntervalDeques::assign(vec![
+            Interval::new(0, 10),
+            Interval::new(10, 1000),
+            Interval::new(1010, 0),
+        ]);
+        let victim = d.steal_into(2).expect("work to steal");
+        assert_eq!(victim, 1, "largest deque is the victim");
+        assert_eq!(d.remaining(1), 500, "victim keeps the front half");
+        assert_eq!(d.remaining(2), 500, "thief holds the back half");
+        let stolen = d.pop(2, ChunkPolicy::Fixed(500)).unwrap();
+        assert_eq!(stolen, Interval::new(510, 500));
+        assert_eq!(d.splits(1), 1);
+        assert_eq!(d.splits(2), 0);
+    }
+
+    #[test]
+    fn steal_of_a_single_key_takes_the_whole_thing() {
+        let d = IntervalDeques::assign(vec![Interval::new(5, 1), Interval::new(6, 0)]);
+        assert_eq!(d.steal_into(1), Some(0));
+        assert_eq!(d.remaining(0), 0);
+        assert_eq!(d.remaining(1), 1);
+    }
+
+    #[test]
+    fn steal_returns_none_when_everything_is_drained() {
+        let d = IntervalDeques::assign(vec![Interval::new(0, 4), Interval::new(4, 0)]);
+        while d.pop(0, ChunkPolicy::Fixed(2)).is_some() {}
+        assert!(d.steal_into(1).is_none());
+        assert_eq!(d.splits(0), 0);
+    }
+
+    #[test]
+    fn sched_policy_round_trips_through_the_cli_vocabulary() {
+        for p in SchedPolicy::ALL {
+            assert_eq!(SchedPolicy::parse(p.name()), Some(p));
+            assert_eq!(format!("{p}"), p.name());
+        }
+        assert_eq!(SchedPolicy::parse("turbo"), None);
+        assert!(!SchedPolicy::Static.steals());
+        assert!(SchedPolicy::Queue.steals() && SchedPolicy::Steal.steals());
+        assert_eq!(SchedPolicy::Queue.chunk_policy(64), ChunkPolicy::Fixed(64));
+        assert_eq!(SchedPolicy::Steal.chunk_policy(64), ChunkPolicy::Guided { min: 64 });
+    }
+
+    #[test]
+    fn chunk_policies_never_return_zero_for_nonempty_work() {
+        assert_eq!(ChunkPolicy::Fixed(0).next_len(5), 1, "degenerate fixed clamps to 1");
+        assert_eq!(ChunkPolicy::Guided { min: 0 }.next_len(3), 1);
+        assert_eq!(ChunkPolicy::Guided { min: 16 }.next_len(80), 16);
+        assert_eq!(ChunkPolicy::Guided { min: 16 }.next_len(8000), 1000);
+    }
+}

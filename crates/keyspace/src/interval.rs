@@ -90,17 +90,23 @@ impl Interval {
             .iter()
             .map(|w| ((self.len as f64) * (w / total)).floor() as u128)
             .collect();
-        let assigned: u128 = sizes.iter().sum();
-        let mut residue = self.len - assigned;
-        // Give the residue to the heaviest nodes, one identifier at a time
-        // (residue < parts, so this is cheap).
+        // `len as f64` is only exact up to 2^53, so the floors can both
+        // under- and over-assign for astronomically large intervals.
+        // Cap cumulatively (no underflow), then hand the residue to the
+        // heaviest nodes in bulk — never one identifier at a time, which
+        // for a u128-sized interval would loop ~2^67 times.
+        let mut assigned: u128 = 0;
+        for s in &mut sizes {
+            *s = (*s).min(self.len - assigned);
+            assigned += *s;
+        }
+        let residue = self.len - assigned;
         let mut order: Vec<usize> = (0..weights.len()).collect();
         order.sort_by(|&a, &b| weights[b].partial_cmp(&weights[a]).expect("finite weights"));
-        let mut i = 0;
-        while residue > 0 {
-            sizes[order[i % order.len()]] += 1;
-            residue -= 1;
-            i += 1;
+        let parts = order.len() as u128;
+        let (per, extra) = (residue / parts, (residue % parts) as usize);
+        for (rank, &idx) in order.iter().enumerate() {
+            sizes[idx] += per + u128::from(rank < extra);
         }
         let mut out = Vec::with_capacity(weights.len());
         let mut cursor = self.start;
