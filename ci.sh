@@ -16,7 +16,17 @@ cargo clippy --all-targets -- -D warnings
 echo "==> eks analyze --deny warnings"
 ./target/release/eks analyze --deny warnings
 
-echo "==> bench_cracker --json BENCH_cracker.json (fails if batched < scalar, MD5 < 3x, or 2-worker scaling < 1.6x)"
-cargo bench -q -p eks-bench --bench bench_cracker -- --json "$PWD/BENCH_cracker.json" --min-md5-speedup 3.0 --min-scaling 1.6
+echo "==> telemetry smoke: crack with --metrics-out/--trace-out, then render the report"
+TELEMETRY_DIR="$(mktemp -d)"
+./target/release/eks crack --algo md5 --digest d077f244def8a70e5ea758bd8352fcd8 --max 3 \
+  --metrics-out "$TELEMETRY_DIR/m.prom" --trace-out "$TELEMETRY_DIR/t.jsonl" --quiet
+# `eks report` re-parses both artifacts: it exits non-zero if the
+# Prometheus exposition does not parse or the trace JSONL strays from
+# the documented schema.
+./target/release/eks report --metrics "$TELEMETRY_DIR/m.prom" --trace "$TELEMETRY_DIR/t.jsonl" > /dev/null
+rm -rf "$TELEMETRY_DIR"
+
+echo "==> bench_cracker --json BENCH_cracker.json (fails if batched < scalar, MD5 < 3x, 2-worker scaling < 1.6x, or telemetry overhead > 5%)"
+cargo bench -q -p eks-bench --bench bench_cracker -- --json "$PWD/BENCH_cracker.json" --min-md5-speedup 3.0 --min-scaling 1.6 --max-telemetry-overhead-pct 5
 
 echo "CI green."

@@ -8,7 +8,11 @@
 //! `BENCH_cracker.json`); `ci.sh` runs the JSON mode and this binary
 //! exits non-zero if any batched backend is slower than scalar at one
 //! thread, or if the MD5 speedup falls below `--min-md5-speedup` — the
-//! perf gate for the batched pipeline and the engine refactor.
+//! perf gate for the batched pipeline and the engine refactor. A third
+//! gate, `--max-telemetry-overhead-pct`, bounds how much an enabled
+//! telemetry registry may slow the batched MD5 hot path versus the
+//! null handle (the observability layer samples at chunk granularity,
+//! so the cost must stay in the noise).
 //!
 //! The sweeps use an impossible target (no hit, no early exit), so every
 //! number is a pure full-scan throughput, best of three short runs.
@@ -35,7 +39,11 @@ use std::time::Instant;
 
 use eks_cluster::SimKernelBackend;
 use eks_cracker::batch::Lanes;
-use eks_cracker::{cpu_backend, crack_parallel_backend, ParallelConfig, TargetSet};
+use eks_cracker::{
+    cpu_backend, crack_parallel_backend, crack_parallel_backend_observed, ParallelConfig,
+    TargetSet,
+};
+use eks_telemetry::Telemetry;
 use eks_engine::{Backend, BackendKind, ChunkPolicy, IntervalDeques, ScanMode};
 use eks_gpusim::device::Device;
 use eks_hashes::HashAlgo;
@@ -153,6 +161,45 @@ fn virtual_throughput(algo: HashAlgo, kind: BackendKind, workers: usize) -> f64 
     best
 }
 
+/// Timed sweeps per telemetry-overhead arm; more than the wall-clock
+/// rows because the gate compares two nearly-equal numbers.
+const OVERHEAD_BEST_OF: usize = 5;
+
+/// Best-of-N batched MD5 single-thread throughput with telemetry either
+/// off (the null handle) or on (a live registry plus trace sink) — the
+/// same impossible-target sweep as [`measure`], driven through the
+/// observed entry point so the chunk-granularity instrumentation is on
+/// the measured path.
+fn telemetry_throughput(enabled: bool) -> f64 {
+    let space =
+        KeySpace::new(Charset::lowercase(), 1, 8, Order::FirstCharFastest).expect("space");
+    let algo = HashAlgo::Md5;
+    let impossible = TargetSet::new(algo, &[vec![0u8; algo.digest_len()]]);
+    let backend = backend_for(BackendKind::Lanes8);
+    let config = ParallelConfig { first_hit_only: false, ..ParallelConfig::for_threads(1) };
+    let mut best = 0.0f64;
+    // One extra untimed sweep warms caches, as in `measure`.
+    for i in 0..=OVERHEAD_BEST_OF {
+        // A fresh handle per sweep so the trace ring and counters never
+        // accumulate across iterations.
+        let telemetry = if enabled { Telemetry::enabled() } else { Telemetry::disabled() };
+        let report = crack_parallel_backend_observed(
+            &space,
+            &impossible,
+            Interval::new(0, KEYS as u128),
+            backend.as_ref(),
+            config,
+            &telemetry,
+            |_| {},
+        );
+        assert!(report.hits.is_empty(), "impossible target must not hit");
+        if i > 0 {
+            best = best.max(report.mkeys_per_s);
+        }
+    }
+    best
+}
+
 struct ScalingRow {
     algo: &'static str,
     backend: &'static str,
@@ -166,6 +213,7 @@ fn main() {
     let mut json_path: Option<String> = None;
     let mut min_md5_speedup = 1.0f64;
     let mut min_scaling = 0.0f64;
+    let mut max_telemetry_overhead_pct = f64::INFINITY;
     while let Some(a) = args.next() {
         match a.as_str() {
             "--json" => {
@@ -183,6 +231,12 @@ fn main() {
                     .next()
                     .and_then(|v| v.parse().ok())
                     .expect("--min-scaling takes a number");
+            }
+            "--max-telemetry-overhead-pct" => {
+                max_telemetry_overhead_pct = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--max-telemetry-overhead-pct takes a number");
             }
             // `cargo bench` passes `--bench`; ignore it and any filters.
             _ => {}
@@ -279,6 +333,23 @@ fn main() {
     if md5_lanes8_scaling < min_scaling {
         eprintln!(
             "GATE FAILED: md5/lanes8 scaling {md5_lanes8_scaling:.2}x is below the {min_scaling:.2}x floor"
+        );
+        failed = true;
+    }
+
+    // The telemetry gate: chunk-granularity instrumentation on the
+    // batched MD5 hot path must cost at most
+    // `--max-telemetry-overhead-pct` of throughput vs the null handle.
+    let t_off = telemetry_throughput(false);
+    let t_on = telemetry_throughput(true);
+    let telemetry_overhead_pct = (t_off / t_on - 1.0) * 100.0;
+    let _ = write!(gates, ", \"md5_lanes8_telemetry_overhead_pct\": {telemetry_overhead_pct:.3}");
+    println!(
+        "md5/lanes8: telemetry on {t_on:.3} vs off {t_off:.3} MKey/s → {telemetry_overhead_pct:.1}% overhead (cap {max_telemetry_overhead_pct:.1}%)"
+    );
+    if telemetry_overhead_pct > max_telemetry_overhead_pct {
+        eprintln!(
+            "GATE FAILED: telemetry overhead {telemetry_overhead_pct:.1}% exceeds the {max_telemetry_overhead_pct:.1}% cap"
         );
         failed = true;
     }

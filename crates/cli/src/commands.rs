@@ -1,15 +1,17 @@
 //! Subcommand implementations.
 
 use crate::args::Args;
+use crate::log::{Level, Logger};
 use eks_cluster::{
-    paper_network, run_cluster_search_sched, simulate_search, tune_device, AchievedModel,
+    paper_network, run_cluster_search_observed, simulate_search, tune_device, AchievedModel,
     SimKernelBackend, SimParams,
 };
 use eks_cracker::{
-    cpu_backend, crack_parallel, crack_parallel_backend, mine, render_worker_stats, HashTarget,
-    Lanes, MiningJob, ParallelConfig, TargetSet,
+    cpu_backend, crack_parallel_backend_observed, crack_parallel_observed, mine,
+    render_worker_stats, HashTarget, Lanes, MiningJob, ParallelConfig, TargetSet,
 };
-use eks_engine::{Backend, BackendKind, SchedPolicy};
+use eks_engine::{Backend, BackendKind, ProgressEvent, SchedPolicy};
+use eks_telemetry::{parse_prometheus, parse_trace_jsonl, report::render_report, Telemetry};
 use eks_gpusim::codegen::lower;
 use eks_gpusim::device::DeviceCatalog;
 use eks_gpusim::sched::{simulate, SimConfig};
@@ -32,6 +34,7 @@ pub fn run(command: &str, args: &Args) -> Result<(), String> {
         "strength" => cmd_strength(args),
         "simulate" => cmd_simulate(args),
         "cluster" => cmd_cluster(args),
+        "report" => cmd_report(args),
         "tune" => cmd_tune(args),
         "help" | "--help" | "-h" => {
             print_help();
@@ -57,7 +60,10 @@ fn print_help() {
     println!("           [--chunk N]   chunk size: the fixed pop in queue mode, the guided");
     println!("           floor otherwise (default: derived from --threads; must be >= 1)");
     println!("           [--stats]   print the per-worker scheduler table (tested, steals,");
-    println!("           splits, busy/idle ms) after the search");
+    println!("           splits, busy/idle ms, util%, keys/s) after the search");
+    println!("           [--metrics-out F.prom] [--trace-out F.jsonl]   write telemetry");
+    println!("           artifacts; [--progress] periodic keys/s + ETA + %-keyspace line;");
+    println!("           [--quiet|--verbose]   logging level");
     println!("  hash     --algo md5|sha1 PLAINTEXT       compute a digest");
     println!("  mine     [--difficulty BITS] [--header STR] [--threads N]");
     println!("  analyze  [--algo md5|sha1|ntlm] [--variant optimized|naive|reversed]");
@@ -76,6 +82,10 @@ fn print_help() {
     println!("           heterogeneous cluster of CPU + simulated-GPU backends");
     println!("           [--sched static|queue|steal]   leaf scheduling (default: static —");
     println!("           rate-proportional shares; steal lets drained leaves rebalance)");
+    println!("           [--metrics-out F.prom] [--trace-out F.jsonl] [--quiet|--verbose]");
+    println!("  report   --metrics F.prom [--trace F.jsonl]   render a run report from");
+    println!("           telemetry artifacts: per-worker utilization, tuned rates, the");
+    println!("           paper's SIII cost-model phases, and network efficiency vs 85-90%");
     println!("  tune     [--threads N]                   tune devices and this host's CPU");
 }
 
@@ -162,6 +172,53 @@ fn parse_chunk(args: &Args) -> Result<Option<u64>, String> {
     Ok(Some(chunk))
 }
 
+/// Resolve the observability options shared by `crack` and `cluster`:
+/// the registry is enabled whenever any telemetry flag asks for output
+/// (`--metrics-out`, `--trace-out`, `--progress`), otherwise the
+/// disabled handle keeps the hot path untouched; the logger level comes
+/// from `--quiet`/`--verbose`.
+fn parse_telemetry(args: &Args) -> Result<(Telemetry, Logger), String> {
+    let wants = args.has("metrics-out") || args.has("trace-out") || args.has("progress");
+    let telemetry = if wants { Telemetry::enabled() } else { Telemetry::disabled() };
+    let level = Level::from_flags(args.has("quiet"), args.has("verbose"))?;
+    Ok((telemetry.clone(), Logger::new(level, telemetry)))
+}
+
+/// Write the `--metrics-out` (Prometheus text exposition) and
+/// `--trace-out` (JSONL trace) artifacts after a run.
+fn write_artifacts(args: &Args, telemetry: &Telemetry, log: &Logger) -> Result<(), String> {
+    if let Some(path) = args.get("metrics-out") {
+        std::fs::write(path, telemetry.render_prometheus())
+            .map_err(|e| format!("cannot write --metrics-out {path:?}: {e}"))?;
+        log.verbose(format!("wrote metrics exposition to {path}"));
+    }
+    if let Some(path) = args.get("trace-out") {
+        std::fs::write(path, telemetry.trace_jsonl())
+            .map_err(|e| format!("cannot write --trace-out {path:?}: {e}"))?;
+        log.verbose(format!("wrote trace JSONL to {path}"));
+    }
+    Ok(())
+}
+
+/// How often the periodic progress line refreshes.
+const PROGRESS_EVERY: std::time::Duration = std::time::Duration::from_millis(500);
+
+/// Format one progress line from a merged-scan observation: percent of
+/// the keyspace, aggregate rate, and the ETA at that rate. All three
+/// derive from the guarded [`ProgressEvent`] helpers, so a
+/// zero-duration run prints zeros instead of NaN.
+fn progress_line(e: &ProgressEvent, total: u128, elapsed_secs: f64) -> String {
+    let eta = match e.eta_secs(total, elapsed_secs) {
+        Some(s) => format!("{s:.0} s"),
+        None => "unknown".into(),
+    };
+    format!(
+        "progress: {:.1}% of keyspace, {:.2} MKey/s, eta {eta}",
+        e.percent_of(total),
+        e.keys_per_sec(elapsed_secs) / 1e6,
+    )
+}
+
 /// `--threads N` with `N >= 1`.
 fn parse_threads(args: &Args, default: usize) -> Result<usize, String> {
     let threads: usize = args.get_parse_or("threads", default)?;
@@ -190,6 +247,7 @@ fn cmd_crack(args: &Args) -> Result<(), String> {
     let backend = parse_backend(args)?;
     let chunk = parse_chunk(args)?;
     let sched = parse_sched(args, SchedPolicy::Steal)?;
+    let (telemetry, log) = parse_telemetry(args)?;
     let structured = args.get("mask").is_some()
         || args.get("words").is_some()
         || args.get("salt-prefix").is_some()
@@ -204,7 +262,7 @@ fn cmd_crack(args: &Args) -> Result<(), String> {
     // Mask attack: --mask "?u?l?l?d?d".
     if let Some(mask) = args.get("mask") {
         let space = eks_keyspace::MaskSpace::parse(mask).map_err(|e| e.to_string())?;
-        println!("mask {mask}: {} candidates, {threads} threads", space.size());
+        log.info(format!("mask {mask}: {} candidates, {threads} threads", space.size()));
         let targets = TargetSet::new(algo, &[digest]);
         let config = ParallelConfig {
             threads,
@@ -213,6 +271,7 @@ fn cmd_crack(args: &Args) -> Result<(), String> {
             ..ParallelConfig::default()
         };
         let report = eks_cracker::crack_space_parallel(&space, &targets, config);
+        write_artifacts(args, &telemetry, &log)?;
         return finish_report(report);
     }
 
@@ -222,11 +281,11 @@ fn cmd_crack(args: &Args) -> Result<(), String> {
         let digits: u32 = args.get_parse_or("suffix-digits", 2)?;
         let space = eks_keyspace::HybridSpace::with_digit_suffixes(&list, digits)
             .map_err(|e| format!("{e:?}"))?;
-        println!(
+        log.info(format!(
             "hybrid: {} words x digit suffixes 0..={digits} = {} candidates",
             space.word_count(),
             space.size()
-        );
+        ));
         let targets = TargetSet::new(algo, &[digest]);
         let config = ParallelConfig {
             threads,
@@ -235,6 +294,7 @@ fn cmd_crack(args: &Args) -> Result<(), String> {
             ..ParallelConfig::default()
         };
         let report = eks_cracker::crack_space_parallel(&space, &targets, config);
+        write_artifacts(args, &telemetry, &log)?;
         return finish_report(report);
     }
 
@@ -243,11 +303,11 @@ fn cmd_crack(args: &Args) -> Result<(), String> {
     let max: u32 = args.get_parse_or("max", 5)?;
     let space = KeySpace::new(charset, min, max, Order::FirstCharFastest)
         .map_err(|e| e.to_string())?;
-    println!(
+    log.info(format!(
         "searching {} candidates ({} lengths {min}..={max}) with {threads} threads",
         space.size(),
         algo.name()
-    );
+    ));
 
     let salted = args.get("salt-prefix").is_some() || args.get("salt-suffix").is_some();
     if salted {
@@ -283,14 +343,66 @@ fn cmd_crack(args: &Args) -> Result<(), String> {
     if let Some(c) = chunk {
         config.chunk = c;
     }
+    // Periodic progress line: throttled to one refresh per
+    // PROGRESS_EVERY, derived from the merged-scan observations the
+    // dispatcher already emits (no extra hot-path work).
+    let total = space.size();
+    let start = std::time::Instant::now();
+    let last_line = std::sync::Mutex::new(start);
+    let want_progress = args.has("progress");
+    let progress = |e: &ProgressEvent| {
+        if !want_progress {
+            return;
+        }
+        let mut last = last_line.lock().expect("progress throttle");
+        if last.elapsed() < PROGRESS_EVERY {
+            return;
+        }
+        *last = std::time::Instant::now();
+        log.progress(progress_line(e, total, start.elapsed().as_secs_f64()));
+    };
     let report = match backend {
-        Some(b) => crack_parallel_backend(&space, &targets, space.interval(), b.as_ref(), config),
-        None => crack_parallel(&space, &targets, space.interval(), config),
+        Some(b) => crack_parallel_backend_observed(
+            &space,
+            &targets,
+            space.interval(),
+            b.as_ref(),
+            config,
+            &telemetry,
+            progress,
+        ),
+        None => {
+            crack_parallel_observed(&space, &targets, space.interval(), config, &telemetry, progress)
+        }
     };
     if args.has("stats") {
         print!("{}", render_worker_stats(&report.stats));
     }
+    write_artifacts(args, &telemetry, &log)?;
     finish_report(report)
+}
+
+/// `eks report --metrics <file.prom> [--trace <file.jsonl>]`: parse the
+/// artifacts a `crack`/`cluster` run wrote and render the run report —
+/// per-worker utilization, per-device tuned rates, the paper's SIII
+/// cost-model phases, and the measured network efficiency next to the
+/// 85-90% band the paper reports.
+fn cmd_report(args: &Args) -> Result<(), String> {
+    let metrics_path = args.get("metrics").ok_or("report requires --metrics <file.prom>")?;
+    let text = std::fs::read_to_string(metrics_path)
+        .map_err(|e| format!("cannot read --metrics {metrics_path:?}: {e}"))?;
+    let samples =
+        parse_prometheus(&text).map_err(|e| format!("invalid Prometheus exposition: {e}"))?;
+    let records = match args.get("trace") {
+        Some(path) => {
+            let jsonl = std::fs::read_to_string(path)
+                .map_err(|e| format!("cannot read --trace {path:?}: {e}"))?;
+            parse_trace_jsonl(&jsonl).map_err(|e| format!("invalid trace JSONL: {e}"))?
+        }
+        None => Vec::new(),
+    };
+    print!("{}", render_report(&samples, &records));
+    Ok(())
 }
 
 fn finish_report(report: eks_cracker::ParallelReport) -> Result<(), String> {
@@ -659,14 +771,28 @@ fn cmd_cluster(args: &Args) -> Result<(), String> {
         ),
     };
     let sched = parse_sched(args, SchedPolicy::Static)?;
+    let (telemetry, log) = parse_telemetry(args)?;
     let targets = TargetSet::new(algo, &[digest]);
-    println!(
+    log.info(format!(
         "cluster [{label}]: searching {} {} candidates ({sched} schedule)",
         space.size(),
         algo.name()
+    ));
+    let r = run_cluster_search_observed(
+        &net,
+        &space,
+        &targets,
+        space.interval(),
+        !args.has("all"),
+        sched,
+        &telemetry,
     );
-    let r = run_cluster_search_sched(&net, &space, &targets, space.interval(), !args.has("all"), sched);
     print!("{}", render_worker_stats(&r.stats));
+    log.info(format!(
+        "parallel efficiency: {:.1}% (the paper reports 85-90%)",
+        r.parallel_efficiency()
+    ));
+    write_artifacts(args, &telemetry, &log)?;
     if r.hits.is_empty() {
         return Err(format!("not found; tested {} keys", r.tested));
     }
@@ -809,6 +935,97 @@ mod tests {
             "--topology", "box(660)", "--sched", "lifo",
         ]);
         assert!(run("cluster", &bad).is_err());
+    }
+
+    #[test]
+    fn crack_writes_parseable_telemetry_artifacts_and_report_renders_them() {
+        let dir = std::env::temp_dir().join(format!("eks-cli-telemetry-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let metrics = dir.join("m.prom");
+        let trace = dir.join("t.jsonl");
+        let digest = to_hex(&HashAlgo::Md5.hash(b"zzz"));
+        let a = args(&[
+            "crack",
+            "--digest",
+            &digest,
+            "--max",
+            "3",
+            "--threads",
+            "2",
+            "--all",
+            "--metrics-out",
+            metrics.to_str().unwrap(),
+            "--trace-out",
+            trace.to_str().unwrap(),
+        ]);
+        assert!(run("crack", &a).is_ok());
+
+        // Both artifacts must parse with the self-contained checkers.
+        let samples = parse_prometheus(&std::fs::read_to_string(&metrics).unwrap()).unwrap();
+        assert!(samples.iter().any(|s| s.name == "eks_keys_tested_total"), "{samples:?}");
+        let records = parse_trace_jsonl(&std::fs::read_to_string(&trace).unwrap()).unwrap();
+        assert!(records.iter().any(|r| r.name == "scan"), "scan spans recorded");
+
+        // And `eks report` renders them.
+        let r = args(&[
+            "report",
+            "--metrics",
+            metrics.to_str().unwrap(),
+            "--trace",
+            trace.to_str().unwrap(),
+        ]);
+        assert!(run("report", &r).is_ok());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn report_requires_metrics_and_rejects_garbage() {
+        assert!(run("report", &args(&["report"])).is_err(), "needs --metrics");
+        let missing = args(&["report", "--metrics", "/nonexistent/m.prom"]);
+        assert!(run("report", &missing).is_err());
+        let dir = std::env::temp_dir();
+        let bad = dir.join(format!("eks-cli-bad-{}.prom", std::process::id()));
+        std::fs::write(&bad, "eks_x{ 1\n").unwrap();
+        let a = args(&["report", "--metrics", bad.to_str().unwrap()]);
+        let err = run("report", &a).expect_err("malformed exposition");
+        assert!(err.contains("invalid Prometheus"), "{err}");
+        std::fs::remove_file(&bad).ok();
+    }
+
+    #[test]
+    fn cluster_writes_artifacts_too() {
+        let dir = std::env::temp_dir();
+        let metrics = dir.join(format!("eks-cli-cluster-{}.prom", std::process::id()));
+        let digest = to_hex(&HashAlgo::Md5.hash(b"cab"));
+        let a = args(&[
+            "cluster",
+            "--digest",
+            &digest,
+            "--max",
+            "3",
+            "--topology",
+            "box(660, cpu:2)",
+            "--metrics-out",
+            metrics.to_str().unwrap(),
+        ]);
+        assert!(run("cluster", &a).is_ok());
+        let samples = parse_prometheus(&std::fs::read_to_string(&metrics).unwrap()).unwrap();
+        assert!(samples.iter().any(|s| s.name == "eks_device_tuned_rate_mkeys"), "{samples:?}");
+        assert!(samples.iter().any(|s| s.name == "eks_cluster_efficiency_percent"), "{samples:?}");
+        std::fs::remove_file(&metrics).ok();
+    }
+
+    #[test]
+    fn quiet_and_verbose_conflict_is_a_usage_error() {
+        let digest = to_hex(&HashAlgo::Md5.hash(b"cab"));
+        let a = args(&["crack", "--digest", &digest, "--max", "3", "--quiet", "--verbose"]);
+        let err = run("crack", &a).expect_err("contradictory levels");
+        assert!(err.contains("--quiet"), "{err}");
+        // Each alone is fine, as is the progress flag.
+        let q = args(&["crack", "--digest", &digest, "--max", "3", "--quiet"]);
+        assert!(run("crack", &q).is_ok());
+        let p = args(&["crack", "--digest", &digest, "--max", "3", "--progress", "--verbose"]);
+        assert!(run("crack", &p).is_ok());
     }
 
     #[test]

@@ -1,0 +1,122 @@
+//! Leveled CLI logging routed through the telemetry event sink.
+//!
+//! Replaces the previous ad-hoc `eprintln!` scatter: every message goes
+//! through one [`Logger`] that (a) honours the `--quiet`/`--verbose`
+//! level and (b) mirrors each line into the structured trace as a
+//! [`eks_telemetry::names::EVENT_LOG`] event, so `--trace-out` captures
+//! the exact narrative the user saw.
+
+use eks_telemetry::{names, Telemetry};
+
+/// How chatty the CLI is. Ordered: `Quiet < Normal < Verbose`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    /// Only results and errors.
+    Quiet,
+    /// The default narration.
+    Normal,
+    /// Extra diagnostics (per-phase detail).
+    Verbose,
+}
+
+impl Level {
+    /// Resolve the level from the `--quiet` / `--verbose` flag pair.
+    pub fn from_flags(quiet: bool, verbose: bool) -> Result<Self, String> {
+        match (quiet, verbose) {
+            (true, true) => Err("--quiet contradicts --verbose".into()),
+            (true, false) => Ok(Level::Quiet),
+            (false, true) => Ok(Level::Verbose),
+            (false, false) => Ok(Level::Normal),
+        }
+    }
+}
+
+/// A leveled logger bound to a telemetry handle. Cloning shares the
+/// underlying trace sink.
+#[derive(Debug, Clone)]
+pub struct Logger {
+    level: Level,
+    telemetry: Telemetry,
+}
+
+impl Logger {
+    /// A logger at `level`, mirroring into `telemetry`'s trace sink.
+    pub fn new(level: Level, telemetry: Telemetry) -> Self {
+        Self { level, telemetry }
+    }
+
+    /// Normal-level narration: printed unless `--quiet`.
+    pub fn info(&self, msg: impl AsRef<str>) {
+        let msg = msg.as_ref();
+        if self.level >= Level::Normal {
+            println!("{msg}");
+        }
+        self.record("info", msg);
+    }
+
+    /// Verbose-level diagnostics: printed only under `--verbose`.
+    pub fn verbose(&self, msg: impl AsRef<str>) {
+        let msg = msg.as_ref();
+        if self.level >= Level::Verbose {
+            println!("{msg}");
+        }
+        self.record("verbose", msg);
+    }
+
+    /// Progress lines go to stderr so piped stdout stays clean; printed
+    /// unless `--quiet`.
+    pub fn progress(&self, msg: impl AsRef<str>) {
+        let msg = msg.as_ref();
+        if self.level >= Level::Normal {
+            eprintln!("{msg}");
+        }
+        self.record("progress", msg);
+    }
+
+    /// Errors always print to stderr, at every level.
+    pub fn error(&self, msg: impl AsRef<str>) {
+        let msg = msg.as_ref();
+        eprintln!("{msg}");
+        self.record("error", msg);
+    }
+
+    fn record(&self, level: &str, msg: &str) {
+        if self.telemetry.is_enabled() {
+            self.telemetry.event(names::EVENT_LOG).field("level", level).field("msg", msg).finish();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn level_resolution() {
+        assert_eq!(Level::from_flags(false, false).unwrap(), Level::Normal);
+        assert_eq!(Level::from_flags(true, false).unwrap(), Level::Quiet);
+        assert_eq!(Level::from_flags(false, true).unwrap(), Level::Verbose);
+        assert!(Level::from_flags(true, true).is_err());
+    }
+
+    #[test]
+    fn messages_land_in_the_trace_sink() {
+        let telemetry = Telemetry::enabled();
+        let log = Logger::new(Level::Quiet, telemetry.clone());
+        log.info("starting");
+        log.verbose("details");
+        log.error("boom");
+        let jsonl = telemetry.trace_jsonl();
+        assert_eq!(jsonl.lines().count(), 3, "{jsonl}");
+        assert!(jsonl.contains("\"starting\""), "{jsonl}");
+        assert!(jsonl.contains("\"error\""), "{jsonl}");
+    }
+
+    #[test]
+    fn disabled_telemetry_records_nothing() {
+        let telemetry = Telemetry::disabled();
+        let log = Logger::new(Level::Quiet, telemetry.clone());
+        log.info("starting");
+        assert!(telemetry.trace_jsonl().is_empty());
+    }
+}

@@ -14,15 +14,21 @@
 
 mod args;
 mod commands;
+mod log;
 
 use std::process::ExitCode;
 
+use crate::log::{Level, Logger};
+
 fn main() -> ExitCode {
+    // Top-level errors go through the same leveled logger the commands
+    // use (errors print at every level, so the level here is moot).
+    let log = Logger::new(Level::Normal, eks_telemetry::Telemetry::disabled());
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let parsed = match args::Args::parse(argv) {
         Ok(a) => a,
         Err(e) => {
-            eprintln!("error: {e}");
+            log.error(format!("error: {e}"));
             return ExitCode::FAILURE;
         }
     };
@@ -30,8 +36,8 @@ fn main() -> ExitCode {
     match commands::run(&command, &parsed) {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
-            eprintln!("error: {e}");
-            eprintln!("run `eks help` for usage");
+            log.error(format!("error: {e}"));
+            log.error("run `eks help` for usage");
             ExitCode::FAILURE
         }
     }

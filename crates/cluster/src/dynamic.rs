@@ -23,6 +23,9 @@ use eks_engine::{
     WorkerStats,
 };
 use eks_keyspace::{Interval, Key, KeySpace};
+use eks_telemetry::{names, Telemetry};
+
+use crate::runtime::cluster_efficiency_pct;
 
 /// Guided chunk floor inside a dynamic round: one poll quantum.
 const DYNAMIC_CHUNK: u128 = eks_engine::POLL_CHUNK;
@@ -276,11 +279,41 @@ pub fn run_dynamic_search(
     config: DynamicSearchConfig,
     events: Vec<ScheduledSearchEvent>,
 ) -> DynamicSearchReport {
+    run_dynamic_search_observed(
+        initial,
+        space,
+        targets,
+        interval,
+        config,
+        events,
+        &Telemetry::disabled(),
+    )
+}
+
+/// [`run_dynamic_search`] with telemetry attached: joins and leaves
+/// become [`names::EVENT_JOIN`] / [`names::EVENT_LEAVE`] trace events,
+/// every rebalance bumps [`names::REBALANCES`], rounds run under
+/// [`names::SPAN_ROUND`] spans, and the final whole-network efficiency
+/// lands in the [`names::CLUSTER_EFFICIENCY_PCT`] gauge.
+///
+/// # Panics
+/// Same contract as [`run_dynamic_search`].
+pub fn run_dynamic_search_observed(
+    initial: Vec<(String, Box<dyn Backend>)>,
+    space: &KeySpace,
+    targets: &TargetSet,
+    interval: Interval,
+    config: DynamicSearchConfig,
+    events: Vec<ScheduledSearchEvent>,
+    telemetry: &Telemetry,
+) -> DynamicSearchReport {
     assert!(!initial.is_empty(), "need at least one initial member");
     assert!(config.round_keys > 0);
     let algo = targets.algo();
-    let dispatcher =
-        Dispatcher::new(space, targets, ScanMode::from_first_hit(config.first_hit_only));
+    let rounds_counter = telemetry.counter(names::ROUNDS, &[]);
+    let rebalance_counter = telemetry.counter(names::REBALANCES, &[]);
+    let dispatcher = Dispatcher::new(space, targets, ScanMode::from_first_hit(config.first_hit_only))
+        .with_telemetry(telemetry.clone());
     let mut members: Vec<SearchMember> = initial
         .into_iter()
         .map(|(name, backend)| {
@@ -310,11 +343,12 @@ pub fn run_dynamic_search(
             }
         });
         for event in due {
-            apply_search(&mut members, event, &dispatcher);
+            apply_search(&mut members, event, &dispatcher, telemetry);
             changed = true;
         }
         if changed {
             rebalances += 1;
+            rebalance_counter.inc();
         }
         let active: Vec<usize> =
             members.iter().enumerate().filter(|(_, m)| m.active).map(|(i, _)| i).collect();
@@ -324,6 +358,20 @@ pub fn run_dynamic_search(
         let slice = remaining.take_front(config.round_keys);
         let weights: Vec<f64> =
             active.iter().map(|&i| members[i].backend.tuned_rate(algo)).collect();
+        if telemetry.is_enabled() && (changed || round == 0) {
+            for (&i, &w) in active.iter().zip(&weights) {
+                let m = &members[i];
+                telemetry.gauge(names::DEVICE_RATE_MKEYS, &[("device", &m.name)]).set(w);
+            }
+        }
+        rounds_counter.inc();
+        // Dropped at the end of this iteration, covering scatter, scan
+        // and the stop check.
+        let _round_span = telemetry
+            .span(names::SPAN_ROUND)
+            .field("round", round)
+            .field("members", active.len())
+            .field("keys", slice.len);
         let parts = slice.split_weighted(&weights);
         // Every member owns a deque holding its proportional share; under
         // the static policy this is exactly one scan per member, under
@@ -342,7 +390,14 @@ pub fn run_dynamic_search(
         }
     }
 
+    let merge = telemetry.span(names::SPAN_MERGE);
     let report = dispatcher.finish();
+    merge.field("hits", report.hits.len()).finish();
+    if telemetry.is_enabled() {
+        telemetry
+            .gauge(names::CLUSTER_EFFICIENCY_PCT, &[])
+            .set(cluster_efficiency_pct(&report.stats));
+    }
     DynamicSearchReport {
         hits: report.hits,
         tested: report.tested,
@@ -353,13 +408,19 @@ pub fn run_dynamic_search(
     }
 }
 
-fn apply_search(members: &mut Vec<SearchMember>, event: SearchEvent, dispatcher: &Dispatcher<'_>) {
+fn apply_search(
+    members: &mut Vec<SearchMember>,
+    event: SearchEvent,
+    dispatcher: &Dispatcher<'_>,
+    telemetry: &Telemetry,
+) {
     match event {
         SearchEvent::Join { name, backend } => {
             assert!(
                 !members.iter().any(|m| m.active && m.name == name),
                 "duplicate live member {name}"
             );
+            telemetry.event(names::EVENT_JOIN).field("member", &name).finish();
             // Re-joining a previously-left name resumes its accounting.
             if let Some(m) = members.iter_mut().find(|m| m.name == name) {
                 m.active = true;
@@ -375,6 +436,7 @@ fn apply_search(members: &mut Vec<SearchMember>, event: SearchEvent, dispatcher:
                 .find(|m| m.active && m.name == name)
                 .unwrap_or_else(|| panic!("unknown or inactive member {name}"));
             m.active = false;
+            telemetry.event(names::EVENT_LEAVE).field("member", &name).finish();
         }
     }
 }
@@ -587,6 +649,48 @@ mod tests {
             assert_eq!(r.hits.len(), 1);
             assert_eq!(r.hits[0].1.as_bytes(), b"bcd");
             assert!(r.tested < s.size(), "stopped before sweeping everything");
+        }
+
+        #[test]
+        fn observed_dynamic_search_traces_membership() {
+            let telemetry = Telemetry::enabled();
+            let s = space();
+            let t = targets(&[b"zzzz"]);
+            let r = run_dynamic_search_observed(
+                vec![cpu("a"), cpu("b")],
+                &s,
+                &t,
+                s.interval(),
+                DynamicSearchConfig {
+                    round_keys: 60_000,
+                    first_hit_only: false,
+                    sched: SchedPolicy::Static,
+                },
+                vec![
+                    ScheduledSearchEvent {
+                        before_round: 1,
+                        event: SearchEvent::Leave { name: "b".into() },
+                    },
+                    ScheduledSearchEvent {
+                        before_round: 3,
+                        event: SearchEvent::Join { name: "gpu-box".into(), backend: gpu("x").1 },
+                    },
+                ],
+                &telemetry,
+            );
+            assert_eq!(r.tested, s.size());
+            assert_eq!(r.rebalances, 2);
+            let jsonl = telemetry.trace_jsonl();
+            assert!(jsonl.contains(&format!("\"{}\"", names::EVENT_JOIN)), "{jsonl}");
+            assert!(jsonl.contains(&format!("\"{}\"", names::EVENT_LEAVE)), "{jsonl}");
+            let text = telemetry.render_prometheus();
+            assert!(text.contains(names::REBALANCES), "{text}");
+            let line = text
+                .lines()
+                .find(|l| l.starts_with(names::REBALANCES) && !l.starts_with('#'))
+                .expect("rebalance sample");
+            let value: f64 = line.rsplit(' ').next().unwrap().parse().unwrap();
+            assert_eq!(value as u32, r.rebalances, "counter reconciles with the report");
         }
 
         #[test]

@@ -44,13 +44,16 @@ pub mod tuning;
 
 pub use des::{simulate_search, time_to_first_hit, NetworkReport, SimParams};
 pub use dynamic::{
-    run_dynamic, run_dynamic_search, DynamicConfig, DynamicReport, DynamicSearchConfig,
-    DynamicSearchReport, MembershipEvent, ScheduledEvent, ScheduledSearchEvent, SearchEvent,
+    run_dynamic, run_dynamic_search, run_dynamic_search_observed, DynamicConfig, DynamicReport,
+    DynamicSearchConfig, DynamicSearchReport, MembershipEvent, ScheduledEvent,
+    ScheduledSearchEvent, SearchEvent,
 };
 pub use fault::{simulate_search_with_failure, FailureEvent, FailureReport};
 pub use model::{calibrate, fit_model, FittedModel};
-pub use rounds::{run_rounds, RoundConfig, RoundReport};
-pub use runtime::{run_cluster_search, run_cluster_search_sched, ClusterSearchResult};
+pub use rounds::{run_rounds, run_rounds_observed, RoundConfig, RoundReport};
+pub use runtime::{
+    run_cluster_search, run_cluster_search_observed, run_cluster_search_sched, ClusterSearchResult,
+};
 pub use simgpu::SimKernelBackend;
 pub use spec::{paper_network, ClusterNode, CpuWorker, GpuSlot};
 pub use strength::{estimate_against_cluster, estimate_against_device, StrengthEstimate};

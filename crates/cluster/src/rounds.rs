@@ -17,13 +17,15 @@
 
 use eks_cracker::resume::Checkpoint;
 use eks_cracker::target::TargetSet;
-use eks_cracker::LaneBackend;
+use eks_cracker::{LaneBackend, ObservedLaneBackend};
 use eks_engine::{
     Backend, DequeLeaf, Dispatcher, IntervalDeques, ScanMode, ScanReport, SchedOptions,
     SchedPolicy, WorkerId, WorkerStats,
 };
 use eks_keyspace::{Interval, Key, KeySpace};
+use eks_telemetry::{names, Telemetry};
 
+use crate::runtime::cluster_efficiency_pct;
 use crate::simgpu::SimKernelBackend;
 use crate::spec::ClusterNode;
 use crate::tuning::tune_cpu;
@@ -76,7 +78,7 @@ struct Member {
 /// Flatten the tree into weighted workers (the round master treats the
 /// tree as its leaf multiset; hierarchy only matters for latency, which
 /// real threads on one host do not exhibit).
-fn members(root: &ClusterNode, algo: eks_hashes::HashAlgo) -> Vec<Member> {
+fn members(root: &ClusterNode, algo: eks_hashes::HashAlgo, telemetry: &Telemetry) -> Vec<Member> {
     let mut out = Vec::new();
     let mut stack = vec![root];
     while let Some(n) = stack.pop() {
@@ -89,11 +91,18 @@ fn members(root: &ClusterNode, algo: eks_hashes::HashAlgo) -> Vec<Member> {
             });
         }
         for cpu in &n.cpus {
-            let backend = LaneBackend::default();
+            let lanes = LaneBackend::default();
+            // The observed batch path routes fill/hash timing and
+            // prefilter counters into the shared registry.
+            let backend: Box<dyn Backend> = if telemetry.is_enabled() {
+                Box::new(ObservedLaneBackend::new(lanes.lanes, telemetry.clone()))
+            } else {
+                Box::new(lanes)
+            };
             out.push(Member {
-                label: format!("{}/{} [{}]", n.name, cpu.name, backend.name()),
+                label: format!("{}/{} [{}]", n.name, cpu.name, lanes.name()),
                 weight: tune_cpu(cpu, algo).achieved_mkeys,
-                backend: Box::new(backend),
+                backend,
             });
         }
         stack.extend(n.children.iter());
@@ -112,13 +121,38 @@ pub fn run_rounds(
     interval: Interval,
     config: RoundConfig,
 ) -> RoundReport {
+    run_rounds_observed(root, space, targets, interval, config, &Telemetry::disabled())
+}
+
+/// [`run_rounds`] with telemetry attached: every dispatch round runs
+/// under a [`names::SPAN_ROUND`] span and bumps the
+/// [`names::ROUNDS`] counter, every member publishes its tuned rate,
+/// and the final whole-network efficiency lands in the
+/// [`names::CLUSTER_EFFICIENCY_PCT`] gauge.
+///
+/// # Panics
+/// Panics when the cluster has no workers or `round_keys == 0`.
+pub fn run_rounds_observed(
+    root: &ClusterNode,
+    space: &KeySpace,
+    targets: &TargetSet,
+    interval: Interval,
+    config: RoundConfig,
+    telemetry: &Telemetry,
+) -> RoundReport {
     assert!(config.round_keys > 0);
-    let members = members(root, targets.algo());
+    let members = members(root, targets.algo(), telemetry);
     assert!(!members.is_empty(), "cluster has no workers");
     let weights: Vec<f64> = members.iter().map(|m| m.weight).collect();
+    if telemetry.is_enabled() {
+        for m in &members {
+            telemetry.gauge(names::DEVICE_RATE_MKEYS, &[("device", &m.label)]).set(m.weight);
+        }
+    }
+    let rounds_counter = telemetry.counter(names::ROUNDS, &[]);
 
-    let dispatcher =
-        Dispatcher::new(space, targets, ScanMode::from_first_hit(config.first_hit_only));
+    let dispatcher = Dispatcher::new(space, targets, ScanMode::from_first_hit(config.first_hit_only))
+        .with_telemetry(telemetry.clone());
     let ids: Vec<WorkerId> = members.iter().map(|m| dispatcher.register(&m.label)).collect();
 
     let mut checkpoint = Checkpoint::new(interval.intersect(&space.interval()));
@@ -127,6 +161,11 @@ pub fn run_rounds(
 
     while let Some(round_iv) = checkpoint.take_work(config.round_keys) {
         rounds += 1;
+        rounds_counter.inc();
+        // Dropped at the end of this iteration (also on `continue` and
+        // `break`), so the span covers scatter, scan, and gather.
+        let _round_span =
+            telemetry.span(names::SPAN_ROUND).field("round", rounds).field("keys", round_iv.len);
         // Rotate the part→worker mapping every round so a persistently
         // silent worker cannot pin the same leading interval forever
         // (requeued work lands at the front of the next round); the split
@@ -218,7 +257,14 @@ pub fn run_rounds(
         }
     }
 
+    let merge = telemetry.span(names::SPAN_MERGE);
     let report = dispatcher.finish();
+    merge.field("hits", report.hits.len()).finish();
+    if telemetry.is_enabled() {
+        telemetry
+            .gauge(names::CLUSTER_EFFICIENCY_PCT, &[])
+            .set(cluster_efficiency_pct(&report.stats));
+    }
     RoundReport {
         hits: report.hits,
         tested: report.tested,
@@ -319,6 +365,39 @@ mod tests {
                 .expect("device present")
         };
         assert!(share("660") > 5 * share("8600M"));
+    }
+
+    #[test]
+    fn observed_rounds_count_rounds_and_publish_efficiency() {
+        let telemetry = Telemetry::enabled();
+        let net = paper_network(1e-3);
+        let s = space();
+        let t = targets(&[b"zzzz"]);
+        let r = run_rounds_observed(
+            &net,
+            &s,
+            &t,
+            s.interval(),
+            RoundConfig {
+                round_keys: 100_000,
+                first_hit_only: false,
+                lose_worker: None,
+                sched: SchedPolicy::Static,
+            },
+            &telemetry,
+        );
+        assert_eq!(r.tested, s.size());
+        let text = telemetry.render_prometheus();
+        assert!(text.contains(names::ROUNDS), "{text}");
+        assert!(text.contains(names::CLUSTER_EFFICIENCY_PCT), "{text}");
+        // The ROUNDS counter reconciles exactly with the report.
+        let line = text
+            .lines()
+            .find(|l| l.starts_with(names::ROUNDS) && !l.starts_with('#'))
+            .expect("rounds sample");
+        let value: f64 = line.rsplit(' ').next().unwrap().parse().unwrap();
+        assert_eq!(value as u32, r.rounds);
+        assert!(telemetry.trace_jsonl().contains("\"round\""), "round spans recorded");
     }
 
     #[test]

@@ -14,11 +14,12 @@ use eks_hashes::HashAlgo;
 use eks_keyspace::{Interval, Key, KeySpace};
 
 use eks_cracker::target::TargetSet;
-use eks_cracker::LaneBackend;
+use eks_cracker::{LaneBackend, ObservedLaneBackend};
 use eks_engine::{
     Backend, DequeLeaf, Dispatcher, IntervalDeques, ScanMode, SchedOptions, SchedPolicy, WorkerId,
     WorkerStats,
 };
+use eks_telemetry::{names, Telemetry};
 
 use crate::simgpu::SimKernelBackend;
 use crate::spec::ClusterNode;
@@ -39,6 +40,30 @@ pub struct ClusterSearchResult {
     pub per_device: Vec<(String, u128)>,
     /// Full per-device scheduler stats, same order as `per_device`.
     pub stats: Vec<WorkerStats>,
+}
+
+impl ClusterSearchResult {
+    /// Whole-network parallel efficiency in percent: the busy fraction of
+    /// the total worker time, `Σ busy / (Σ busy + Σ idle) · 100`. This is
+    /// the measured counterpart of the paper's 85–90% whole-network
+    /// efficiency (Tables VII–IX). A run where no clock ticked (for
+    /// example an empty interval) reports `0` rather than NaN.
+    pub fn parallel_efficiency(&self) -> f64 {
+        cluster_efficiency_pct(&self.stats)
+    }
+}
+
+/// Busy fraction of total worker time across a set of worker stats, in
+/// percent; `0` when no time was recorded.
+pub(crate) fn cluster_efficiency_pct(stats: &[WorkerStats]) -> f64 {
+    let busy: u64 = stats.iter().map(|w| w.busy_ns).sum();
+    let idle: u64 = stats.iter().map(|w| w.idle_ns).sum();
+    let total = busy.saturating_add(idle);
+    if total == 0 {
+        0.0
+    } else {
+        100.0 * busy as f64 / total as f64
+    }
 }
 
 /// One planned unit of execution: a pre-assigned slice of the keyspace,
@@ -81,9 +106,41 @@ pub fn run_cluster_search_sched(
     first_hit_only: bool,
     sched: SchedPolicy,
 ) -> ClusterSearchResult {
-    let dispatcher = Dispatcher::new(space, targets, ScanMode::from_first_hit(first_hit_only));
+    run_cluster_search_observed(
+        root,
+        space,
+        targets,
+        interval,
+        first_hit_only,
+        sched,
+        &Telemetry::disabled(),
+    )
+}
+
+/// [`run_cluster_search_sched`] with telemetry attached: the scatter
+/// (planning) and gather/merge steps run under spans, every device
+/// publishes its tuned rate as a gauge, CPU leaves use the observed
+/// batch path, and the whole-network efficiency
+/// ([`ClusterSearchResult::parallel_efficiency`]) lands in the
+/// [`names::CLUSTER_EFFICIENCY_PCT`] gauge — the measured number the
+/// paper reports as 85–90%.
+pub fn run_cluster_search_observed(
+    root: &ClusterNode,
+    space: &KeySpace,
+    targets: &TargetSet,
+    interval: Interval,
+    first_hit_only: bool,
+    sched: SchedPolicy,
+    telemetry: &Telemetry,
+) -> ClusterSearchResult {
+    let dispatcher = Dispatcher::new(space, targets, ScanMode::from_first_hit(first_hit_only))
+        .with_telemetry(telemetry.clone());
     let mut leaves = Vec::new();
-    plan_node(root, targets.algo(), interval, &dispatcher, &mut leaves);
+    {
+        let scatter = telemetry.span(names::SPAN_SCATTER);
+        plan_node(root, targets.algo(), interval, &dispatcher, telemetry, &mut leaves);
+        scatter.field("leaves", leaves.len()).finish();
+    }
     if !leaves.is_empty() {
         let deques = IntervalDeques::assign(leaves.iter().map(|l| l.interval).collect());
         let deque_leaves: Vec<DequeLeaf<'_>> = leaves
@@ -96,13 +153,21 @@ pub fn run_cluster_search_sched(
             SchedOptions::for_policy(sched, CLUSTER_CHUNK),
         );
     }
+    let merge = telemetry.span(names::SPAN_MERGE);
     let report = dispatcher.finish();
-    ClusterSearchResult {
+    merge.field("hits", report.hits.len()).finish();
+    let result = ClusterSearchResult {
         hits: report.hits,
         tested: report.tested,
         per_device: report.per_worker,
         stats: report.stats,
+    };
+    if telemetry.is_enabled() {
+        telemetry
+            .gauge(names::CLUSTER_EFFICIENCY_PCT, &[])
+            .set(result.parallel_efficiency());
     }
+    result
 }
 
 /// Dispatch weight of a subtree: the sum of its devices' and CPU
@@ -125,6 +190,7 @@ fn plan_node(
     algo: HashAlgo,
     interval: Interval,
     dispatcher: &Dispatcher<'_>,
+    telemetry: &Telemetry,
     leaves: &mut Vec<Leaf>,
 ) {
     let backends: Vec<SimKernelBackend> =
@@ -141,25 +207,42 @@ fn plan_node(
     for (i, part) in parts.iter().enumerate() {
         if i < n_devices {
             let backend = backends[i].clone();
-            let worker = dispatcher.register(format!(
-                "{}/{} [{}]",
-                node.name,
-                node.devices[i].device.name,
-                backend.name()
-            ));
+            let label =
+                format!("{}/{} [{}]", node.name, node.devices[i].device.name, backend.name());
+            if telemetry.is_enabled() {
+                telemetry.gauge(names::DEVICE_RATE_MKEYS, &[("device", &label)]).set(weights[i]);
+            }
+            let worker = dispatcher.register(label);
             leaves.push(Leaf { worker, backend: Box::new(backend), interval: *part });
         } else if i < n_devices + n_cpus {
             // A CPU worker fans its share out over its own threads; all
             // of them are credited to the one device-level worker.
             let cpu = &node.cpus[i - n_devices];
             let backend = LaneBackend::default();
-            let worker =
-                dispatcher.register(format!("{}/{} [{}]", node.name, cpu.name, backend.name()));
+            let label = format!("{}/{} [{}]", node.name, cpu.name, backend.name());
+            if telemetry.is_enabled() {
+                telemetry.gauge(names::DEVICE_RATE_MKEYS, &[("device", &label)]).set(weights[i]);
+            }
+            let worker = dispatcher.register(label);
             for sub in part.split_even(cpu.threads) {
-                leaves.push(Leaf { worker, backend: Box::new(backend), interval: sub });
+                // The observed batch path feeds fill/hash timings and
+                // prefilter counters into the same registry.
+                let leaf_backend: Box<dyn Backend> = if telemetry.is_enabled() {
+                    Box::new(ObservedLaneBackend::new(backend.lanes, telemetry.clone()))
+                } else {
+                    Box::new(backend)
+                };
+                leaves.push(Leaf { worker, backend: leaf_backend, interval: sub });
             }
         } else {
-            plan_node(&node.children[i - n_devices - n_cpus], algo, *part, dispatcher, leaves);
+            plan_node(
+                &node.children[i - n_devices - n_cpus],
+                algo,
+                *part,
+                dispatcher,
+                telemetry,
+                leaves,
+            );
         }
     }
 }
@@ -347,6 +430,45 @@ mod tests {
         let steals: u64 = r.stats.iter().map(|w| w.steals).sum();
         let splits: u64 = r.stats.iter().map(|w| w.splits).sum();
         assert_eq!(steals, splits, "every steal splits exactly one victim");
+    }
+
+    #[test]
+    fn observed_search_fills_registry_and_trace() {
+        let telemetry = Telemetry::enabled();
+        let net = paper_network(1e-3).with_cpu("host-cpu", 2);
+        let s = space();
+        let t = targets(&[b"zzzz"]);
+        let r = run_cluster_search_observed(
+            &net,
+            &s,
+            &t,
+            s.interval(),
+            false,
+            SchedPolicy::Static,
+            &telemetry,
+        );
+        assert_eq!(r.tested, s.size());
+        let eff = r.parallel_efficiency();
+        assert!(eff > 0.0 && eff <= 100.0, "{eff}");
+        let text = telemetry.render_prometheus();
+        assert!(text.contains(names::KEYS_TESTED), "{text}");
+        assert!(text.contains(names::DEVICE_RATE_MKEYS), "{text}");
+        assert!(text.contains(names::CLUSTER_EFFICIENCY_PCT), "{text}");
+        let jsonl = telemetry.trace_jsonl();
+        assert!(jsonl.contains("\"scatter\""), "{jsonl}");
+        assert!(jsonl.contains("\"merge\""), "{jsonl}");
+        assert!(jsonl.contains("\"scan\""), "{jsonl}");
+    }
+
+    #[test]
+    fn efficiency_of_an_empty_run_is_zero_not_nan() {
+        let r = ClusterSearchResult {
+            hits: vec![],
+            tested: 0,
+            per_device: vec![],
+            stats: vec![],
+        };
+        assert_eq!(r.parallel_efficiency(), 0.0);
     }
 
     #[test]

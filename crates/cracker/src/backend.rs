@@ -18,8 +18,9 @@ use std::time::Instant;
 use eks_engine::{Backend, ScanMode, ScanReport};
 use eks_hashes::HashAlgo;
 use eks_keyspace::{Charset, Interval, KeySpace, Order};
+use eks_telemetry::Telemetry;
 
-use crate::batch::{crack_interval_batched, Lanes};
+use crate::batch::{crack_interval_batched, crack_interval_batched_observed, Lanes};
 use crate::engine::crack_interval;
 use crate::target::TargetSet;
 
@@ -99,6 +100,56 @@ pub fn cpu_backend(lanes: Lanes) -> Box<dyn Backend> {
         Lanes::Scalar => Box::new(ScalarBackend),
         lanes => Box::new(LaneBackend::new(lanes)),
     }
+}
+
+/// A [`LaneBackend`] with batch-path telemetry attached: identical
+/// scans and tuned rate, plus sampled batch-fill/hash timing and
+/// prefilter hit/miss counters flowing into the shared registry.
+#[derive(Debug, Clone)]
+pub struct ObservedLaneBackend {
+    lanes: Lanes,
+    telemetry: Telemetry,
+}
+
+impl ObservedLaneBackend {
+    /// An observed backend for a lane width.
+    pub fn new(lanes: Lanes, telemetry: Telemetry) -> Self {
+        Self { lanes, telemetry }
+    }
+}
+
+impl Backend for ObservedLaneBackend {
+    fn name(&self) -> String {
+        LaneBackend::new(self.lanes).name()
+    }
+
+    fn scan(
+        &self,
+        space: &KeySpace,
+        targets: &TargetSet,
+        interval: Interval,
+        stop: &AtomicBool,
+        mode: ScanMode,
+    ) -> ScanReport {
+        crack_interval_batched_observed(
+            space,
+            targets,
+            interval,
+            stop,
+            mode.first_hit_only(),
+            self.lanes,
+            &self.telemetry,
+        )
+    }
+
+    fn tuned_rate(&self, algo: HashAlgo) -> f64 {
+        measured_rate(self.lanes, algo)
+    }
+}
+
+/// Like [`cpu_backend`] but with telemetry attached to the batch path.
+pub fn cpu_backend_observed(lanes: Lanes, telemetry: Telemetry) -> Box<dyn Backend> {
+    Box::new(ObservedLaneBackend::new(lanes, telemetry))
 }
 
 /// Keys swept per tuning measurement — enough to amortize startup,

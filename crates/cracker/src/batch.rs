@@ -23,10 +23,12 @@
 //! [`BatchInfo::uniform_suffix`]: eks_keyspace::BatchInfo
 
 use std::sync::atomic::AtomicBool;
+use std::time::Instant;
 
 use eks_engine::PollCursor;
 use eks_hashes::{md4_lanes, md5_lanes, sha1, sha1_a75_lanes, HashAlgo, Md5PrefixSearch};
 use eks_keyspace::{BlockBatch, BlockLayout, Interval, Key, KeySpace};
+use eks_telemetry::{names, Counter, Histogram, Telemetry};
 
 use crate::engine::{crack_interval, CrackOutcome};
 #[cfg(test)]
@@ -90,6 +92,34 @@ pub fn layout_for(algo: HashAlgo) -> BlockLayout {
     }
 }
 
+/// Every `SAMPLE_MASK + 1`-th batch gets its fill and hash phases wall-
+/// timed when telemetry is on; all other batches run untimed, so the
+/// instrumented loop stays within the bench's overhead gate.
+const SAMPLE_MASK: u64 = 63;
+
+/// Pre-registered batch-path instruments. Prefilter outcomes are tallied
+/// in thread-local integers and flushed once per scan; fill/hash timing
+/// is sampled per [`SAMPLE_MASK`].
+struct BatchInstruments {
+    enabled: bool,
+    fill_ns: Histogram,
+    hash_ns: Histogram,
+    prefilter_hits: Counter,
+    prefilter_misses: Counter,
+}
+
+impl BatchInstruments {
+    fn new(telemetry: &Telemetry) -> Self {
+        Self {
+            enabled: telemetry.is_enabled(),
+            fill_ns: telemetry.histogram(names::BATCH_FILL_NS, &[]),
+            hash_ns: telemetry.histogram(names::BATCH_HASH_NS, &[]),
+            prefilter_hits: telemetry.counter(names::PREFILTER_HITS, &[]),
+            prefilter_misses: telemetry.counter(names::PREFILTER_MISSES, &[]),
+        }
+    }
+}
+
 /// Like [`crack_interval`] but testing `lanes` candidates in lockstep.
 /// Produces the same hits as the scalar engine over the same interval;
 /// `tested` counts whole batches, so a first-hit stop may report up to
@@ -103,10 +133,37 @@ pub fn crack_interval_batched(
     first_hit_only: bool,
     lanes: Lanes,
 ) -> CrackOutcome {
+    crack_interval_batched_observed(
+        space,
+        targets,
+        interval,
+        stop,
+        first_hit_only,
+        lanes,
+        &Telemetry::disabled(),
+    )
+}
+
+/// [`crack_interval_batched`] with batch-path telemetry: sampled
+/// batch-fill vs. lane-hash wall time and `TargetSet` prefilter
+/// hit/miss counters (flushed once per scan, never per key). A disabled
+/// handle makes this identical to the unobserved path.
+pub fn crack_interval_batched_observed(
+    space: &KeySpace,
+    targets: &TargetSet,
+    interval: Interval,
+    stop: &AtomicBool,
+    first_hit_only: bool,
+    lanes: Lanes,
+    telemetry: &Telemetry,
+) -> CrackOutcome {
+    let instruments = BatchInstruments::new(telemetry);
     match lanes {
         Lanes::Scalar => crack_interval(space, targets, interval, stop, first_hit_only),
-        Lanes::L8 => crack_lanes::<8>(space, targets, interval, stop, first_hit_only),
-        Lanes::L16 => crack_lanes::<16>(space, targets, interval, stop, first_hit_only),
+        Lanes::L8 => crack_lanes::<8>(space, targets, interval, stop, first_hit_only, &instruments),
+        Lanes::L16 => {
+            crack_lanes::<16>(space, targets, interval, stop, first_hit_only, &instruments)
+        }
     }
 }
 
@@ -116,6 +173,7 @@ fn crack_lanes<const L: usize>(
     interval: Interval,
     stop: &AtomicBool,
     first_hit_only: bool,
+    instruments: &BatchInstruments,
 ) -> CrackOutcome {
     let clamped = interval.intersect(&space.interval());
     let algo = targets.algo();
@@ -136,15 +194,25 @@ fn crack_lanes<const L: usize>(
             .expect("MD5 digests are 16 bytes")
     });
     let mut reversed: Option<(u64, Md5PrefixSearch)> = None;
+    let mut batch_index: u64 = 0;
+    let mut pf_checked: u64 = 0;
+    let mut pf_hits: u64 = 0;
 
     'outer: while let Some(chunk) = cursor.next_chunk() {
         debug_assert_eq!(chunk.start, writer.next_id(), "writer tracks the cursor");
         let mut batches = chunk.len / L as u128;
         while batches > 0 {
             batches -= 1;
+            let sample = instruments.enabled && batch_index & SAMPLE_MASK == 0;
+            batch_index += 1;
+            let t_fill = sample.then(Instant::now);
             let info = writer.fill(&mut blocks);
+            if let Some(t0) = t_fill {
+                instruments.fill_ns.observe(t0.elapsed().as_nanos() as u64);
+            }
             tested += L as u128;
 
+            let t_hash = sample.then(Instant::now);
             let mut lane_hit: [Option<usize>; L] = [None; L];
             match algo {
                 HashAlgo::Md5 if info.uniform_suffix && single_md5.is_some() => {
@@ -172,8 +240,10 @@ fn crack_lanes<const L: usize>(
                     } else {
                         md4_lanes(&blocks)
                     };
+                    pf_checked += L as u64;
                     for (slot, state) in lane_hit.iter_mut().zip(&states) {
                         if targets.prefilter_match(state[0]) {
+                            pf_hits += 1;
                             // MD4 shares MD5's little-endian serialization.
                             let digest = eks_hashes::md5::state_to_digest(*state);
                             *slot = targets.match_digest(&digest);
@@ -182,8 +252,10 @@ fn crack_lanes<const L: usize>(
                 }
                 HashAlgo::Sha1 => {
                     let a75s = sha1_a75_lanes(&blocks);
+                    pf_checked += L as u64;
                     for ((slot, &a75), block) in lane_hit.iter_mut().zip(&a75s).zip(&blocks) {
                         if targets.prefilter_match(a75) {
+                            pf_hits += 1;
                             // Rare survivor (≈ len·2⁻³² of candidates): confirm
                             // with the full compression.
                             let state = sha1::sha1_compress(sha1::IV, block);
@@ -191,6 +263,9 @@ fn crack_lanes<const L: usize>(
                         }
                     }
                 }
+            }
+            if let Some(t0) = t_hash {
+                instruments.hash_ns.observe(t0.elapsed().as_nanos() as u64);
             }
             for (l, hit) in lane_hit.iter().enumerate() {
                 if let Some(t) = *hit {
@@ -203,6 +278,10 @@ fn crack_lanes<const L: usize>(
                 }
             }
         }
+    }
+    if instruments.enabled {
+        instruments.prefilter_hits.add(pf_hits);
+        instruments.prefilter_misses.add(pf_checked - pf_hits);
     }
 
     // Tail shorter than a batch: hand the remainder to the scalar oracle,

@@ -24,12 +24,15 @@ pub mod stats;
 pub mod target;
 
 pub use audit::{AuditEntry, AuditFinding, AuditReport, AuditSession};
-pub use backend::{cpu_backend, LaneBackend, ScalarBackend};
-pub use batch::{crack_interval_batched, layout_for, Lanes};
+pub use backend::{cpu_backend, cpu_backend_observed, LaneBackend, ObservedLaneBackend, ScalarBackend};
+pub use batch::{crack_interval_batched, crack_interval_batched_observed, layout_for, Lanes};
 pub use engine::{crack_interval, CrackOutcome};
 pub use generic::{crack_space_interval, crack_space_parallel};
 pub use mining::{mine, MiningJob, MiningResult};
-pub use parallel::{crack_parallel, crack_parallel_backend, ParallelConfig, ParallelReport};
+pub use parallel::{
+    crack_parallel, crack_parallel_backend, crack_parallel_backend_observed,
+    crack_parallel_observed, ParallelConfig, ParallelReport,
+};
 pub use progress::ThroughputMeter;
 pub use resume::Checkpoint;
 pub use stats::{render_worker_stats, ClassUsage, PasswordStats};

@@ -11,10 +11,11 @@
 
 use std::time::Instant;
 
-use eks_engine::{Backend, Dispatcher, ScanMode, SchedPolicy, WorkerStats};
+use eks_engine::{Backend, Dispatcher, ProgressEvent, ScanMode, SchedPolicy, WorkerStats};
 use eks_keyspace::{Interval, Key, KeySpace};
+use eks_telemetry::{names, Telemetry};
 
-use crate::backend::cpu_backend;
+use crate::backend::{cpu_backend, cpu_backend_observed};
 use crate::batch::Lanes;
 use crate::target::TargetSet;
 
@@ -120,14 +121,75 @@ pub fn crack_parallel_backend(
     backend: &dyn Backend,
     config: ParallelConfig,
 ) -> ParallelReport {
+    crack_parallel_backend_observed(
+        space,
+        targets,
+        interval,
+        backend,
+        config,
+        &Telemetry::disabled(),
+        |_| {},
+    )
+}
+
+/// [`crack_parallel`] with telemetry and a progress hook: the batch
+/// path reports fill/hash timing and prefilter counters, the dispatcher
+/// reports chunk spans and per-worker accounting, and `progress` fires
+/// after every merged chunk scan. A disabled handle and an empty hook
+/// make this identical to [`crack_parallel`].
+///
+/// # Panics
+/// Panics when `config.threads == 0` or `config.chunk == 0`.
+pub fn crack_parallel_observed(
+    space: &KeySpace,
+    targets: &TargetSet,
+    interval: Interval,
+    config: ParallelConfig,
+    telemetry: &Telemetry,
+    progress: impl Fn(&ProgressEvent) + Sync,
+) -> ParallelReport {
+    crack_parallel_backend_observed(
+        space,
+        targets,
+        interval,
+        &*cpu_backend_observed(config.lanes, telemetry.clone()),
+        config,
+        telemetry,
+        progress,
+    )
+}
+
+/// The fully-instrumented core both [`crack_parallel_backend`] and
+/// [`crack_parallel_observed`] reduce to.
+///
+/// # Panics
+/// Panics when `config.threads == 0` or `config.chunk == 0`.
+pub fn crack_parallel_backend_observed(
+    space: &KeySpace,
+    targets: &TargetSet,
+    interval: Interval,
+    backend: &dyn Backend,
+    config: ParallelConfig,
+    telemetry: &Telemetry,
+    progress: impl Fn(&ProgressEvent) + Sync,
+) -> ParallelReport {
     let start = Instant::now();
+    let run_span = telemetry
+        .span(names::SPAN_RUN)
+        .device(&backend.name())
+        .field("threads", config.threads)
+        .field("sched", config.sched)
+        .field("chunk", config.chunk);
     let dispatcher = Dispatcher::new(
         space,
         targets,
         ScanMode::from_first_hit(config.first_hit_only),
-    );
+    )
+    .with_telemetry(telemetry.clone())
+    .on_progress(progress);
     dispatcher.run_workers(backend, interval, config.threads, config.chunk, config.sched);
     let report = dispatcher.finish();
+    run_span.finish();
     let elapsed_s = start.elapsed().as_secs_f64().max(1e-9);
     ParallelReport {
         hits: report.hits,

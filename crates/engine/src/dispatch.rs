@@ -38,11 +38,12 @@
 //! therefore bounded by `W × quantum` keys — a checked bound, see the
 //! cancellation-latency test in `tests/steal_scheduler.rs`.
 
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
 
 use eks_keyspace::{Interval, Key, KeySpace};
+use eks_telemetry::{names, Counter, Histogram, Telemetry};
 
 use crate::backend::{Backend, ScanMode, ScanReport};
 use crate::steal::{ChunkPolicy, IntervalDeques, SchedPolicy, WorkerStats};
@@ -63,6 +64,46 @@ pub struct ProgressEvent {
     pub total_tested: u128,
     /// Hits gathered so far across all workers.
     pub total_hits: usize,
+}
+
+impl ProgressEvent {
+    /// Share of `total` keys covered so far, in percent, clamped to
+    /// `[0, 100]`. An empty space reports 100 (nothing left to do) —
+    /// never NaN.
+    pub fn percent_of(&self, total: u128) -> f64 {
+        if total == 0 {
+            100.0
+        } else {
+            (100.0 * self.total_tested as f64 / total as f64).clamp(0.0, 100.0)
+        }
+    }
+
+    /// Aggregate keys per second over `elapsed_secs` of wall time. A
+    /// zero-duration run (a hit in the first chunk) reports 0 — never
+    /// NaN or infinite.
+    pub fn keys_per_sec(&self, elapsed_secs: f64) -> f64 {
+        if elapsed_secs > 0.0 {
+            self.total_tested as f64 / elapsed_secs
+        } else {
+            0.0
+        }
+    }
+
+    /// Estimated seconds until `total` keys are covered at the current
+    /// aggregate rate. `None` while the rate is still zero or the space
+    /// is already covered.
+    pub fn eta_secs(&self, total: u128, elapsed_secs: f64) -> Option<f64> {
+        let remaining = total.saturating_sub(self.total_tested);
+        if remaining == 0 {
+            return Some(0.0);
+        }
+        let rate = self.keys_per_sec(elapsed_secs);
+        if rate > 0.0 {
+            Some(remaining as f64 / rate)
+        } else {
+            None
+        }
+    }
 }
 
 /// Final state of a dispatch: the paper's gather + merge step.
@@ -86,6 +127,28 @@ struct Gathered {
 }
 
 type ProgressFn<'a> = Box<dyn Fn(&ProgressEvent) + Sync + 'a>;
+
+/// Pre-registered instrument handles for the chunk-granular hot path,
+/// so `scan_as` never touches the registry's striped lock: enabled
+/// updates are plain atomic ops, disabled ones a null check.
+struct DispatchInstruments {
+    chunks: Counter,
+    scan_ns: Histogram,
+    cancel_latency_ns: Histogram,
+}
+
+impl DispatchInstruments {
+    fn new(telemetry: &Telemetry) -> Self {
+        Self {
+            chunks: telemetry.counter(names::CHUNKS, &[]),
+            scan_ns: telemetry.histogram(names::SCAN_NS, &[]),
+            cancel_latency_ns: telemetry.histogram(names::CANCEL_LATENCY_NS, &[]),
+        }
+    }
+}
+
+/// Sentinel for "cancel not observed yet" in the cancel-time cell.
+const CANCEL_UNSET: u64 = u64::MAX;
 
 /// One executor in a [`Dispatcher::run_deques`] run: deque slot `i`
 /// belongs to leaf `i`. Several leaves may share a [`WorkerId`] (a CPU
@@ -122,11 +185,16 @@ pub struct Dispatcher<'a> {
     stop: AtomicBool,
     gathered: Mutex<Gathered>,
     progress: Option<ProgressFn<'a>>,
+    telemetry: Telemetry,
+    instruments: DispatchInstruments,
+    cancel_ns: AtomicU64,
 }
 
 impl<'a> Dispatcher<'a> {
     /// A dispatcher for one search over `space` against `targets`.
     pub fn new(space: &'a KeySpace, targets: &'a TargetSet, mode: ScanMode) -> Self {
+        let telemetry = Telemetry::disabled();
+        let instruments = DispatchInstruments::new(&telemetry);
         Self {
             space,
             targets,
@@ -137,6 +205,9 @@ impl<'a> Dispatcher<'a> {
                 workers: Vec::new(),
             }),
             progress: None,
+            telemetry,
+            instruments,
+            cancel_ns: AtomicU64::new(CANCEL_UNSET),
         }
     }
 
@@ -144,6 +215,21 @@ impl<'a> Dispatcher<'a> {
     pub fn on_progress(mut self, hook: impl Fn(&ProgressEvent) + Sync + 'a) -> Self {
         self.progress = Some(Box::new(hook));
         self
+    }
+
+    /// Attach a telemetry handle: chunk scans get spans and latency
+    /// histograms, steals get events, and [`Dispatcher::finish`] flushes
+    /// the exact per-worker accounting into labelled counters. The
+    /// default ([`Telemetry::disabled`]) records nothing.
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.instruments = DispatchInstruments::new(&telemetry);
+        self.telemetry = telemetry;
+        self
+    }
+
+    /// The attached telemetry handle.
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
     }
 
     /// The search mode.
@@ -160,6 +246,17 @@ impl<'a> Dispatcher<'a> {
     /// poll boundary.
     pub fn cancel(&self) {
         self.stop.store(true, Ordering::Relaxed);
+        if self.telemetry.is_enabled() {
+            // Remember when the flag first went up so cancelled scans can
+            // report how long the stop condition took to propagate (K_D).
+            let now = self.telemetry.now_ns().min(CANCEL_UNSET - 1);
+            let _ = self.cancel_ns.compare_exchange(
+                CANCEL_UNSET,
+                now,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            );
+        }
     }
 
     /// True once any hit has been gathered.
@@ -185,9 +282,37 @@ impl<'a> Dispatcher<'a> {
         backend: &dyn Backend,
         interval: Interval,
     ) -> ScanReport {
+        let observed = self.telemetry.is_enabled();
+        let scan_start = if observed { self.telemetry.now_ns() } else { 0 };
         let report = backend.scan(self.space, self.targets, interval, &self.stop, self.mode);
         if self.mode.first_hit_only() && !report.hits.is_empty() {
             self.cancel();
+        }
+        if observed {
+            let scan_end = self.telemetry.now_ns();
+            self.instruments.chunks.inc();
+            self.instruments.scan_ns.observe(scan_end.saturating_sub(scan_start));
+            if report.cancelled {
+                let raised = self.cancel_ns.load(Ordering::Relaxed);
+                if raised != CANCEL_UNSET {
+                    self.instruments
+                        .cancel_latency_ns
+                        .observe(scan_end.saturating_sub(raised));
+                }
+            }
+            self.telemetry
+                .push_record(eks_telemetry::TraceRecord {
+                    ts_ns: scan_start,
+                    dur_ns: scan_end.saturating_sub(scan_start),
+                    kind: eks_telemetry::TraceKind::Span,
+                    name: names::SPAN_SCAN.to_string(),
+                    worker: Some(worker.0),
+                    device: None,
+                    fields: vec![
+                        ("tested".to_string(), report.tested.to_string()),
+                        ("hits".to_string(), report.hits.len().to_string()),
+                    ],
+                });
         }
         let event = {
             let mut g = self.gathered.lock().expect("dispatch lock");
@@ -270,8 +395,14 @@ impl<'a> Dispatcher<'a> {
             let t0 = Instant::now();
             let victim = deques.steal_into(slot);
             idle_ns += t0.elapsed().as_nanos() as u64;
-            if victim.is_some() {
+            if let Some(victim) = victim {
                 steals += 1;
+                self.telemetry
+                    .event(names::EVENT_STEAL)
+                    .worker(leaf.worker.0)
+                    .field("slot", slot)
+                    .field("victim", victim)
+                    .finish();
             } else {
                 break; // every deque is drained
             }
@@ -320,7 +451,10 @@ impl<'a> Dispatcher<'a> {
     }
 
     /// Gather + merge: sort hits by identifier, keep only the
-    /// lowest-identifier one under first-hit, sum the accounting.
+    /// lowest-identifier one under first-hit, sum the accounting. With
+    /// telemetry attached, the exact per-worker accounting is flushed
+    /// into labelled counters here — once per run, so the registry total
+    /// always equals the sum the report carries.
     pub fn finish(self) -> DispatchReport {
         let g = self.gathered.into_inner().expect("dispatch lock");
         let mut hits = g.hits;
@@ -328,6 +462,18 @@ impl<'a> Dispatcher<'a> {
         hits.dedup_by_key(|(id, _, _)| *id);
         if self.mode.first_hit_only() {
             hits.truncate(1);
+        }
+        if self.telemetry.is_enabled() {
+            for w in &g.workers {
+                let labels = [("worker", w.label.as_str())];
+                let tested64 = u64::try_from(w.tested).unwrap_or(u64::MAX);
+                self.telemetry.counter(names::KEYS_TESTED, &labels).add(tested64);
+                self.telemetry.counter(names::STEALS, &labels).add(w.steals);
+                self.telemetry.counter(names::SPLITS, &labels).add(w.splits);
+                self.telemetry.counter(names::BUSY_NS, &labels).add(w.busy_ns);
+                self.telemetry.counter(names::IDLE_NS, &labels).add(w.idle_ns);
+            }
+            self.telemetry.counter(names::HITS, &[]).add(hits.len() as u64);
         }
         let tested = g.workers.iter().map(|w| w.tested).sum();
         let per_worker = g.workers.iter().map(|w| (w.label.clone(), w.tested)).collect();

@@ -147,6 +147,28 @@ impl WorkerStats {
     pub fn new(label: impl Into<String>) -> Self {
         Self { label: label.into(), tested: 0, steals: 0, splits: 0, idle_ns: 0, busy_ns: 0 }
     }
+
+    /// Busy share of accounted wall time, in percent. A run too short
+    /// for either clock to tick reports 0 — never NaN.
+    pub fn utilization_pct(&self) -> f64 {
+        let total = self.busy_ns.saturating_add(self.idle_ns);
+        if total == 0 {
+            0.0
+        } else {
+            100.0 * self.busy_ns as f64 / total as f64
+        }
+    }
+
+    /// Tested keys per busy second. A zero-duration run (a hit in the
+    /// first chunk before the clock ticks) reports 0 — never NaN or
+    /// infinite.
+    pub fn keys_per_sec(&self) -> f64 {
+        if self.busy_ns == 0 {
+            0.0
+        } else {
+            self.tested as f64 / (self.busy_ns as f64 / 1e9)
+        }
+    }
 }
 
 /// One interval deque per worker: the scatter step's partition, made

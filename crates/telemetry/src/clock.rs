@@ -1,0 +1,114 @@
+//! The injectable time source every telemetry timestamp flows through.
+//!
+//! Production code uses [`RealClock`] (monotonic nanoseconds since the
+//! clock was created); tests inject a [`ManualClock`] and advance it by
+//! hand, so span durations, histogram buckets and trace orderings are
+//! exactly reproducible — no `Instant` race can flake a telemetry
+//! assertion.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// A monotonic nanosecond clock.
+///
+/// Implementations must be monotone (successive `now_ns` calls never go
+/// backwards) but need not relate to wall time: the origin is whatever
+/// the implementation anchored at construction.
+pub trait Clock: Send + Sync {
+    /// Nanoseconds elapsed since this clock's origin.
+    fn now_ns(&self) -> u64;
+}
+
+/// The production clock: monotonic time since construction.
+#[derive(Debug)]
+pub struct RealClock {
+    origin: Instant,
+}
+
+impl RealClock {
+    /// A clock anchored at "now".
+    pub fn new() -> Self {
+        Self { origin: Instant::now() }
+    }
+}
+
+impl Default for RealClock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Clock for RealClock {
+    fn now_ns(&self) -> u64 {
+        // Saturate far beyond any realistic process lifetime (~584 years).
+        u64::try_from(self.origin.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+}
+
+/// A hand-driven clock for deterministic tests: time only moves when the
+/// test calls [`ManualClock::advance`] or [`ManualClock::set`].
+#[derive(Debug, Default)]
+pub struct ManualClock {
+    ns: AtomicU64,
+}
+
+impl ManualClock {
+    /// A clock frozen at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A clock frozen at `ns`.
+    pub fn at(ns: u64) -> Self {
+        Self { ns: AtomicU64::new(ns) }
+    }
+
+    /// Move time forward by `ns` nanoseconds.
+    pub fn advance(&self, ns: u64) {
+        self.ns.fetch_add(ns, Ordering::Relaxed);
+    }
+
+    /// Jump to an absolute time. Panics when moving backwards — the
+    /// `Clock` contract is monotone.
+    pub fn set(&self, ns: u64) {
+        let prev = self.ns.swap(ns, Ordering::Relaxed);
+        assert!(ns >= prev, "ManualClock must stay monotone ({prev} -> {ns})");
+    }
+}
+
+impl Clock for ManualClock {
+    fn now_ns(&self) -> u64 {
+        self.ns.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn real_clock_is_monotone() {
+        let c = RealClock::new();
+        let a = c.now_ns();
+        let b = c.now_ns();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn manual_clock_only_moves_when_told() {
+        let c = ManualClock::new();
+        assert_eq!(c.now_ns(), 0);
+        c.advance(10);
+        c.advance(5);
+        assert_eq!(c.now_ns(), 15);
+        c.set(100);
+        assert_eq!(c.now_ns(), 100);
+    }
+
+    #[test]
+    #[should_panic]
+    fn manual_clock_rejects_going_backwards() {
+        let c = ManualClock::at(50);
+        c.set(10);
+    }
+}

@@ -1,0 +1,350 @@
+//! The human-readable run report: parsed metrics + trace back into the
+//! tables the paper reports (per-worker utilization, per-device rates,
+//! measured §III cost-model terms, whole-network efficiency).
+//!
+//! Works entirely from the on-disk artifacts (a [`PromSample`] list and
+//! a [`TraceRecord`] list), so `eks report` can render a run that
+//! finished yesterday — nothing here touches live registries.
+
+use crate::names;
+use crate::parse::PromSample;
+use crate::trace::{TraceKind, TraceRecord};
+
+/// The paper's reported whole-network efficiency band (Section VII).
+pub const PAPER_EFFICIENCY_RANGE: (f64, f64) = (85.0, 90.0);
+
+/// One worker's row of the utilization table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkerRow {
+    /// The `worker` label value.
+    pub worker: String,
+    /// Keys charged to this worker.
+    pub tested: f64,
+    /// Busy nanoseconds.
+    pub busy_ns: f64,
+    /// Idle nanoseconds.
+    pub idle_ns: f64,
+    /// Steals performed.
+    pub steals: f64,
+    /// Splits performed.
+    pub splits: f64,
+}
+
+impl WorkerRow {
+    /// Busy share of accounted time, in percent. 0 when nothing was
+    /// accounted (a run so short neither clock ticked) — never NaN.
+    pub fn utilization_pct(&self) -> f64 {
+        let total = self.busy_ns + self.idle_ns;
+        if total <= 0.0 {
+            0.0
+        } else {
+            100.0 * self.busy_ns / total
+        }
+    }
+
+    /// Keys per busy second. 0 for a zero-duration run — never NaN or
+    /// infinite.
+    pub fn keys_per_sec(&self) -> f64 {
+        if self.busy_ns <= 0.0 {
+            0.0
+        } else {
+            self.tested / (self.busy_ns / 1e9)
+        }
+    }
+}
+
+/// Everything the report derives before formatting, exposed so tests
+/// and the example can assert on numbers instead of grepping prose.
+#[derive(Debug, Clone, Default)]
+pub struct ReportData {
+    /// Total keys tested across workers.
+    pub keys_tested: f64,
+    /// Total hits.
+    pub hits: f64,
+    /// Total chunks scanned.
+    pub chunks: f64,
+    /// Per-worker rows, sorted by worker label.
+    pub workers: Vec<WorkerRow>,
+    /// `(device, tuned MKeys/s)` rows, sorted by device.
+    pub device_rates: Vec<(String, f64)>,
+    /// Whole-network efficiency percent, when the run recorded it.
+    pub efficiency_pct: Option<f64>,
+    /// Total ns inside `scan` spans (the measured `K_search` term).
+    pub scan_span_ns: u64,
+    /// Total ns inside `scatter` spans.
+    pub scatter_span_ns: u64,
+    /// Total ns inside `merge` spans (gather + merge).
+    pub merge_span_ns: u64,
+    /// Number of `round` spans.
+    pub rounds: u64,
+    /// Mean stop-condition latency in ns (`K_D`), when measured.
+    pub cancel_latency_mean_ns: Option<f64>,
+    /// Join/leave events, in time order: `(ts_ns, kind, device)`.
+    pub membership: Vec<(u64, String, String)>,
+}
+
+fn sum_by_name(samples: &[PromSample], name: &str) -> f64 {
+    // `+ 0.0` normalizes the empty-sum identity (-0.0) to plain zero.
+    samples.iter().filter(|s| s.name == name).map(|s| s.value).sum::<f64>() + 0.0
+}
+
+fn metric_for_worker<'a>(
+    samples: &'a [PromSample],
+    name: &str,
+    worker: &str,
+) -> impl Iterator<Item = &'a PromSample> + 'a {
+    let worker = worker.to_string();
+    let name = name.to_string();
+    samples
+        .iter()
+        .filter(move |s| s.name == name && s.label("worker") == Some(worker.as_str()))
+}
+
+/// Derive [`ReportData`] from parsed artifacts.
+pub fn analyze(samples: &[PromSample], trace: &[TraceRecord]) -> ReportData {
+    let mut data = ReportData {
+        keys_tested: sum_by_name(samples, names::KEYS_TESTED),
+        hits: sum_by_name(samples, names::HITS),
+        chunks: sum_by_name(samples, names::CHUNKS),
+        ..ReportData::default()
+    };
+
+    let mut workers: Vec<String> = samples
+        .iter()
+        .filter(|s| s.name == names::KEYS_TESTED)
+        .filter_map(|s| s.label("worker").map(str::to_string))
+        .collect();
+    workers.sort();
+    workers.dedup();
+    for worker in workers {
+        let pick = |name: &str| {
+            metric_for_worker(samples, name, &worker).map(|s| s.value).sum::<f64>() + 0.0
+        };
+        data.workers.push(WorkerRow {
+            tested: pick(names::KEYS_TESTED),
+            busy_ns: pick(names::BUSY_NS),
+            idle_ns: pick(names::IDLE_NS),
+            steals: pick(names::STEALS),
+            splits: pick(names::SPLITS),
+            worker,
+        });
+    }
+
+    data.device_rates = samples
+        .iter()
+        .filter(|s| s.name == names::DEVICE_RATE_MKEYS)
+        .filter_map(|s| s.label("device").map(|d| (d.to_string(), s.value)))
+        .collect();
+    data.device_rates.sort_by(|a, b| a.0.cmp(&b.0));
+
+    data.efficiency_pct = samples
+        .iter()
+        .find(|s| s.name == names::CLUSTER_EFFICIENCY_PCT)
+        .map(|s| s.value);
+
+    let cancel_sum =
+        sum_by_name(samples, &format!("{}_sum", names::CANCEL_LATENCY_NS));
+    let cancel_count =
+        sum_by_name(samples, &format!("{}_count", names::CANCEL_LATENCY_NS));
+    if cancel_count > 0.0 {
+        data.cancel_latency_mean_ns = Some(cancel_sum / cancel_count);
+    }
+
+    for record in trace {
+        match (&record.kind, record.name.as_str()) {
+            (TraceKind::Span, names::SPAN_SCAN) => data.scan_span_ns += record.dur_ns,
+            (TraceKind::Span, names::SPAN_SCATTER) => data.scatter_span_ns += record.dur_ns,
+            (TraceKind::Span, names::SPAN_MERGE) => data.merge_span_ns += record.dur_ns,
+            (TraceKind::Span, names::SPAN_ROUND) => data.rounds += 1,
+            (TraceKind::Event, names::EVENT_JOIN | names::EVENT_LEAVE) => {
+                data.membership.push((
+                    record.ts_ns,
+                    record.name.clone(),
+                    record.device.clone().unwrap_or_else(|| "?".into()),
+                ));
+            }
+            _ => {}
+        }
+    }
+    data
+}
+
+fn ms(ns: u64) -> f64 {
+    ns as f64 / 1e6
+}
+
+/// Render the full report from parsed artifacts.
+pub fn render_report(samples: &[PromSample], trace: &[TraceRecord]) -> String {
+    use std::fmt::Write as _;
+    let data = analyze(samples, trace);
+    let mut out = String::new();
+
+    writeln!(out, "run report").expect("write");
+    writeln!(out, "==========").expect("write");
+    writeln!(
+        out,
+        "keys tested: {:.0}   hits: {:.0}   chunks: {:.0}",
+        data.keys_tested, data.hits, data.chunks
+    )
+    .expect("write");
+
+    if !data.workers.is_empty() {
+        writeln!(out, "\nper-worker utilization").expect("write");
+        writeln!(
+            out,
+            "{:<24} {:>14} {:>10} {:>10} {:>7} {:>7} {:>7} {:>14}",
+            "worker", "tested", "busy ms", "idle ms", "util%", "steals", "splits", "keys/s"
+        )
+        .expect("write");
+        for row in &data.workers {
+            writeln!(
+                out,
+                "{:<24} {:>14.0} {:>10.2} {:>10.2} {:>7.1} {:>7.0} {:>7.0} {:>14.0}",
+                row.worker,
+                row.tested,
+                row.busy_ns / 1e6,
+                row.idle_ns / 1e6,
+                row.utilization_pct(),
+                row.steals,
+                row.splits,
+                row.keys_per_sec()
+            )
+            .expect("write");
+        }
+    }
+
+    if !data.device_rates.is_empty() {
+        writeln!(out, "\nper-device tuned rate").expect("write");
+        for (device, rate) in &data.device_rates {
+            writeln!(out, "  {device:<32} {rate:>10.2} MKeys/s").expect("write");
+        }
+    }
+
+    writeln!(out, "\ncost model (paper SIII, measured)").expect("write");
+    writeln!(out, "  K_search (scan spans):   {:>12.3} ms", ms(data.scan_span_ns)).expect("write");
+    writeln!(out, "  scatter (partitioning):  {:>12.3} ms", ms(data.scatter_span_ns))
+        .expect("write");
+    writeln!(out, "  gather/merge:            {:>12.3} ms", ms(data.merge_span_ns))
+        .expect("write");
+    match data.cancel_latency_mean_ns {
+        Some(mean) => {
+            writeln!(out, "  K_D (mean stop latency): {:>12.3} ms", mean / 1e6).expect("write")
+        }
+        None => writeln!(out, "  K_D (mean stop latency):    not measured").expect("write"),
+    }
+    if data.rounds > 0 {
+        writeln!(out, "  rounds:                  {:>12}", data.rounds).expect("write");
+    }
+
+    if let Some(pct) = data.efficiency_pct {
+        let (lo, hi) = PAPER_EFFICIENCY_RANGE;
+        let verdict = if pct >= lo {
+            "within/above the paper's band"
+        } else {
+            "below the paper's band"
+        };
+        writeln!(
+            out,
+            "\nnetwork efficiency: {pct:.1}% (paper reports {lo:.0}-{hi:.0}%; {verdict})"
+        )
+        .expect("write");
+    }
+
+    if !data.membership.is_empty() {
+        writeln!(out, "\nmembership events").expect("write");
+        for (ts, kind, device) in &data.membership {
+            writeln!(out, "  t={:>10.3} ms  {kind:<5} {device}", ms(*ts)).expect("write");
+        }
+    }
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::ManualClock;
+    use crate::parse::{parse_prometheus, parse_trace_jsonl};
+    use crate::Telemetry;
+    use std::sync::Arc;
+
+    fn sample_run() -> Telemetry {
+        let clock = Arc::new(ManualClock::new());
+        let t = Telemetry::with_clock(clock.clone());
+        t.counter(names::KEYS_TESTED, &[("worker", "w0")]).add(600);
+        t.counter(names::KEYS_TESTED, &[("worker", "w1")]).add(400);
+        t.counter(names::HITS, &[]).inc();
+        t.counter(names::BUSY_NS, &[("worker", "w0")]).add(3_000_000);
+        t.counter(names::IDLE_NS, &[("worker", "w0")]).add(1_000_000);
+        t.gauge(names::DEVICE_RATE_MKEYS, &[("device", "GTX 660")]).set(215.0);
+        t.gauge(names::CLUSTER_EFFICIENCY_PCT, &[]).set(87.5);
+        t.histogram(names::CANCEL_LATENCY_NS, &[]).observe(2000);
+        t.histogram(names::CANCEL_LATENCY_NS, &[]).observe(4000);
+        {
+            let span = t.span(names::SPAN_SCAN).worker(0);
+            clock.advance(500_000);
+            span.finish();
+        }
+        t.event(names::EVENT_JOIN).device("late-gpu").finish();
+        t
+    }
+
+    #[test]
+    fn analyze_reconstructs_run_numbers() {
+        let t = sample_run();
+        let samples = parse_prometheus(&t.render_prometheus()).unwrap();
+        let trace = parse_trace_jsonl(&t.trace_jsonl()).unwrap();
+        let data = analyze(&samples, &trace);
+        assert_eq!(data.keys_tested, 1000.0);
+        assert_eq!(data.hits, 1.0);
+        assert_eq!(data.workers.len(), 2);
+        let w0 = &data.workers[0];
+        assert_eq!(w0.worker, "w0");
+        assert!((w0.utilization_pct() - 75.0).abs() < 1e-9);
+        assert_eq!(data.device_rates, vec![("GTX 660".to_string(), 215.0)]);
+        assert_eq!(data.efficiency_pct, Some(87.5));
+        assert_eq!(data.scan_span_ns, 500_000);
+        assert_eq!(data.cancel_latency_mean_ns, Some(3000.0));
+        assert_eq!(data.membership.len(), 1);
+    }
+
+    #[test]
+    fn zero_duration_rows_never_produce_nan() {
+        let row = WorkerRow {
+            worker: "w0".into(),
+            tested: 10.0,
+            busy_ns: 0.0,
+            idle_ns: 0.0,
+            steals: 0.0,
+            splits: 0.0,
+        };
+        assert_eq!(row.utilization_pct(), 0.0);
+        assert_eq!(row.keys_per_sec(), 0.0);
+    }
+
+    #[test]
+    fn report_renders_every_section() {
+        let t = sample_run();
+        let samples = parse_prometheus(&t.render_prometheus()).unwrap();
+        let trace = parse_trace_jsonl(&t.trace_jsonl()).unwrap();
+        let report = render_report(&samples, &trace);
+        for needle in [
+            "per-worker utilization",
+            "per-device tuned rate",
+            "cost model",
+            "K_search",
+            "K_D",
+            "network efficiency: 87.5% (paper reports 85-90%",
+            "membership events",
+        ] {
+            assert!(report.contains(needle), "missing {needle:?} in:\n{report}");
+        }
+        assert!(!report.contains("NaN"), "{report}");
+    }
+
+    #[test]
+    fn empty_artifacts_render_without_panicking() {
+        let report = render_report(&[], &[]);
+        assert!(report.contains("keys tested: 0"));
+    }
+}

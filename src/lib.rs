@@ -27,7 +27,11 @@
 //!   Bitcoin-style mining search;
 //! * [`cluster`] — hierarchical dispatch: tuning, balancing, the
 //!   discrete-event network simulation (Table IX), the threaded runtime
-//!   and the fault model.
+//!   and the fault model;
+//! * [`telemetry`] — std-only observability: a sharded metrics registry
+//!   (Prometheus-text / JSON exposition), a bounded structured trace
+//!   sink (JSONL), an injectable clock, and the run-report renderer that
+//!   puts measured network efficiency next to the paper's 85–90%.
 //!
 //! ## Quickstart
 //!
@@ -57,3 +61,4 @@ pub use eks_gpusim as gpusim;
 pub use eks_hashes as hashes;
 pub use eks_kernels as kernels;
 pub use eks_keyspace as keyspace;
+pub use eks_telemetry as telemetry;

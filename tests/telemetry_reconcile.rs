@@ -1,0 +1,96 @@
+//! Property: telemetry totals reconcile *exactly* with the dispatcher's
+//! accounting. The per-worker `eks_keys_tested_total` counters are
+//! flushed once from the scheduler's own `WorkerStats` at
+//! `Dispatcher::finish`, so for any interleaving — including work
+//! stealing, where which worker tests which chunk is nondeterministic —
+//! the registry total, the sum of per-worker stats, and the report's
+//! `tested` must all be the same number. The manual clock keeps every
+//! trace timestamp deterministic while real threads race.
+
+use std::sync::Arc;
+
+use eks::cluster::{run_rounds_observed, ClusterNode, RoundConfig};
+use eks::core::prop::{forall, Rng};
+use eks::cracker::{crack_parallel_observed, ParallelConfig, TargetSet};
+use eks::engine::SchedPolicy;
+use eks::gpusim::device::Device;
+use eks::hashes::HashAlgo;
+use eks::keyspace::{Charset, KeySpace, Order};
+use eks::telemetry::{names, parse_prometheus, ManualClock, Telemetry};
+
+/// Sum of every `eks_keys_tested_total` sample (one per worker label),
+/// read back through the exposition parser so the whole pipeline —
+/// counter, render, parse — is under test.
+fn keys_tested_total(telemetry: &Telemetry) -> u128 {
+    let samples = parse_prometheus(&telemetry.render_prometheus()).expect("valid exposition");
+    samples.iter().filter(|s| s.name == names::KEYS_TESTED).map(|s| s.value as u128).sum()
+}
+
+/// A target set that sometimes hits (a real key's digest) and sometimes
+/// sweeps the whole space (an impossible digest).
+fn random_targets(rng: &mut Rng) -> TargetSet {
+    let words: [&[u8]; 5] = [b"cat", b"zz", b"qqq", b"abc", b"not-in-this-space"];
+    let word = words[rng.index(words.len())];
+    TargetSet::new(HashAlgo::Md5, &[HashAlgo::Md5.hash_long(word)])
+}
+
+#[test]
+fn parallel_steal_metrics_reconcile_exactly() {
+    let space = KeySpace::new(Charset::lowercase(), 1, 3, Order::FirstCharFastest).unwrap();
+    forall("telemetry-reconcile-steal", 12, |rng| {
+        let targets = random_targets(rng);
+        let telemetry = Telemetry::with_clock(Arc::new(ManualClock::new()));
+        let threads = rng.range(1, 4) as usize;
+        let config = ParallelConfig {
+            chunk: rng.range(64, 2048),
+            first_hit_only: rng.u64() % 2 == 0,
+            sched: SchedPolicy::Steal,
+            ..ParallelConfig::for_threads(threads)
+        };
+        let report =
+            crack_parallel_observed(&space, &targets, space.interval(), config, &telemetry, |_| {});
+        let per_worker: u128 = report.stats.iter().map(|w| w.tested).sum();
+        assert_eq!(per_worker, report.tested, "stats sum to the report total");
+        assert_eq!(
+            keys_tested_total(&telemetry),
+            report.tested,
+            "registry total equals the dispatcher total"
+        );
+    });
+}
+
+#[test]
+fn cluster_round_metrics_reconcile_exactly() {
+    let space = KeySpace::new(Charset::lowercase(), 1, 3, Order::FirstCharFastest).unwrap();
+    let net = ClusterNode::device_node("box", vec![Device::geforce_gtx_660()], 0.0)
+        .with_cpu("host-cpu", 2);
+    forall("telemetry-reconcile-rounds", 4, |rng| {
+        let targets = random_targets(rng);
+        let telemetry = Telemetry::with_clock(Arc::new(ManualClock::new()));
+        let r = run_rounds_observed(
+            &net,
+            &space,
+            &targets,
+            space.interval(),
+            RoundConfig {
+                round_keys: rng.range(3_000, 12_000) as u128,
+                first_hit_only: rng.u64() % 2 == 0,
+                lose_worker: None,
+                sched: SchedPolicy::Steal,
+            },
+            &telemetry,
+        );
+        let per_device: u128 = r.stats.iter().map(|w| w.tested).sum();
+        assert_eq!(per_device, r.tested, "per-device stats sum to the round total");
+        assert_eq!(
+            keys_tested_total(&telemetry),
+            r.tested,
+            "registry total equals the keys charged across rounds"
+        );
+        // The rounds counter reconciles too.
+        let samples = parse_prometheus(&telemetry.render_prometheus()).expect("valid exposition");
+        let rounds: f64 =
+            samples.iter().filter(|s| s.name == names::ROUNDS).map(|s| s.value).sum();
+        assert_eq!(rounds as u32, r.rounds);
+    });
+}
