@@ -16,6 +16,18 @@ cargo clippy --all-targets -- -D warnings
 echo "==> eks analyze --deny warnings"
 ./target/release/eks analyze --deny warnings
 
+echo "==> eks verify --deny violations (exhaustive scheduler model check + kernel IR soundness)"
+./target/release/eks verify --deny violations
+# Negative path: every seeded mutant must be flagged with a non-zero
+# exit — a verifier that cannot catch a planted bug proves nothing.
+for mutant in drop-lease double-count merge-highest ignore-cancel \
+              unguarded-store uninit-read divergent-barrier; do
+  if ./target/release/eks verify --mutate "$mutant" > /dev/null 2>&1; then
+    echo "FAIL: eks verify --mutate $mutant was not flagged" >&2
+    exit 1
+  fi
+done
+
 echo "==> telemetry smoke: crack with --metrics-out/--trace-out, then render the report"
 TELEMETRY_DIR="$(mktemp -d)"
 ./target/release/eks crack --algo md5 --digest d077f244def8a70e5ea758bd8352fcd8 --max 3 \

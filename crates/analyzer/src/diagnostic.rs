@@ -7,6 +7,15 @@
 
 use std::fmt;
 
+/// Version of the JSON report schema emitted by [`Report::to_json`].
+///
+/// Bump this whenever the field layout changes shape (adding,
+/// removing or renaming keys); adding new [`Lint`] names is *not* a
+/// schema change. Both `eks analyze --json` and `eks verify --json`
+/// stamp this into every object so downstream tooling can dispatch on
+/// it, and `tests/diagnostics_schema.rs` pins the full layout.
+pub const SCHEMA_VERSION: u32 = 1;
+
 /// The individual checks the analyzer can report.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Lint {
@@ -34,6 +43,15 @@ pub enum Lint {
     /// A compiled instruction mix drifted from its published Table IV–VI
     /// budget beyond the accepted tolerance.
     BudgetDrift,
+    /// A grid-IR load or store whose index cannot be proven in bounds
+    /// for every grid shape.
+    OutOfBounds,
+    /// A grid-IR register read on a path where no definition dominates
+    /// it (the must-defined dataflow lattice says "maybe uninitialized").
+    UninitRead,
+    /// A block barrier inside a branch whose guard varies across the
+    /// threads of a block: part of the block can never reach it.
+    BarrierDivergence,
 }
 
 impl Lint {
@@ -49,6 +67,9 @@ impl Lint {
             Lint::RegisterPressure => "register-pressure",
             Lint::PressureModelMismatch => "pressure-model-mismatch",
             Lint::BudgetDrift => "budget-drift",
+            Lint::OutOfBounds => "out-of-bounds",
+            Lint::UninitRead => "uninit-read",
+            Lint::BarrierDivergence => "barrier-divergence",
         }
     }
 }
@@ -208,7 +229,8 @@ impl Report {
         let mut out = String::new();
         write!(
             out,
-            "{{\"kernel\":{},\"cc\":{},\"warnings\":{},\"errors\":{},\"diagnostics\":[",
+            "{{\"schema\":{},\"kernel\":{},\"cc\":{},\"warnings\":{},\"errors\":{},\"diagnostics\":[",
+            SCHEMA_VERSION,
             json_str(&self.kernel),
             json_str(&self.cc),
             self.warnings(),
@@ -235,8 +257,9 @@ impl Report {
     }
 }
 
-/// Escape a string as a JSON string literal.
-fn json_str(s: &str) -> String {
+/// Escape a string as a JSON string literal (shared by every hand-rolled
+/// JSON emitter in the workspace — there is no serde).
+pub fn json_str(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {

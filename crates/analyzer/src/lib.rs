@@ -15,7 +15,11 @@
 //! * [`pressure`] — live-range register-pressure estimation,
 //!   cross-checked against `eks_gpusim::occupancy`;
 //! * [`budget`] — the published Table III–VI counts as hard pass/fail
-//!   assertions with per-class deltas.
+//!   assertions with per-class deltas;
+//! * [`grid`] — soundness passes over the grid-level kernel IR
+//!   ([`eks_gpusim::gridir`]): symbolic bounds proofs for every
+//!   load/store, must-defined register dataflow, and a
+//!   barrier-divergence lint (surfaced by `eks verify`).
 //!
 //! Findings surface as [`Diagnostic`] values inside [`Report`]s that
 //! render as text or JSON; the `eks analyze` subcommand exposes the
@@ -26,12 +30,14 @@
 pub mod budget;
 pub mod dataflow;
 pub mod diagnostic;
+pub mod grid;
 pub mod peephole;
 pub mod pressure;
 
 pub use budget::{check_md5_budget, md5_budget_report, DEFAULT_TOLERANCE};
 pub use dataflow::{check_ir, eliminate_dead_stores, DefUse};
-pub use diagnostic::{Diagnostic, Lint, Report, Severity, Span};
+pub use diagnostic::{Diagnostic, Lint, Report, Severity, Span, SCHEMA_VERSION};
+pub use grid::{analyze_grid, check_bounds, check_divergence, check_must_defined};
 pub use peephole::check_compiled;
 pub use pressure::check_pressure;
 

@@ -1,0 +1,60 @@
+//! Ablation: what does the sleep-set reduction buy the model checker?
+//!
+//! Explore the same scheduler configurations with the partial-order
+//! reduction on and off. The reduction is only sound if both runs agree
+//! on the verdict and on the set of reachable merge outcomes — asserted
+//! here — and it is only worth its complexity if it prunes a real
+//! fraction of the transition work. Also scales workers and intervals to
+//! show the state-space growth that makes the reduction necessary.
+
+use eks_bench::harness::Group;
+use eks_bench::header;
+use eks_verify::{check, CheckOptions, ModelConfig};
+
+fn main() {
+    header("Ablation — sleep-set reduction in the scheduler model checker");
+
+    let full = CheckOptions { reduction: false, ..CheckOptions::default() };
+    let reduced = CheckOptions::default();
+
+    println!(
+        "{:<30}{:>12}{:>12}{:>14}{:>14}{:>9}",
+        "configuration", "states", "(reduced)", "transitions", "(reduced)", "pruned"
+    );
+    let configs: Vec<(String, ModelConfig)> = vec![
+        ("steal 2w x 4 intervals".into(), ModelConfig::steal_intervals(2, 4)),
+        ("steal 2w x 6 intervals".into(), ModelConfig::steal_intervals(2, 6)),
+        ("steal 2w x 8 intervals".into(), ModelConfig::steal_intervals(2, 8)),
+        ("steal 3w x 3 intervals".into(), ModelConfig::steal_intervals(3, 3)),
+        ("first-hit 2w x 8 keys".into(), ModelConfig::first_hit(2, 8)),
+        ("cancel-bound 2w x 8 keys".into(), ModelConfig::cancel_bound(2, 8)),
+    ];
+    for (name, cfg) in &configs {
+        let raw = check(cfg.clone(), full);
+        let red = check(cfg.clone(), reduced);
+        // Soundness: the reduction may prune transitions, never verdicts
+        // or reachable merge results.
+        assert_eq!(raw.clean(), red.clean(), "{name}: reduction changed the verdict");
+        assert_eq!(raw.outcomes, red.outcomes, "{name}: reduction changed the outcomes");
+        assert!(!raw.truncated && !red.truncated, "{name}: exploration must complete");
+        let pruned = 1.0 - red.transitions as f64 / raw.transitions as f64;
+        println!(
+            "{:<30}{:>12}{:>12}{:>14}{:>14}{:>8.0}%",
+            name,
+            raw.states,
+            red.states,
+            raw.transitions,
+            red.transitions,
+            pruned * 100.0
+        );
+    }
+
+    println!();
+    let acceptance = ModelConfig::steal_intervals(2, 8);
+    let mut g = Group::new("checker runtime");
+    g.bench("2w x 8 intervals, reduced", || check(acceptance.clone(), reduced));
+    let mut g = Group::new("checker runtime");
+    g.bench("2w x 8 intervals, full", || check(acceptance.clone(), full));
+    let mut g = Group::new("checker runtime");
+    g.bench("3w x 3 intervals, reduced", || check(ModelConfig::steal_intervals(3, 3), reduced));
+}

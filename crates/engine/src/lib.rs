@@ -39,5 +39,5 @@ pub mod target;
 pub use backend::{Backend, BackendKind, ScanMode, ScanReport};
 pub use dispatch::{DequeLeaf, DispatchReport, Dispatcher, ProgressEvent, SchedOptions, WorkerId};
 pub use poll::{poll_quantum, PollCursor, POLL_CHUNK};
-pub use steal::{ChunkPolicy, IntervalDeques, SchedPolicy, WorkerStats, GUIDED_DIVISOR};
+pub use steal::{steal_split, ChunkPolicy, IntervalDeques, SchedPolicy, WorkerStats, GUIDED_DIVISOR};
 pub use target::{HashTarget, TargetSet};

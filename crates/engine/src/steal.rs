@@ -28,6 +28,11 @@
 //! identifier ranges between disjoint owners, and nothing is ever copied
 //! or re-inserted — properties the seeded interleaving tests pin down.
 
+// Indexing/slicing below is over fixed-size state arrays or lengths
+// established by construction; the workspace `clippy::indexing_slicing`
+// escalation guards new code, not these proven accesses.
+#![allow(clippy::indexing_slicing)]
+
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
@@ -119,6 +124,24 @@ impl std::fmt::Display for SchedPolicy {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.write_str(self.name())
     }
+}
+
+/// The steal-half split, as pure interval arithmetic: the victim keeps
+/// the front half (it scans lowest identifiers first), the thief takes
+/// the back half — never less than one key when the victim is nonempty.
+/// Returns `(keep, stolen)` with `keep.end() == stolen.start` and
+/// `keep.len + stolen.len == victim.len`.
+///
+/// This is the one definition of the split both the live
+/// [`IntervalDeques::steal_into`] path and the `eks-verify` model
+/// checker share, so the verified transition relation cannot drift from
+/// the shipped arithmetic.
+pub fn steal_split(victim: Interval) -> (Interval, Interval) {
+    let keep = victim.len / 2;
+    (
+        Interval { start: victim.start, len: keep },
+        Interval { start: victim.start + keep, len: victim.len - keep },
+    )
 }
 
 /// Per-worker scheduler accounting, gathered alongside the tested
@@ -227,37 +250,61 @@ impl IntervalDeques {
         Some(own.take_front(n))
     }
 
+    /// Pick the remote slot with the most work left, skipping `thief`'s
+    /// own slot *by index* before any lock is taken (a self-steal would
+    /// be a no-op lock round-trip: the thief only steals when its own
+    /// deque is already drained).
+    ///
+    /// ## The benign stale-snapshot race
+    ///
+    /// Locks are taken one slot at a time, so the lengths observed here
+    /// are **not** a consistent snapshot: by the time the thief locks
+    /// its chosen victim, an owner may have popped the slot down (or
+    /// empty), and some *other* slot may now be larger. That is safe —
+    /// and deliberately cheap — for two reasons:
+    ///
+    /// * **Safety** never depends on the choice: the split in
+    ///   [`IntervalDeques::steal_into`] re-checks the victim *under its
+    ///   lock* and rescans if it was drained in the meantime, so work is
+    ///   only ever moved, never invented or lost.
+    /// * **Quality** of the choice only affects load balance: stealing
+    ///   from a stale "largest" victim costs at most one extra future
+    ///   steal. The `eks-verify` model makes exactly this
+    ///   nondeterminism explicit — its `Steal` transition allows *any*
+    ///   nonempty remote victim, so every outcome the race can produce
+    ///   is inside the verified state space.
+    fn largest_remote(&self, thief: usize) -> Option<usize> {
+        let mut best: Option<(usize, u128)> = None;
+        for (i, slot) in self.slots.iter().enumerate() {
+            if i == thief {
+                continue;
+            }
+            let len = slot.lock().expect("deque slot").len;
+            if len > 0 && best.is_none_or(|(_, l)| len > l) {
+                best = Some((i, len));
+            }
+        }
+        best.map(|(i, _)| i)
+    }
+
     /// Steal-half: split the back half of the largest remote deque into
     /// `thief`'s (empty) slot. Returns the victim's slot index, or
     /// `None` when every remote deque is empty — the queue is drained
     /// (up to chunks already being scanned) and the thief should exit.
+    ///
+    /// Victim selection ([`Self::largest_remote`]) reads slot lengths
+    /// without a consistent snapshot; see its docs for why that race is
+    /// benign and how the model checker covers it.
     pub fn steal_into(&self, thief: usize) -> Option<usize> {
         loop {
-            // Pick the victim with the most work left. Locks are taken
-            // one at a time; the snapshot can go stale, which the
-            // re-check below handles by rescanning.
-            let mut best: Option<(usize, u128)> = None;
-            for (i, slot) in self.slots.iter().enumerate() {
-                if i == thief {
-                    continue;
-                }
-                let len = slot.lock().expect("deque slot").len;
-                if len > 0 && best.is_none_or(|(_, l)| len > l) {
-                    best = Some((i, len));
-                }
-            }
-            let (victim, _) = best?;
+            let victim = self.largest_remote(thief)?;
             let stolen = {
                 let mut v = self.slots[victim].lock().expect("deque slot");
                 if v.is_empty() {
                     continue; // raced with the owner; look again
                 }
-                // The victim keeps the front half (it scans lowest
-                // identifiers first); the thief takes the back half,
-                // never less than one key.
-                let keep = v.len / 2;
-                let stolen = Interval::new(v.start + keep, v.len - keep);
-                v.len = keep;
+                let (keep, stolen) = steal_split(*v);
+                *v = keep;
                 stolen
             };
             self.splits[victim].fetch_add(1, Ordering::Relaxed);
@@ -342,6 +389,19 @@ mod tests {
         while d.pop(0, ChunkPolicy::Fixed(2)).is_some() {}
         assert!(d.steal_into(1).is_none());
         assert_eq!(d.splits(0), 0);
+    }
+
+    #[test]
+    fn steal_split_is_a_partition_with_a_nonempty_back_half() {
+        for len in 1u128..=9 {
+            let v = Interval::new(100, len);
+            let (keep, stolen) = steal_split(v);
+            assert_eq!(keep.start, v.start);
+            assert_eq!(keep.end(), stolen.start, "halves are adjacent");
+            assert_eq!(keep.len + stolen.len, v.len, "nothing lost or doubled");
+            assert!(!stolen.is_empty(), "thief always gets at least one key");
+            assert!(keep.len <= stolen.len, "victim keeps the smaller-or-equal front");
+        }
     }
 
     #[test]

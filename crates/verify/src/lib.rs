@@ -1,0 +1,40 @@
+//! # eks-verify — proof-up-to-bound for the scheduler protocol
+//!
+//! The workspace's scheduler tests sample interleavings; this crate
+//! replaces sampling with *bounded exhaustive* exploration. The
+//! work-stealing protocol (pop / scan-quantum / steal-half / cancel /
+//! merge, as implemented by `eks_engine::steal::IntervalDeques` and
+//! `Dispatcher::run_deques`) is restated as an explicit-state
+//! transition system in [`model`], and [`checker`] enumerates **every**
+//! interleaving of every worker up to a configurable bound, checking
+//! four properties at each generated state:
+//!
+//! 1. **exactly-once** — no identifier is scanned or leased twice;
+//! 2. **no-lost-lease** — deques ∪ in-flight ∪ scanned ∪ abandoned
+//!    always tiles the keyspace exactly;
+//! 3. **merge-determinism** — exhaustive runs reach one merge result on
+//!    every schedule, and first-hit merges keep the lowest reported
+//!    identifier;
+//! 4. **cancellation-bound** — `counted ≤ K + workers × quantum` after
+//!    the stop flag rises at count `K`.
+//!
+//! The model shares its arithmetic ([`eks_engine::steal_split`],
+//! [`eks_engine::ChunkPolicy::next_len`],
+//! [`eks_keyspace::Interval::take_front`]) with the live scheduler, so
+//! what is verified is the shipped code's transition relation, not a
+//! transliteration of it. On violation the checker emits a
+//! counterexample trace: the schedule plus a deque-state summary after
+//! every step. Seeded [`Mutation`]s provide known-broken relations the
+//! checker must flag, guarding against a vacuously green verifier.
+//!
+//! Everything here is std-only, like the rest of the workspace.
+
+#![warn(missing_docs)]
+
+pub mod checker;
+pub mod model;
+
+pub use checker::{
+    check, standard_checks, CheckOptions, CheckOutcome, NamedCheck, TraceStep, Violation,
+};
+pub use model::{Action, Model, ModelConfig, ModelState, Mutation, Property};

@@ -31,7 +31,11 @@
 //! * [`telemetry`] — std-only observability: a sharded metrics registry
 //!   (Prometheus-text / JSON exposition), a bounded structured trace
 //!   sink (JSONL), an injectable clock, and the run-report renderer that
-//!   puts measured network efficiency next to the paper's 85–90%.
+//!   puts measured network efficiency next to the paper's 85–90%;
+//! * [`verify`] — a bounded exhaustive model checker for the
+//!   work-stealing scheduler protocol (exactly-once coverage, no lost
+//!   leases, deterministic first-hit merge, bounded cancellation
+//!   overshoot) with counterexample traces, surfaced as `eks verify`.
 //!
 //! ## Quickstart
 //!
@@ -62,3 +66,4 @@ pub use eks_hashes as hashes;
 pub use eks_kernels as kernels;
 pub use eks_keyspace as keyspace;
 pub use eks_telemetry as telemetry;
+pub use eks_verify as verify;

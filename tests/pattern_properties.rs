@@ -4,6 +4,11 @@
 //! Uses the offline property harness `eks::core::prop` (the workspace
 //! builds without registry access, so `proptest` is unavailable).
 
+// Indexing/slicing below is over fixed-size state arrays or lengths
+// established by construction; the workspace `clippy::indexing_slicing`
+// escalation guards new code, not these proven accesses.
+#![allow(clippy::indexing_slicing)]
+
 use eks::cluster::{paper_network, simulate_search, SimParams};
 use eks::core::partition::{balance_workloads, parallel_efficiency, NodeRate};
 use eks::core::prop::forall;

@@ -10,6 +10,17 @@
 //! * **bounded cancellation** — once the stop flag is raised, no worker
 //!   scans more than one poll quantum of additional keys (the checked
 //!   version of the old "may race past the stop flag" comment).
+//!
+//! The randomized interleavings sample the schedule space; the
+//! `eks-verify` model checker closes the gap by exhaustively exploring
+//! *every* interleaving of a bounded configuration (the model shares the
+//! live `steal_split` / `ChunkPolicy` arithmetic, so the verified
+//! relation cannot drift from the shipped scheduler).
+
+// Indexing/slicing below is over fixed-size state arrays or lengths
+// established by construction; the workspace `clippy::indexing_slicing`
+// escalation guards new code, not these proven accesses.
+#![allow(clippy::indexing_slicing)]
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
@@ -22,6 +33,7 @@ use eks::engine::{
 };
 use eks::hashes::HashAlgo;
 use eks::keyspace::{Charset, Interval, KeySpace, Order};
+use eks::verify::{check, standard_checks, CheckOptions, ModelConfig, Mutation, Property};
 
 fn space() -> KeySpace {
     KeySpace::new(Charset::lowercase(), 1, 4, Order::FirstCharFastest).unwrap()
@@ -199,4 +211,57 @@ fn first_hit_under_stealing_finds_a_planted_key() {
         let splits: u64 = r.stats.iter().map(|w| w.splits).sum();
         assert_eq!(steals, splits, "steal/split accounting stays balanced");
     });
+}
+
+/// The acceptance configuration: two workers popping eight two-key
+/// intervals. The exhaustive exploration must be nontrivial (well past
+/// 10^3 distinct states) and clean, and exhaustive mode must reach the
+/// same merged hit set on every complete schedule.
+#[test]
+fn model_checker_exhausts_two_workers_eight_intervals() {
+    let out = check(ModelConfig::steal_intervals(2, 8), CheckOptions::default());
+    assert!(out.clean(), "{}", out.violation.unwrap().render());
+    assert!(!out.truncated, "the bounded exploration must complete");
+    assert!(out.states > 1_000, "only {} states: the model collapsed", out.states);
+    assert_eq!(out.outcomes.len(), 1, "merge must be schedule-independent");
+}
+
+/// Every standard check stays clean up to three workers (the largest
+/// worker count that explores in seconds), across steal/guided/first-hit
+/// /cancel/static shapes.
+#[test]
+fn model_checker_standard_suite_is_clean_up_to_three_workers() {
+    for workers in 1..=3 {
+        // Three workers explore a factorially larger schedule space:
+        // shrink the interval count to keep the suite under a second.
+        let intervals = if workers == 3 { 3 } else { 6 };
+        for named in standard_checks(workers, intervals) {
+            let out = check(named.config, CheckOptions::default());
+            assert!(
+                out.clean(),
+                "{} (workers={workers}): {}",
+                named.name,
+                out.violation.unwrap().render()
+            );
+            assert!(!out.truncated, "{} must explore to completion", named.name);
+        }
+    }
+}
+
+/// Negative path: each seeded protocol bug must be caught by exactly the
+/// property it breaks, with a non-empty counterexample schedule.
+#[test]
+fn model_checker_flags_every_seeded_scheduler_bug() {
+    let cases = [
+        (Mutation::DropStolenLease, Property::NoLostLease, ModelConfig::steal_intervals(2, 4)),
+        (Mutation::DoubleCountSteal, Property::ExactlyOnce, ModelConfig::steal_intervals(2, 4)),
+        (Mutation::MergeHighestFirst, Property::MergeDeterminism, ModelConfig::first_hit(2, 8)),
+        (Mutation::IgnoreCancelPoll, Property::CancellationBound, ModelConfig::cancel_bound(2, 8)),
+    ];
+    for (mutation, property, cfg) in cases {
+        let out = check(cfg.with_mutation(mutation), CheckOptions::default());
+        let v = out.violation.unwrap_or_else(|| panic!("{mutation:?} was not flagged"));
+        assert_eq!(v.property, property, "{mutation:?} must break {property}");
+        assert!(!v.trace.is_empty(), "{mutation:?} needs a printable counterexample");
+    }
 }
