@@ -1,7 +1,11 @@
 //! The bench-trajectory artifact: cracking throughput (MKey/s) per
 //! algorithm per thread count per [`Backend`] — scalar, the 8/16-lane
-//! SIMD widths, and the simulated-GPU kernel backend — all driven
-//! through the one `Dispatcher` core via `crack_parallel_backend`.
+//! autovectorized widths, the explicit-SIMD kernels (when the host's
+//! CPU reports an ISA), the auto-tuned winner, and the simulated-GPU
+//! kernel backend — all driven through the one `Dispatcher` core via
+//! `crack_parallel_backend`. The JSON artifact (schema 3) records the
+//! detected CPU features and selected ISA so committed numbers carry
+//! their hardware context.
 //!
 //! Run directly for a human-readable table, or with `--json <path>` to
 //! also write a machine-readable artifact (the committed
@@ -40,13 +44,13 @@ use std::time::Instant;
 use eks_cluster::SimKernelBackend;
 use eks_cracker::batch::Lanes;
 use eks_cracker::{
-    cpu_backend, crack_parallel_backend, crack_parallel_backend_observed, ParallelConfig,
-    TargetSet,
+    cpu_backend, crack_parallel_backend, crack_parallel_backend_observed, AutoBackend,
+    ParallelConfig, SimdBackend, TargetSet,
 };
 use eks_telemetry::Telemetry;
 use eks_engine::{Backend, BackendKind, ChunkPolicy, IntervalDeques, ScanMode};
 use eks_gpusim::device::Device;
-use eks_hashes::HashAlgo;
+use eks_hashes::{cpu_features, HashAlgo, SimdIsa};
 use eks_keyspace::{Charset, Interval, KeySpace, Order};
 
 /// Keys per timed sweep — small enough for CI, large enough to swamp
@@ -72,8 +76,18 @@ fn backend_for(kind: BackendKind) -> Box<dyn Backend> {
         BackendKind::Scalar => cpu_backend(Lanes::Scalar),
         BackendKind::Lanes8 => cpu_backend(Lanes::L8),
         BackendKind::Lanes16 => cpu_backend(Lanes::L16),
+        BackendKind::Simd => {
+            Box::new(SimdBackend::best().expect("simd rows run only on detected-ISA hosts"))
+        }
+        BackendKind::Auto => Box::new(AutoBackend::new(Telemetry::disabled())),
         BackendKind::SimGpu => Box::new(SimKernelBackend::new(Device::geforce_gtx_660())),
     }
+}
+
+/// The kinds this host can run: everything except `simd` on CPUs with no
+/// explicit-SIMD ISA (the skip is reported, not silent).
+fn host_kinds() -> Vec<BackendKind> {
+    BackendKind::ALL.into_iter().filter(|k| k.is_available()).collect()
 }
 
 /// Best-of-N full-sweep throughput for one configuration.
@@ -243,11 +257,25 @@ fn main() {
         }
     }
 
+    let features = cpu_features();
+    println!(
+        "cpu features: {}   selected isa: {}",
+        features
+            .iter()
+            .map(|(name, on)| format!("{name}={}", if *on { "yes" } else { "no" }))
+            .collect::<Vec<_>>()
+            .join("  "),
+        SimdIsa::detect().map_or("none", |isa| isa.name())
+    );
+    if !BackendKind::Simd.is_available() {
+        println!("note: no explicit-SIMD ISA detected; simd rows are skipped");
+    }
+
     let mut rows: Vec<Row> = Vec::new();
     println!("{:<6} {:>7} {:>8} {:>10}", "algo", "threads", "backend", "MKey/s");
     for algo in ALGOS {
         for threads in THREADS {
-            for kind in BackendKind::ALL {
+            for kind in host_kinds() {
                 let mkeys = measure(algo, threads, kind);
                 println!(
                     "{:<6} {:>7} {:>8} {:>10.3}",
@@ -269,7 +297,7 @@ fn main() {
         "algo", "backend", "workers", "scaling", "efficiency"
     );
     for algo in ALGOS {
-        for kind in BackendKind::ALL {
+        for kind in host_kinds() {
             let vt1 = virtual_throughput(algo, kind, 1);
             let vtn = virtual_throughput(algo, kind, SCALING_WORKERS);
             let scaling = vtn / vt1;
@@ -304,7 +332,7 @@ fn main() {
     let mut failed = false;
     for algo in ALGOS.map(algo_name) {
         let scalar = one_thread(algo, "scalar");
-        let batched = BackendKind::ALL
+        let batched = host_kinds()
             .iter()
             .filter(|k| !matches!(k, BackendKind::Scalar))
             .map(|k| one_thread(algo, k.name()))
@@ -380,8 +408,15 @@ fn main() {
                 r.parallel_efficiency
             );
         }
+        let features_body = features
+            .iter()
+            .map(|(name, on)| format!("\"{name}\": {on}"))
+            .collect::<Vec<_>>()
+            .join(", ");
+        let isa_body =
+            SimdIsa::detect().map_or("null".to_string(), |isa| format!("\"{isa}\""));
         let json = format!(
-            "{{\n  \"bench\": \"cracker_backends_vs_scalar\",\n  \"schema\": 2,\n  \"keys_per_sweep\": {KEYS},\n  \"best_of\": {BEST_OF},\n  \"min_md5_speedup\": {min_md5_speedup},\n  \"min_scaling\": {min_scaling},\n  \"results\": [\n{body}\n  ],\n  \"scaling\": [\n{scaling_body}\n  ],\n  \"gates\": {{{gates}}}\n}}\n"
+            "{{\n  \"bench\": \"cracker_backends_vs_scalar\",\n  \"schema\": 3,\n  \"keys_per_sweep\": {KEYS},\n  \"best_of\": {BEST_OF},\n  \"min_md5_speedup\": {min_md5_speedup},\n  \"min_scaling\": {min_scaling},\n  \"cpu_features\": {{{features_body}}},\n  \"simd_isa\": {isa_body},\n  \"results\": [\n{body}\n  ],\n  \"scaling\": [\n{scaling_body}\n  ],\n  \"gates\": {{{gates}}}\n}}\n"
         );
         std::fs::write(&path, json).expect("write json artifact");
         println!("wrote {path}");

@@ -8,10 +8,12 @@ use eks_cluster::{
 };
 use eks_cracker::{
     cpu_backend, crack_parallel_backend_observed, crack_parallel_observed, mine,
-    render_worker_stats, HashTarget, Lanes, MiningJob, ParallelConfig, TargetSet,
+    render_worker_stats, AutoBackend, HashTarget, Lanes, MiningJob, ParallelConfig, SimdBackend,
+    TargetSet,
 };
 use eks_engine::{Backend, BackendKind, ProgressEvent, SchedPolicy};
-use eks_telemetry::{parse_prometheus, parse_trace_jsonl, report::render_report, Telemetry};
+use eks_hashes::SimdIsa;
+use eks_telemetry::{names, parse_prometheus, parse_trace_jsonl, report::render_report, Telemetry};
 use eks_gpusim::codegen::lower;
 use eks_gpusim::device::DeviceCatalog;
 use eks_gpusim::sched::{simulate, SimConfig};
@@ -37,6 +39,7 @@ pub fn run(command: &str, args: &Args) -> Result<(), String> {
         "cluster" => cmd_cluster(args),
         "report" => cmd_report(args),
         "tune" => cmd_tune(args),
+        "bench" => cmd_bench(args),
         "help" | "--help" | "-h" => {
             print_help();
             Ok(())
@@ -54,8 +57,13 @@ fn print_help() {
     println!("           [--mask \"?u?l?l?d?d\"] [--words w1,w2,... [--suffix-digits N]]");
     println!("           [--batch] [--lanes scalar|8|16]   lane-batched hashing (default: 8 lanes;");
     println!("           mask/hybrid/salted searches always use the scalar path)");
-    println!("           [--backend scalar|lanes8|lanes16|simgpu [--device 660]]   pick the engine");
-    println!("           backend explicitly (simgpu drives a simulated device's kernel)");
+    println!("           [--backend scalar|lanes8|lanes16|simd|auto|simgpu [--device 660]]");
+    println!("           pick the engine backend explicitly: simd runs the explicit");
+    println!("           AVX2/AVX-512/NEON kernels on the widest ISA the CPU reports");
+    println!("           ([--isa avx2|avx512|neon] forces one; unavailable ISAs are a");
+    println!("           friendly error), auto tunes every CPU implementation per");
+    println!("           algorithm and runs the winner, simgpu drives a simulated");
+    println!("           device's kernel");
     println!("           [--sched static|queue|steal]   worker scheduling (default: steal —");
     println!("           per-worker interval deques with steal-half rebalancing)");
     println!("           [--chunk N]   chunk size: the fixed pop in queue mode, the guided");
@@ -99,6 +107,10 @@ fn print_help() {
     println!("           telemetry artifacts: per-worker utilization, tuned rates, the");
     println!("           paper's SIII cost-model phases, and network efficiency vs 85-90%");
     println!("  tune     [--threads N]                   tune devices and this host's CPU");
+    println!("  bench    [--json FILE]                   tune every CPU backend on this host");
+    println!("           and print the per-(backend, algo) rates, the detected CPU");
+    println!("           features, and the selected ISA; --json writes the schema-3");
+    println!("           host-tuning report (cpu_features, rates, per-algo auto choice)");
 }
 
 fn parse_algo(args: &Args) -> Result<HashAlgo, String> {
@@ -139,21 +151,50 @@ fn parse_lanes(args: &Args) -> Result<Lanes, String> {
     Ok(lanes)
 }
 
-/// `--backend scalar|lanes8|lanes16|simgpu` names an engine backend
-/// explicitly. It subsumes the older `--lanes`/`--batch` pair, so
-/// combining them is contradictory and rejected; `simgpu` drives the
-/// kernel of the device picked by `--device` (default: the GTX 660).
-fn parse_backend(args: &Args) -> Result<Option<Box<dyn Backend>>, String> {
-    let Some(s) = args.get("backend") else { return Ok(None) };
+/// `--backend scalar|lanes8|lanes16|simd|auto|simgpu` names an engine
+/// backend explicitly. It subsumes the older `--lanes`/`--batch` pair,
+/// so combining them is contradictory and rejected; `simgpu` drives the
+/// kernel of the device picked by `--device` (default: the GTX 660);
+/// `simd` runs the explicit AVX2/AVX-512/NEON kernels (widest detected
+/// ISA, or the one forced by `--isa`); `auto` tunes every CPU
+/// implementation per algorithm and runs the winner. An unavailable
+/// forced ISA is a CLI error naming what the CPU actually supports.
+fn parse_backend(args: &Args, telemetry: &Telemetry) -> Result<Option<Box<dyn Backend>>, String> {
+    let Some(s) = args.get("backend") else {
+        if args.has("isa") {
+            return Err("--isa applies only to --backend simd".into());
+        }
+        return Ok(None);
+    };
     if args.has("lanes") || args.has("batch") {
         return Err("--backend conflicts with --lanes/--batch".into());
     }
-    let kind = BackendKind::parse(s)
-        .ok_or(format!("unsupported --backend {s:?} (scalar, lanes8, lanes16 or simgpu)"))?;
+    let kind = BackendKind::parse(s).ok_or(format!(
+        "unsupported --backend {s:?} (scalar, lanes8, lanes16, simd, auto or simgpu)"
+    ))?;
+    if args.has("isa") && kind != BackendKind::Simd {
+        return Err("--isa applies only to --backend simd".into());
+    }
     Ok(Some(match kind {
         BackendKind::Scalar => cpu_backend(Lanes::Scalar),
         BackendKind::Lanes8 => cpu_backend(Lanes::L8),
         BackendKind::Lanes16 => cpu_backend(Lanes::L16),
+        BackendKind::Simd => {
+            let backend = match args.get("isa") {
+                Some(name) => {
+                    let isa = SimdIsa::parse(name)
+                        .ok_or(format!("unsupported --isa {name:?} (avx2, avx512 or neon)"))?;
+                    SimdBackend::new(isa)?
+                }
+                None => SimdBackend::best().ok_or_else(|| {
+                    "no explicit-SIMD ISA detected on this CPU; \
+                     use --backend auto for the autovectorized fallback"
+                        .to_string()
+                })?,
+            };
+            Box::new(backend.with_telemetry(telemetry.clone()))
+        }
+        BackendKind::Auto => Box::new(AutoBackend::new(telemetry.clone())),
         BackendKind::SimGpu => {
             let device =
                 DeviceCatalog::find(args.get_or("device", "660")).ok_or("unknown --device")?;
@@ -256,10 +297,10 @@ fn cmd_crack(args: &Args) -> Result<(), String> {
     }
     let threads = parse_threads(args, 8)?;
     let lanes = parse_lanes(args)?;
-    let backend = parse_backend(args)?;
+    let (telemetry, log) = parse_telemetry(args)?;
+    let backend = parse_backend(args, &telemetry)?;
     let chunk = parse_chunk(args)?;
     let sched = parse_sched(args, SchedPolicy::Steal)?;
-    let (telemetry, log) = parse_telemetry(args)?;
     let structured = args.get("mask").is_some()
         || args.get("words").is_some()
         || args.get("salt-prefix").is_some()
@@ -373,6 +414,23 @@ fn cmd_crack(args: &Args) -> Result<(), String> {
         *last = std::time::Instant::now();
         log.progress(progress_line(e, total, start.elapsed().as_secs_f64()));
     };
+    // Record which kernel specialization the backend selected (the §V
+    // per-architecture choice) and its tuned rate, so `eks report` can
+    // show them next to the cost-model terms. Guarded on the enabled
+    // handle because the tuned rate runs a short timed sweep.
+    if let Some(b) = backend.as_deref() {
+        if telemetry.is_enabled() {
+            let name = b.name();
+            if let Some(isa) = b.isa(algo) {
+                telemetry
+                    .gauge(names::BACKEND_ISA, &[("backend", &name), ("isa", &isa)])
+                    .set(1.0);
+            }
+            telemetry
+                .gauge(names::BACKEND_RATE_MKEYS, &[("backend", &name)])
+                .set(b.tuned_rate(algo));
+        }
+    }
     let report = match backend {
         Some(b) => crack_parallel_backend_observed(
             &space,
@@ -1072,6 +1130,122 @@ fn cmd_tune(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// `eks bench [--json FILE]`: the host-tuning report. Runs the tuning
+/// sweep for every CPU backend and algorithm on this machine, prints
+/// the single-thread rate table plus the detected CPU features and the
+/// selected ISA, and with `--json` writes the schema-3 machine-readable
+/// report (cpu_features, simd_isa, per-(backend, algo) rates, and the
+/// implementation `auto` tuned in per algorithm).
+fn cmd_bench(args: &Args) -> Result<(), String> {
+    use std::fmt::Write as _;
+    const ALGOS: [HashAlgo; 3] = [HashAlgo::Md5, HashAlgo::Sha1, HashAlgo::Ntlm];
+    // Lowercase algorithm keys, matching the CLI's `--algo` vocabulary
+    // and the committed bench artifact.
+    fn algo_key(algo: HashAlgo) -> &'static str {
+        match algo {
+            HashAlgo::Md5 => "md5",
+            HashAlgo::Sha1 => "sha1",
+            HashAlgo::Ntlm => "ntlm",
+        }
+    }
+
+    let features = eks_hashes::cpu_features();
+    let isa = SimdIsa::detect();
+    println!(
+        "cpu features: {}",
+        features
+            .iter()
+            .map(|(name, on)| format!("{name}={}", if *on { "yes" } else { "no" }))
+            .collect::<Vec<_>>()
+            .join("  ")
+    );
+    match isa {
+        Some(isa) => println!("selected isa: {isa}"),
+        None => println!("selected isa: none (autovectorized fallback)"),
+    }
+
+    // Every CPU backend the host can run; the simulated GPUs have their
+    // own `tune` table and stay out of the host-tuning report.
+    let kinds: Vec<BackendKind> = BackendKind::ALL
+        .into_iter()
+        .filter(|k| *k != BackendKind::SimGpu && k.is_available())
+        .collect();
+    let auto = AutoBackend::new(Telemetry::disabled());
+    let backend_of = |kind: BackendKind| -> Box<dyn Backend> {
+        match kind {
+            BackendKind::Scalar => cpu_backend(Lanes::Scalar),
+            BackendKind::Lanes8 => cpu_backend(Lanes::L8),
+            BackendKind::Lanes16 => cpu_backend(Lanes::L16),
+            BackendKind::Simd => {
+                Box::new(SimdBackend::best().expect("filtered to available kinds"))
+            }
+            BackendKind::Auto => Box::new(AutoBackend::new(Telemetry::disabled())),
+            BackendKind::SimGpu => unreachable!("simgpu is filtered out above"),
+        }
+    };
+
+    println!(
+        "{:<10} {:>10} {:>10} {:>10}   (tuned MKey/s, single thread)",
+        "backend", "md5", "sha1", "ntlm"
+    );
+    let mut rates: Vec<(BackendKind, HashAlgo, f64)> = Vec::new();
+    for &kind in &kinds {
+        let backend = backend_of(kind);
+        let mut line = format!("{:<10}", kind.name());
+        for algo in ALGOS {
+            let rate = backend.tuned_rate(algo);
+            let _ = write!(line, " {rate:>10.3}");
+            rates.push((kind, algo, rate));
+        }
+        println!("{line}");
+    }
+    let choices: Vec<(HashAlgo, String)> =
+        ALGOS.into_iter().map(|algo| (algo, auto.choice_name(algo))).collect();
+    println!(
+        "auto tuned in: {}",
+        choices
+            .iter()
+            .map(|(algo, choice)| format!("{}={choice}", algo_key(*algo)))
+            .collect::<Vec<_>>()
+            .join("  ")
+    );
+
+    if let Some(path) = args.get("json") {
+        let features_body = features
+            .iter()
+            .map(|(name, on)| format!("\"{name}\": {on}"))
+            .collect::<Vec<_>>()
+            .join(", ");
+        let isa_body = match isa {
+            Some(isa) => format!("\"{isa}\""),
+            None => "null".to_string(),
+        };
+        let mut rates_body = String::new();
+        for (kind, algo, rate) in &rates {
+            let _ = write!(
+                rates_body,
+                "{}    {{\"backend\": \"{}\", \"algo\": \"{}\", \"mkeys_per_s\": {rate:.3}}}",
+                if rates_body.is_empty() { "" } else { ",\n" },
+                kind.name(),
+                algo_key(*algo)
+            );
+        }
+        let choices_body = choices
+            .iter()
+            .map(|(algo, choice)| format!("\"{}\": \"{choice}\"", algo_key(*algo)))
+            .collect::<Vec<_>>()
+            .join(", ");
+        let json = format!(
+            "{{\n  \"schema\": 3,\n  \"kind\": \"host-tuning\",\n  \
+             \"cpu_features\": {{{features_body}}},\n  \"simd_isa\": {isa_body},\n  \
+             \"rates\": [\n{rates_body}\n  ],\n  \"auto_choices\": {{{choices_body}}}\n}}\n"
+        );
+        std::fs::write(path, json).map_err(|e| format!("cannot write --json {path:?}: {e}"))?;
+        println!("wrote host-tuning report to {path}");
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1108,7 +1282,11 @@ mod tests {
     #[test]
     fn crack_backend_flag() {
         let digest = to_hex(&HashAlgo::Md5.hash(b"cab"));
-        for backend in ["scalar", "lanes8", "lanes16", "simgpu"] {
+        let mut backends = vec!["scalar", "lanes8", "lanes16", "auto", "simgpu"];
+        if BackendKind::Simd.is_available() {
+            backends.push("simd");
+        }
+        for backend in backends {
             let a = args(&[
                 "crack", "--digest", &digest, "--max", "3", "--threads", "2", "--backend", backend,
             ]);
@@ -1116,6 +1294,23 @@ mod tests {
         }
         let bad = args(&["crack", "--digest", &digest, "--backend", "cuda"]);
         assert!(run("crack", &bad).is_err(), "unknown backend");
+        let bad_isa = args(&[
+            "crack", "--digest", &digest, "--backend", "simd", "--isa", "mmx",
+        ]);
+        assert!(run("crack", &bad_isa).is_err(), "unknown --isa");
+        let stray_isa = args(&["crack", "--digest", &digest, "--isa", "avx2"]);
+        assert!(run("crack", &stray_isa).is_err(), "--isa without --backend simd");
+        // Forcing an ISA the CPU lacks must be a friendly error, not a
+        // panic; at most one of the ISAs can be the detected one.
+        for isa in ["avx2", "avx512", "neon"] {
+            if SimdIsa::parse(isa).is_some_and(|i| i.is_available()) {
+                continue;
+            }
+            let forced = args(&[
+                "crack", "--digest", &digest, "--max", "3", "--backend", "simd", "--isa", isa,
+            ]);
+            assert!(run("crack", &forced).is_err(), "unavailable --isa {isa}");
+        }
         let conflict =
             args(&["crack", "--digest", &digest, "--backend", "scalar", "--lanes", "8"]);
         assert!(run("crack", &conflict).is_err(), "--backend conflicts with --lanes");
@@ -1230,6 +1425,48 @@ mod tests {
         ]);
         assert!(run("report", &r).is_ok());
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn bench_writes_the_schema3_host_tuning_report() {
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("eks-cli-bench-{}.json", std::process::id()));
+        let a = args(&["bench", "--json", path.to_str().unwrap()]);
+        assert!(run("bench", &a).is_ok());
+        let body = std::fs::read_to_string(&path).unwrap();
+        assert!(body.contains("\"schema\": 3"), "{body}");
+        assert!(body.contains("\"cpu_features\""), "{body}");
+        assert!(body.contains("\"avx2\""), "{body}");
+        assert!(body.contains("\"simd_isa\""), "{body}");
+        assert!(body.contains("\"auto_choices\""), "{body}");
+        assert!(body.contains("\"backend\": \"auto\""), "{body}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn crack_with_auto_backend_records_isa_and_tuned_rate_gauges() {
+        let dir = std::env::temp_dir();
+        let metrics = dir.join(format!("eks-cli-isa-{}.prom", std::process::id()));
+        let digest = to_hex(&HashAlgo::Md5.hash(b"zzz"));
+        let a = args(&[
+            "crack", "--digest", &digest, "--max", "3", "--threads", "2", "--all",
+            "--backend", "auto", "--metrics-out", metrics.to_str().unwrap(),
+        ]);
+        assert!(run("crack", &a).is_ok());
+        let samples = parse_prometheus(&std::fs::read_to_string(&metrics).unwrap()).unwrap();
+        assert!(
+            samples.iter().any(|s| s.name == names::BACKEND_ISA
+                && s.label("backend") == Some("auto")
+                && s.value == 1.0),
+            "{samples:?}"
+        );
+        assert!(
+            samples
+                .iter()
+                .any(|s| s.name == names::BACKEND_RATE_MKEYS && s.value > 0.0),
+            "{samples:?}"
+        );
+        std::fs::remove_file(&metrics).ok();
     }
 
     #[test]

@@ -5,8 +5,9 @@
 //! exactly as the paper's scatter step does — every interval is split by
 //! the tuned throughput ratios (`N_j = N_max · X_j / X_max`) at every
 //! level — and yields one [`eks_engine::Backend`] leaf per device thread:
-//! a [`SimKernelBackend`] per simulated GPU, a [`LaneBackend`] per CPU
-//! worker thread. Execution then runs every leaf through one
+//! a [`SimKernelBackend`] per simulated GPU, an [`AutoBackend`] per CPU
+//! worker thread (the tuned winner among autovectorized lanes and the
+//! explicit-SIMD kernels). Execution then runs every leaf through one
 //! [`Dispatcher`], which owns the shared stop flag (the paper's periodic
 //! stop-condition check), the hit merge, and the per-device accounting.
 
@@ -19,7 +20,7 @@ use eks_hashes::HashAlgo;
 use eks_keyspace::{Interval, Key, KeySpace};
 
 use eks_cracker::target::TargetSet;
-use eks_cracker::{LaneBackend, ObservedLaneBackend};
+use eks_cracker::AutoBackend;
 use eks_engine::{
     Backend, DequeLeaf, Dispatcher, IntervalDeques, ScanMode, SchedOptions, SchedPolicy, WorkerId,
     WorkerStats,
@@ -221,23 +222,34 @@ fn plan_node(
             leaves.push(Leaf { worker, backend: Box::new(backend), interval: *part });
         } else if i < n_devices + n_cpus {
             // A CPU worker fans its share out over its own threads; all
-            // of them are credited to the one device-level worker.
+            // of them are credited to the one device-level worker. Each
+            // thread runs the auto-tuned backend, so the leaf picks the
+            // fastest implementation (autovectorized lanes or an
+            // explicit-SIMD kernel) per algorithm — the paper's §V
+            // per-architecture specialization applied at scatter time.
             let cpu = &node.cpus[i - n_devices];
-            let backend = LaneBackend::default();
-            let label = format!("{}/{} [{}]", node.name, cpu.name, backend.name());
+            let backend = AutoBackend::new(telemetry.clone());
+            let choice = backend.choice_name(algo);
+            let label = format!("{}/{} [auto:{}]", node.name, cpu.name, choice);
             if telemetry.is_enabled() {
                 telemetry.gauge(names::DEVICE_RATE_MKEYS, &[("device", &label)]).set(weights[i]);
+                if let Some(isa) = backend.isa(algo) {
+                    telemetry
+                        .gauge(names::BACKEND_ISA, &[("backend", "auto"), ("isa", &isa)])
+                        .set(1.0);
+                }
             }
             let worker = dispatcher.register(label);
-            for sub in part.split_even(cpu.threads) {
-                // The observed batch path feeds fill/hash timings and
-                // prefilter counters into the same registry.
-                let leaf_backend: Box<dyn Backend> = if telemetry.is_enabled() {
-                    Box::new(ObservedLaneBackend::new(backend.lanes, telemetry.clone()))
-                } else {
-                    Box::new(backend)
-                };
-                leaves.push(Leaf { worker, backend: leaf_backend, interval: sub });
+            let mut subs = part.split_even(cpu.threads).into_iter();
+            // Reuse the tuned backend for the first thread; clones of the
+            // telemetry handle share the registry, and the per-process
+            // tuning cache makes the extra constructions free.
+            if let Some(sub) = subs.next() {
+                leaves.push(Leaf { worker, backend: Box::new(backend), interval: sub });
+            }
+            for sub in subs {
+                let b = AutoBackend::new(telemetry.clone());
+                leaves.push(Leaf { worker, backend: Box::new(b), interval: sub });
             }
         } else {
             plan_node(
@@ -387,7 +399,7 @@ mod tests {
         assert_eq!(r.hits.len(), 1);
         assert_eq!(r.tested, s.size());
         let gpu = r.per_device.iter().find(|(n, _)| n.contains("[simgpu]")).expect("gpu worker");
-        let cpu = r.per_device.iter().find(|(n, _)| n.contains("[lanes")).expect("cpu worker");
+        let cpu = r.per_device.iter().find(|(n, _)| n.contains("[auto:")).expect("cpu worker");
         assert!(gpu.1 > 0, "gpu tested its share");
         assert!(cpu.1 > 0, "cpu tested its share");
         assert_eq!(gpu.1 + cpu.1, r.tested);

@@ -26,8 +26,8 @@ use std::sync::atomic::AtomicBool;
 use std::time::Instant;
 
 use eks_engine::PollCursor;
-use eks_hashes::{md4_lanes, md5_lanes, sha1, sha1_a75_lanes, HashAlgo, Md5PrefixSearch};
-use eks_keyspace::{BlockBatch, BlockLayout, Interval, Key, KeySpace};
+use eks_hashes::{sha1, AutoVec, HashAlgo, LaneHasher, Md5PrefixSearch, SimdHasher};
+use eks_keyspace::{BlockBatch, BlockLayout, Interval, Key, KeySpace, Order};
 use eks_telemetry::{names, Counter, Histogram, Telemetry};
 
 use crate::engine::{crack_interval, CrackOutcome};
@@ -160,20 +160,74 @@ pub fn crack_interval_batched_observed(
     let instruments = BatchInstruments::new(telemetry);
     match lanes {
         Lanes::Scalar => crack_interval(space, targets, interval, stop, first_hit_only),
-        Lanes::L8 => crack_lanes::<8>(space, targets, interval, stop, first_hit_only, &instruments),
+        Lanes::L8 => {
+            crack_lanes::<8, _>(space, targets, interval, stop, first_hit_only, &instruments, AutoVec)
+        }
         Lanes::L16 => {
-            crack_lanes::<16>(space, targets, interval, stop, first_hit_only, &instruments)
+            crack_lanes::<16, _>(space, targets, interval, stop, first_hit_only, &instruments, AutoVec)
         }
     }
 }
 
-fn crack_lanes<const L: usize>(
+/// Like [`crack_interval_batched`] but running the explicit-SIMD kernels
+/// of a detected ISA (AVX2 = 16 keys per batch, AVX-512F = 32, NEON = 8)
+/// instead of the autovectorized lanes. The [`SimdHasher`] is the proof
+/// of availability: it can only be built by runtime feature detection.
+pub fn crack_interval_simd(
+    space: &KeySpace,
+    targets: &TargetSet,
+    interval: Interval,
+    stop: &AtomicBool,
+    first_hit_only: bool,
+    hasher: SimdHasher,
+) -> CrackOutcome {
+    crack_interval_simd_observed(
+        space,
+        targets,
+        interval,
+        stop,
+        first_hit_only,
+        hasher,
+        &Telemetry::disabled(),
+    )
+}
+
+/// [`crack_interval_simd`] with the same batch-path telemetry as
+/// [`crack_interval_batched_observed`].
+pub fn crack_interval_simd_observed(
+    space: &KeySpace,
+    targets: &TargetSet,
+    interval: Interval,
+    stop: &AtomicBool,
+    first_hit_only: bool,
+    hasher: SimdHasher,
+    telemetry: &Telemetry,
+) -> CrackOutcome {
+    let instruments = BatchInstruments::new(telemetry);
+    match hasher {
+        #[cfg(target_arch = "x86_64")]
+        SimdHasher::Avx2(h) => {
+            crack_lanes::<16, _>(space, targets, interval, stop, first_hit_only, &instruments, h)
+        }
+        #[cfg(target_arch = "x86_64")]
+        SimdHasher::Avx512(h) => {
+            crack_lanes::<32, _>(space, targets, interval, stop, first_hit_only, &instruments, h)
+        }
+        #[cfg(target_arch = "aarch64")]
+        SimdHasher::Neon(h) => {
+            crack_lanes::<8, _>(space, targets, interval, stop, first_hit_only, &instruments, h)
+        }
+    }
+}
+
+fn crack_lanes<const L: usize, H: LaneHasher<L>>(
     space: &KeySpace,
     targets: &TargetSet,
     interval: Interval,
     stop: &AtomicBool,
     first_hit_only: bool,
     instruments: &BatchInstruments,
+    hasher: H,
 ) -> CrackOutcome {
     let clamped = interval.intersect(&space.interval());
     let algo = targets.algo();
@@ -193,6 +247,14 @@ fn crack_lanes<const L: usize>(
             .try_into()
             .expect("MD5 digests are 16 bytes")
     });
+    // The w0-only fast fill: a single-target MD5 search in first-char-
+    // fastest order varies only the leading key bytes, so the steady
+    // state writes one word per candidate instead of sixteen and the
+    // reversed kernel reads the shared suffix from the epoch template.
+    // (Under last-char-fastest nearly every batch would need the full-
+    // block reconstruction below, so the plain fill is kept there.)
+    let w0_fast = single_md5.is_some() && space.order() == Order::FirstCharFastest;
+    let mut w0s = [0u32; L];
     let mut reversed: Option<(u64, Md5PrefixSearch)> = None;
     let mut batch_index: u64 = 0;
     let mut pf_checked: u64 = 0;
@@ -206,7 +268,12 @@ fn crack_lanes<const L: usize>(
             let sample = instruments.enabled && batch_index & SAMPLE_MASK == 0;
             batch_index += 1;
             let t_fill = sample.then(Instant::now);
-            let info = writer.fill(&mut blocks);
+            let (info, template0) = if w0_fast {
+                writer.fill_w0s(&mut w0s)
+            } else {
+                let info = writer.fill(&mut blocks);
+                (info, blocks[0])
+            };
             if let Some(t0) = t_fill {
                 instruments.fill_ns.observe(t0.elapsed().as_nanos() as u64);
             }
@@ -214,52 +281,65 @@ fn crack_lanes<const L: usize>(
 
             let t_hash = sample.then(Instant::now);
             let mut lane_hit: [Option<usize>; L] = [None; L];
-            match algo {
-                HashAlgo::Md5 if info.uniform_suffix && single_md5.is_some() => {
-                    let target = single_md5.as_ref().expect("checked above");
-                    // The reversed reference depends only on the target and the
-                    // suffix words: rebuild it when the suffix epoch moves,
-                    // reuse it otherwise (the overwhelmingly common case).
-                    if reversed.as_ref().map(|(e, _)| *e) != Some(info.epoch) {
-                        reversed = Some((info.epoch, Md5PrefixSearch::new(target, blocks[0])));
-                    }
-                    let (_, search) = reversed.as_ref().expect("just built");
-                    let mut w0s = [0u32; L];
+            if let Some(target) = single_md5.as_ref().filter(|_| info.uniform_suffix) {
+                // The reversed reference depends only on the target and the
+                // suffix words: rebuild it when the suffix epoch moves,
+                // reuse it otherwise (the overwhelmingly common case).
+                if reversed.as_ref().map(|(e, _)| *e) != Some(info.epoch) {
+                    reversed = Some((info.epoch, Md5PrefixSearch::new(target, template0)));
+                }
+                let (_, search) = reversed.as_ref().expect("just built");
+                if !w0_fast {
                     for (w0, block) in w0s.iter_mut().zip(&blocks) {
                         *w0 = block[0];
                     }
-                    for (slot, matched) in lane_hit.iter_mut().zip(search.matches_w0_lanes(&w0s)) {
-                        if matched {
-                            *slot = Some(0); // single target: digest index 0
-                        }
+                }
+                let states = hasher.md5_forward49_batch(search.template(), &w0s);
+                let r = search.reference();
+                for (slot, s) in lane_hit.iter_mut().zip(&states) {
+                    // `&` instead of `&&`: no per-lane branches in the
+                    // common all-miss case.
+                    if (s[0] == r[0]) & (s[1] == r[1]) & (s[2] == r[2]) & (s[3] == r[3]) {
+                        *slot = Some(0); // single target: digest index 0
                     }
                 }
-                HashAlgo::Md5 | HashAlgo::Ntlm => {
-                    let states = if algo == HashAlgo::Md5 {
-                        md5_lanes(&blocks)
-                    } else {
-                        md4_lanes(&blocks)
-                    };
-                    pf_checked += L as u64;
-                    for (slot, state) in lane_hit.iter_mut().zip(&states) {
-                        if targets.prefilter_match(state[0]) {
-                            pf_hits += 1;
-                            // MD4 shares MD5's little-endian serialization.
-                            let digest = eks_hashes::md5::state_to_digest(*state);
-                            *slot = targets.match_digest(&digest);
+            } else {
+                if w0_fast {
+                    // A suffix word moved mid-batch under the w0-only
+                    // fill (once per w[0] rollover): reconstruct the full
+                    // blocks for these identifiers and hash forward.
+                    let mut rebuild =
+                        BlockBatch::new(space, layout_for(algo), Interval::new(info.start_id, L as u128));
+                    rebuild.fill(&mut blocks);
+                }
+                match algo {
+                    HashAlgo::Md5 | HashAlgo::Ntlm => {
+                        let states = if algo == HashAlgo::Md5 {
+                            hasher.md5_batch(&blocks)
+                        } else {
+                            hasher.md4_batch(&blocks)
+                        };
+                        pf_checked += L as u64;
+                        for (slot, state) in lane_hit.iter_mut().zip(&states) {
+                            if targets.prefilter_match(state[0]) {
+                                pf_hits += 1;
+                                // MD4 shares MD5's little-endian serialization.
+                                let digest = eks_hashes::md5::state_to_digest(*state);
+                                *slot = targets.match_digest(&digest);
+                            }
                         }
                     }
-                }
-                HashAlgo::Sha1 => {
-                    let a75s = sha1_a75_lanes(&blocks);
-                    pf_checked += L as u64;
-                    for ((slot, &a75), block) in lane_hit.iter_mut().zip(&a75s).zip(&blocks) {
-                        if targets.prefilter_match(a75) {
-                            pf_hits += 1;
-                            // Rare survivor (≈ len·2⁻³² of candidates): confirm
-                            // with the full compression.
-                            let state = sha1::sha1_compress(sha1::IV, block);
-                            *slot = targets.match_digest(&sha1::state_to_digest(state));
+                    HashAlgo::Sha1 => {
+                        let a75s = hasher.sha1_a75_batch(&blocks);
+                        pf_checked += L as u64;
+                        for ((slot, &a75), block) in lane_hit.iter_mut().zip(&a75s).zip(&blocks) {
+                            if targets.prefilter_match(a75) {
+                                pf_hits += 1;
+                                // Rare survivor (≈ len·2⁻³² of candidates): confirm
+                                // with the full compression.
+                                let state = sha1::sha1_compress(sha1::IV, block);
+                                *slot = targets.match_digest(&sha1::state_to_digest(state));
+                            }
                         }
                     }
                 }
@@ -319,6 +399,65 @@ mod tests {
     fn poll_boundary_is_a_multiple_of_every_lane_width() {
         for lanes in [Lanes::L8, Lanes::L16] {
             assert_eq!(POLL_CHUNK % lanes.width() as u128, 0, "{lanes}");
+        }
+    }
+
+    #[test]
+    fn poll_boundary_is_a_multiple_of_every_simd_width() {
+        for isa in eks_hashes::SimdIsa::ALL {
+            assert_eq!(POLL_CHUNK % isa.batch_width() as u128, 0, "{isa}");
+        }
+    }
+
+    #[test]
+    fn simd_full_sweep_matches_scalar_all_algos() {
+        let Some(hasher) = SimdHasher::best() else {
+            eprintln!("skipped: no explicit-SIMD ISA on this host");
+            return;
+        };
+        for algo in [HashAlgo::Md5, HashAlgo::Sha1, HashAlgo::Ntlm] {
+            for order in [Order::FirstCharFastest, Order::LastCharFastest] {
+                let s = space(order);
+                let t = targets(algo, &[b"a", b"zz", b"cat", b"mnop"]);
+                let stop = AtomicBool::new(false);
+                let scalar = crack_interval(&s, &t, s.interval(), &stop, false);
+                let simd = crack_interval_simd(&s, &t, s.interval(), &stop, false, hasher);
+                assert_eq!(simd.hits, scalar.hits, "{algo:?} {order:?} {hasher:?}");
+                assert_eq!(simd.tested, scalar.tested, "{algo:?} {order:?} {hasher:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn simd_reversed_md5_sweep_matches_scalar_across_growth_epochs() {
+        // A single MD5 target in first-char-fastest order turns on the
+        // w0-only fast fill; lengths 1..4 cross growth boundaries, so
+        // non-uniform batches exercise the full-block reconstruction.
+        let Some(hasher) = SimdHasher::best() else {
+            eprintln!("skipped: no explicit-SIMD ISA on this host");
+            return;
+        };
+        let s = space(Order::FirstCharFastest);
+        let t = targets(HashAlgo::Md5, &[b"dog"]);
+        let stop = AtomicBool::new(false);
+        let scalar = crack_interval(&s, &t, s.interval(), &stop, false);
+        let simd = crack_interval_simd(&s, &t, s.interval(), &stop, false, hasher);
+        assert_eq!(simd.hits, scalar.hits);
+        assert_eq!(simd.tested, scalar.tested);
+    }
+
+    #[test]
+    fn w0_fast_fill_sweep_matches_scalar_on_autovec_lanes() {
+        // Same single-target setup on the autovectorized path: the fast
+        // fill is independent of the hasher, so L8/L16 take it too.
+        let s = space(Order::FirstCharFastest);
+        let t = targets(HashAlgo::Md5, &[b"mnop"]);
+        let stop = AtomicBool::new(false);
+        let scalar = crack_interval(&s, &t, s.interval(), &stop, false);
+        for lanes in [Lanes::L8, Lanes::L16] {
+            let batched = crack_interval_batched(&s, &t, s.interval(), &stop, false, lanes);
+            assert_eq!(batched.hits, scalar.hits, "{lanes}");
+            assert_eq!(batched.tested, scalar.tested, "{lanes}");
         }
     }
 

@@ -84,6 +84,16 @@ pub trait Backend: Sync {
     /// Tuned throughput `X_j` in MKey/s for the paper's
     /// `N_j = N_max · X_j / X_max` balancing step.
     fn tuned_rate(&self, algo: HashAlgo) -> f64;
+
+    /// The instruction set the backend's kernels for `algo` run on:
+    /// `avx2`/`avx512`/`neon` for explicit-SIMD paths, `autovec` for
+    /// compiler-vectorized lanes, `scalar` for the reference path.
+    /// `None` when the notion does not apply (simulated GPU devices
+    /// already carry their model in the backend name).
+    fn isa(&self, algo: HashAlgo) -> Option<String> {
+        let _ = algo;
+        None
+    }
 }
 
 /// The backend vocabulary the CLI and benches expose.
@@ -95,25 +105,35 @@ pub enum BackendKind {
     Lanes8,
     /// 16 candidates in lockstep.
     Lanes16,
+    /// Explicit AVX2/AVX-512/NEON kernels behind runtime CPU-feature
+    /// detection (widest available ISA unless the CLI forces one).
+    Simd,
+    /// Tune every CPU implementation per algorithm and run the winner.
+    Auto,
     /// A simulated GPU device driving an `eks-kernels` kernel.
     SimGpu,
 }
 
 impl BackendKind {
     /// Every kind, in presentation order.
-    pub const ALL: [BackendKind; 4] = [
+    pub const ALL: [BackendKind; 6] = [
         BackendKind::Scalar,
         BackendKind::Lanes8,
         BackendKind::Lanes16,
+        BackendKind::Simd,
+        BackendKind::Auto,
         BackendKind::SimGpu,
     ];
 
-    /// Parse a CLI argument (`scalar`, `lanes8`, `lanes16`, `simgpu`).
+    /// Parse a CLI argument (`scalar`, `lanes8`, `lanes16`, `simd`,
+    /// `auto`, `simgpu`).
     pub fn parse(s: &str) -> Option<Self> {
         match s {
             "scalar" => Some(BackendKind::Scalar),
             "lanes8" => Some(BackendKind::Lanes8),
             "lanes16" => Some(BackendKind::Lanes16),
+            "simd" => Some(BackendKind::Simd),
+            "auto" => Some(BackendKind::Auto),
             "simgpu" => Some(BackendKind::SimGpu),
             _ => None,
         }
@@ -125,7 +145,19 @@ impl BackendKind {
             BackendKind::Scalar => "scalar",
             BackendKind::Lanes8 => "lanes8",
             BackendKind::Lanes16 => "lanes16",
+            BackendKind::Simd => "simd",
+            BackendKind::Auto => "auto",
             BackendKind::SimGpu => "simgpu",
+        }
+    }
+
+    /// True when the kind can run on this host: `simd` needs a detected
+    /// ISA; everything else always works (`auto` falls back to the
+    /// autovectorized lanes when no explicit kernel is available).
+    pub fn is_available(self) -> bool {
+        match self {
+            BackendKind::Simd => eks_hashes::SimdIsa::detect().is_some(),
+            _ => true,
         }
     }
 }
@@ -154,5 +186,18 @@ mod tests {
             assert_eq!(BackendKind::parse(kind.name()), Some(kind));
         }
         assert_eq!(BackendKind::parse("cuda"), None);
+    }
+
+    #[test]
+    fn availability_is_detection_for_simd_and_universal_otherwise() {
+        for kind in BackendKind::ALL {
+            match kind {
+                BackendKind::Simd => assert_eq!(
+                    kind.is_available(),
+                    eks_hashes::SimdIsa::detect().is_some()
+                ),
+                _ => assert!(kind.is_available(), "{kind}"),
+            }
+        }
     }
 }

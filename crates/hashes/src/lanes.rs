@@ -27,6 +27,70 @@ use crate::md4;
 use crate::md5::{self, IV as MD5_IV, K as MD5_K, S as MD5_S};
 use crate::sha1::{IV as SHA1_IV, K as SHA1_K};
 
+/// A batched hash implementation at lane width `L`: the abstraction the
+/// cracker's scan loop is generic over, so the same loop drives the
+/// autovectorized cores here ([`AutoVec`]) and the explicit-SIMD
+/// kernels in [`crate::simd`] (whose handles implement this trait at
+/// their ISA's width).
+///
+/// Every method must be bit-for-bit equal to the scalar compression
+/// functions lane by lane — the property tests enforce this for every
+/// implementation.
+pub trait LaneHasher<const L: usize>: Copy + Send + Sync {
+    /// MD5 final chained state per lane
+    /// (= `md5_compress(IV, &blocks[l])`).
+    fn md5_batch(&self, blocks: &[[u32; 16]; L]) -> [[u32; 4]; L];
+
+    /// MD4 final chained state per lane (the NTLM core).
+    fn md4_batch(&self, blocks: &[[u32; 16]; L]) -> [[u32; 4]; L];
+
+    /// SHA-1 final chained state per lane.
+    fn sha1_batch(&self, blocks: &[[u32; 16]; L]) -> [[u32; 5]; L];
+
+    /// SHA-1 `a75` partial value per lane (76 rounds; survivors must be
+    /// confirmed with the full compression).
+    fn sha1_a75_batch(&self, blocks: &[[u32; 16]; L]) -> [u32; L];
+
+    /// The reversed-MD5 forward half: 49 steps for lanes sharing
+    /// `template` in words 1..16, rotating-form state after step 48 per
+    /// lane (comparable with [`crate::Md5PrefixSearch::reference`]).
+    fn md5_forward49_batch(&self, template: &[u32; 16], w0s: &[u32; L]) -> [[u32; 4]; L];
+}
+
+/// The autovectorized lane cores of this module as a [`LaneHasher`] at
+/// any width — the portable fallback when no explicit-SIMD ISA is
+/// available (and the reference the explicit kernels are tested
+/// against).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AutoVec;
+
+impl<const L: usize> LaneHasher<L> for AutoVec {
+    #[inline]
+    fn md5_batch(&self, blocks: &[[u32; 16]; L]) -> [[u32; 4]; L] {
+        md5_lanes(blocks)
+    }
+
+    #[inline]
+    fn md4_batch(&self, blocks: &[[u32; 16]; L]) -> [[u32; 4]; L] {
+        md4_lanes(blocks)
+    }
+
+    #[inline]
+    fn sha1_batch(&self, blocks: &[[u32; 16]; L]) -> [[u32; 5]; L] {
+        sha1_lanes(blocks)
+    }
+
+    #[inline]
+    fn sha1_a75_batch(&self, blocks: &[[u32; 16]; L]) -> [u32; L] {
+        sha1_a75_lanes(blocks)
+    }
+
+    #[inline]
+    fn md5_forward49_batch(&self, template: &[u32; 16], w0s: &[u32; L]) -> [[u32; 4]; L] {
+        md5_forward49_lanes(template, w0s)
+    }
+}
+
 /// Transpose `L` 16-word blocks from array-of-structures into
 /// structure-of-arrays form: `out[w][l] = blocks[l][w]`.
 #[inline(always)]

@@ -18,6 +18,12 @@
 //! * early-exit comparison: each of the last steps produces one word of
 //!   the result, so mismatches are detected before finishing the state
 //!   comparison.
+//!
+//! Batched (multi-candidate) hashing comes in two layers mirroring the
+//! paper's Section V per-architecture kernels: [`lanes`] holds portable
+//! structure-of-arrays cores the compiler autovectorizes, and [`simd`]
+//! holds explicit AVX2/AVX-512/NEON kernels behind runtime CPU-feature
+//! detection, both driven through the [`LaneHasher`] trait.
 
 pub mod algo;
 pub mod digest;
@@ -29,10 +35,14 @@ pub mod padding;
 pub mod sha1;
 pub mod sha1_partial;
 pub mod sha256;
+pub mod simd;
 
 pub use algo::HashAlgo;
 pub use digest::{from_hex, to_hex, Digest};
-pub use lanes::{md4_lanes, md5_forward49_lanes, md5_lanes, sha1_a75_lanes, sha1_lanes};
+pub use lanes::{
+    md4_lanes, md5_forward49_lanes, md5_lanes, sha1_a75_lanes, sha1_lanes, AutoVec, LaneHasher,
+};
+pub use simd::{cpu_features, SimdHasher, SimdIsa};
 pub use md4::{md4, ntlm, Md4};
 pub use md5::{md5, Md5};
 pub use md5_reverse::Md5PrefixSearch;

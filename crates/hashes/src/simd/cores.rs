@@ -1,0 +1,454 @@
+//! The compression cores, written once against [`Vec32`] and
+//! instantiated per ISA by the `#[target_feature]` shims.
+//!
+//! These mirror the autovectorized SoA cores in [`crate::lanes`] — same
+//! round structure, same Section V tricks (49-step reversed MD5, SHA-1
+//! `a75` partial rounds) — but with the vector operations *explicit*, so
+//! the instruction mix is fixed by construction rather than left to the
+//! loop vectorizer. Step counts and round counts are const generics so
+//! every instantiation fully unrolls and the state "rotation" is a
+//! compile-time renaming, exactly like the paper's unrolled kernels.
+//!
+//! The functions here contain no `unsafe`: all intrinsic access lives in
+//! the one-line `Vec32` op impls, and feature-availability proofs live
+//! in the entry shims.
+
+// Indexing/slicing below is over fixed-size state arrays or lengths
+// established by construction; the workspace `clippy::indexing_slicing`
+// escalation guards new code, not these proven accesses.
+#![allow(clippy::indexing_slicing)]
+
+use super::vec::Vec32;
+use crate::md4;
+use crate::md5::{self, IV as MD5_IV, K as MD5_K, S as MD5_S};
+use crate::sha1::{IV as SHA1_IV, K as SHA1_K};
+
+/// Gather word `w` of every block into one vector (SoA transpose).
+#[inline(always)]
+fn gather_word<V: Vec32, const L: usize>(blocks: &[[u32; 16]; L], w: usize) -> V {
+    debug_assert_eq!(L, V::LANES);
+    let mut tmp = [0u32; L];
+    for (t, block) in tmp.iter_mut().zip(blocks) {
+        *t = block[w];
+    }
+    V::load(&tmp)
+}
+
+/// Transpose `L` 16-word blocks into one vector per message word.
+#[inline(always)]
+fn load_blocks<V: Vec32, const L: usize>(blocks: &[[u32; 16]; L]) -> [V; 16] {
+    core::array::from_fn(|w| gather_word(blocks, w))
+}
+
+/// Scatter four state vectors back to per-lane `[a, b, c, d]` arrays.
+#[inline(always)]
+fn store_state4<V: Vec32, const L: usize>(s: [V; 4]) -> [[u32; 4]; L] {
+    debug_assert_eq!(L, V::LANES);
+    let mut cols = [[0u32; L]; 4];
+    for (col, v) in cols.iter_mut().zip(s) {
+        v.store(col);
+    }
+    core::array::from_fn(|l| [cols[0][l], cols[1][l], cols[2][l], cols[3][l]])
+}
+
+// ---------------------------------------------------------------------------
+// MD5
+// ---------------------------------------------------------------------------
+
+/// One MD5 round-1 step: `a = b + rotl(a + F(b,c,d) + k + w, s)`.
+#[inline(always)]
+fn md5_f<V: Vec32>(a: V, b: V, c: V, d: V, w: V, k: u32, s: u32) -> V {
+    b.add(a.add(b.sel(c, d)).add(V::splat(k)).add(w).rotl(s))
+}
+
+/// One MD5 round-2 step (`G(b,c,d) = (d & b) | (!d & c)`).
+#[inline(always)]
+fn md5_g<V: Vec32>(a: V, b: V, c: V, d: V, w: V, k: u32, s: u32) -> V {
+    b.add(a.add(d.sel(b, c)).add(V::splat(k)).add(w).rotl(s))
+}
+
+/// One MD5 round-3 step (`H = b ^ c ^ d`).
+#[inline(always)]
+fn md5_h<V: Vec32>(a: V, b: V, c: V, d: V, w: V, k: u32, s: u32) -> V {
+    b.add(a.add(b.xor3(c, d)).add(V::splat(k)).add(w).rotl(s))
+}
+
+/// One MD5 round-4 step (`I = c ^ (b | !d)`).
+#[inline(always)]
+fn md5_i<V: Vec32>(a: V, b: V, c: V, d: V, w: V, k: u32, s: u32) -> V {
+    b.add(a.add(b.md5i(c, d)).add(V::splat(k)).add(w).rotl(s))
+}
+
+/// Expand one quad of steps `i..i+4` for the given round function,
+/// keeping the state rotation a compile-time renaming (the lanes-module
+/// structure, with the round function a macro argument instead of four
+/// near-identical helpers).
+macro_rules! md5_quad {
+    ($step:ident, $a:ident, $b:ident, $c:ident, $d:ident, $m:ident, $i:ident) => {
+        $a = $step($a, $b, $c, $d, $m[md5::word_index($i)], MD5_K[$i], MD5_S[$i]);
+        $d = $step($d, $a, $b, $c, $m[md5::word_index($i + 1)], MD5_K[$i + 1], MD5_S[$i + 1]);
+        $c = $step($c, $d, $a, $b, $m[md5::word_index($i + 2)], MD5_K[$i + 2], MD5_S[$i + 2]);
+        $b = $step($b, $c, $d, $a, $m[md5::word_index($i + 3)], MD5_K[$i + 3], MD5_S[$i + 3]);
+    };
+}
+
+/// Run the first `STEPS` MD5 steps from the IV, returning the raw
+/// working registers `[a, b, c, d]` (no chaining addition) — `STEPS` is
+/// 64 for the full hash, [`crate::md5_reverse::FORWARD_STEPS`] for the
+/// reversed search (which stops after the first call of the last quad).
+#[inline(always)]
+fn md5_steps<V: Vec32, const STEPS: usize>(m: &[V; 16]) -> [V; 4] {
+    let mut a = V::splat(MD5_IV[0]);
+    let mut b = V::splat(MD5_IV[1]);
+    let mut c = V::splat(MD5_IV[2]);
+    let mut d = V::splat(MD5_IV[3]);
+    let mut i = 0;
+    while i < 16.min(STEPS) {
+        md5_quad!(md5_f, a, b, c, d, m, i);
+        i += 4;
+    }
+    while i < 32.min(STEPS) {
+        md5_quad!(md5_g, a, b, c, d, m, i);
+        i += 4;
+    }
+    while i < 48.min(STEPS) {
+        md5_quad!(md5_h, a, b, c, d, m, i);
+        i += 4;
+    }
+    while i < STEPS {
+        a = md5_i(a, b, c, d, m[md5::word_index(i)], MD5_K[i], MD5_S[i]);
+        if i + 1 >= STEPS {
+            break;
+        }
+        d = md5_i(d, a, b, c, m[md5::word_index(i + 1)], MD5_K[i + 1], MD5_S[i + 1]);
+        c = md5_i(c, d, a, b, m[md5::word_index(i + 2)], MD5_K[i + 2], MD5_S[i + 2]);
+        b = md5_i(b, c, d, a, m[md5::word_index(i + 3)], MD5_K[i + 3], MD5_S[i + 3]);
+        i += 4;
+    }
+    [a, b, c, d]
+}
+
+/// MD5 over `L` pre-padded single-block messages: the explicit-SIMD
+/// equivalent of [`crate::lanes::md5_lanes`].
+#[inline(always)]
+pub(crate) fn md5_blocks<V: Vec32, const L: usize>(blocks: &[[u32; 16]; L]) -> [[u32; 4]; L] {
+    let m = load_blocks::<V, L>(blocks);
+    let [a, b, c, d] = md5_steps::<V, 64>(&m);
+    store_state4([
+        a.add(V::splat(MD5_IV[0])),
+        b.add(V::splat(MD5_IV[1])),
+        c.add(V::splat(MD5_IV[2])),
+        d.add(V::splat(MD5_IV[3])),
+    ])
+}
+
+/// The reversed-MD5 forward half (Section V-B): 49 steps for `L` lanes
+/// sharing `template` in words 1..16 and differing only in `w0s`.
+/// Returns the rotating-form state after step 48 per lane
+/// (`[d, a, b, c]`, comparable with
+/// [`crate::Md5PrefixSearch::reference`]) — the explicit-SIMD equivalent
+/// of [`crate::lanes::md5_forward49_lanes`].
+#[inline(always)]
+pub(crate) fn md5_forward49<V: Vec32, const L: usize>(
+    template: &[u32; 16],
+    w0s: &[u32; L],
+) -> [[u32; 4]; L] {
+    debug_assert_eq!(L, V::LANES);
+    let mut m = [V::splat(0); 16];
+    m[0] = V::load(w0s);
+    for (w, slot) in m.iter_mut().enumerate().skip(1) {
+        *slot = V::splat(template[w]);
+    }
+    // 49 steps: the last executed step (index 48, i % 4 == 0) writes the
+    // register that is `a` in its frame; the rotating-form state after
+    // step 48 is therefore [d, a, b, c] of our fixed naming.
+    let [a, b, c, d] = md5_steps::<V, { crate::md5_reverse::FORWARD_STEPS }>(&m);
+    store_state4([d, a, b, c])
+}
+
+// ---------------------------------------------------------------------------
+// MD4 (the NTLM core)
+// ---------------------------------------------------------------------------
+
+/// One MD4 round-1 step.
+#[inline(always)]
+fn md4_f<V: Vec32>(a: V, b: V, c: V, d: V, w: V, s: u32) -> V {
+    a.add(b.sel(c, d)).add(w).rotl(s)
+}
+
+/// One MD4 round-2 step (`G` is majority, constant `K2`).
+#[inline(always)]
+fn md4_g<V: Vec32>(a: V, b: V, c: V, d: V, w: V, s: u32) -> V {
+    const K2: u32 = 0x5a82_7999;
+    a.add(b.maj(c, d)).add(w).add(V::splat(K2)).rotl(s)
+}
+
+/// One MD4 round-3 step (`H` is xor3, constant `K3`).
+#[inline(always)]
+fn md4_h<V: Vec32>(a: V, b: V, c: V, d: V, w: V, s: u32) -> V {
+    const K3: u32 = 0x6ed9_eba1;
+    a.add(b.xor3(c, d)).add(w).add(V::splat(K3)).rotl(s)
+}
+
+/// MD4 over `L` pre-padded single-block messages: the explicit-SIMD
+/// equivalent of [`crate::lanes::md4_lanes`].
+#[inline(always)]
+pub(crate) fn md4_blocks<V: Vec32, const L: usize>(blocks: &[[u32; 16]; L]) -> [[u32; 4]; L] {
+    let m = load_blocks::<V, L>(blocks);
+    let mut a = V::splat(md4::IV[0]);
+    let mut b = V::splat(md4::IV[1]);
+    let mut c = V::splat(md4::IV[2]);
+    let mut d = V::splat(md4::IV[3]);
+
+    // Round 1: sequential words.
+    for chunk in 0..4 {
+        let base = chunk * 4;
+        a = md4_f(a, b, c, d, m[base], 3);
+        d = md4_f(d, a, b, c, m[base + 1], 7);
+        c = md4_f(c, d, a, b, m[base + 2], 11);
+        b = md4_f(b, c, d, a, m[base + 3], 19);
+    }
+    // Round 2: column-major words.
+    for col in 0..4 {
+        a = md4_g(a, b, c, d, m[col], 3);
+        d = md4_g(d, a, b, c, m[col + 4], 5);
+        c = md4_g(c, d, a, b, m[col + 8], 9);
+        b = md4_g(b, c, d, a, m[col + 12], 13);
+    }
+    // Round 3: bit-reversed column order.
+    for &col in &[0usize, 2, 1, 3] {
+        a = md4_h(a, b, c, d, m[col], 3);
+        d = md4_h(d, a, b, c, m[col + 8], 9);
+        c = md4_h(c, d, a, b, m[col + 4], 11);
+        b = md4_h(b, c, d, a, m[col + 12], 15);
+    }
+
+    store_state4([
+        a.add(V::splat(md4::IV[0])),
+        b.add(V::splat(md4::IV[1])),
+        c.add(V::splat(md4::IV[2])),
+        d.add(V::splat(md4::IV[3])),
+    ])
+}
+
+// ---------------------------------------------------------------------------
+// SHA-1
+// ---------------------------------------------------------------------------
+
+/// Expand schedule word `i` (`i >= 16`) on the 16-slot ring: the
+/// `(i mod 16)` slot holds exactly `w[i-16]` and is never read again,
+/// so it is overwritten in place.
+macro_rules! sha1_expand {
+    ($w:ident, $i:expr) => {{
+        let x = $w[($i + 13) & 15]
+            .xor3($w[($i + 8) & 15], $w[($i + 2) & 15])
+            .xor($w[$i & 15])
+            .rotl(1);
+        $w[$i & 15] = x;
+        x
+    }};
+    // Final expansion of a kernel: no slot will ever read it, so skip
+    // the ring store (also silences the dead-store lint honestly).
+    ($w:ident, $i:expr, last) => {
+        $w[($i + 13) & 15]
+            .xor3($w[($i + 8) & 15], $w[($i + 2) & 15])
+            .xor($w[$i & 15])
+            .rotl(1)
+    };
+}
+
+/// One SHA-1 round with the rotating renaming spelled out by the
+/// caller: `e += rotl5(a) + f + k + wi; b = rotl30(b)` (the caller then
+/// shifts which register plays which role).
+macro_rules! sha1_round {
+    ($f:ident, $a:ident, $b:ident, $c:ident, $d:ident, $e:ident, $wi:expr, $k:ident) => {
+        $e = $e.add($a.rotl(5)).add($b.$f($c, $d)).add($k).add($wi);
+        $b = $b.rotl(30);
+    };
+}
+
+/// Five rounds — one full renaming cycle — of a 20-round phase, with
+/// schedule expansion when `$i >= 16`.
+macro_rules! sha1_group {
+    ($f:ident, $a:ident, $b:ident, $c:ident, $d:ident, $e:ident, $w:ident, $i:ident, $k:ident, expand) => {
+        sha1_round!($f, $a, $b, $c, $d, $e, sha1_expand!($w, $i), $k);
+        sha1_round!($f, $e, $a, $b, $c, $d, sha1_expand!($w, $i + 1), $k);
+        sha1_round!($f, $d, $e, $a, $b, $c, sha1_expand!($w, $i + 2), $k);
+        sha1_round!($f, $c, $d, $e, $a, $b, sha1_expand!($w, $i + 3), $k);
+        sha1_round!($f, $b, $c, $d, $e, $a, sha1_expand!($w, $i + 4), $k);
+    };
+    ($f:ident, $a:ident, $b:ident, $c:ident, $d:ident, $e:ident, $w:ident, $i:ident, $k:ident, direct) => {
+        sha1_round!($f, $a, $b, $c, $d, $e, $w[$i], $k);
+        sha1_round!($f, $e, $a, $b, $c, $d, $w[$i + 1], $k);
+        sha1_round!($f, $d, $e, $a, $b, $c, $w[$i + 2], $k);
+        sha1_round!($f, $c, $d, $e, $a, $b, $w[$i + 3], $k);
+        sha1_round!($f, $b, $c, $d, $e, $a, $w[$i + 4], $k);
+    };
+}
+
+/// Run the first `ROUNDS` SHA-1 rounds from the IV with a rolling
+/// 16-entry schedule ring, returning the raw `[a, b, c, d, e]`
+/// registers in the frame after the last executed round (the newest
+/// value is `a`). `ROUNDS` is 80 for the full hash,
+/// [`crate::sha1_partial::PARTIAL_ROUNDS`] (76) for the `a75` early
+/// exit; both are multiples of the paper-style 5-round groups minus the
+/// final partial group handled by the last loop's bound.
+#[inline(always)]
+fn sha1_rounds<V: Vec32, const ROUNDS: usize>(m: &[V; 16]) -> [V; 5] {
+    let mut w = *m;
+    let mut a = V::splat(SHA1_IV[0]);
+    let mut b = V::splat(SHA1_IV[1]);
+    let mut c = V::splat(SHA1_IV[2]);
+    let mut d = V::splat(SHA1_IV[3]);
+    let mut e = V::splat(SHA1_IV[4]);
+
+    let k0 = V::splat(SHA1_K[0]);
+    let k1 = V::splat(SHA1_K[1]);
+    let k2 = V::splat(SHA1_K[2]);
+    let k3 = V::splat(SHA1_K[3]);
+
+    let mut i = 0;
+    while i < 15 {
+        sha1_group!(sel, a, b, c, d, e, w, i, k0, direct);
+        i += 5;
+    }
+    // Rounds 15..20: the first expansion lands mid-group.
+    sha1_round!(sel, a, b, c, d, e, w[15], k0);
+    sha1_round!(sel, e, a, b, c, d, sha1_expand!(w, 16), k0);
+    sha1_round!(sel, d, e, a, b, c, sha1_expand!(w, 17), k0);
+    sha1_round!(sel, c, d, e, a, b, sha1_expand!(w, 18), k0);
+    sha1_round!(sel, b, c, d, e, a, sha1_expand!(w, 19), k0);
+    i = 20;
+    while i < 40 {
+        sha1_group!(xor3, a, b, c, d, e, w, i, k1, expand);
+        i += 5;
+    }
+    while i < 60 {
+        sha1_group!(maj, a, b, c, d, e, w, i, k2, expand);
+        i += 5;
+    }
+    while i < 75.min(ROUNDS) {
+        sha1_group!(xor3, a, b, c, d, e, w, i, k3, expand);
+        i += 5;
+    }
+    // Rounds 75..ROUNDS (one round for the a75 path, five for the full
+    // hash): after each round the renaming shifts, so the tail is
+    // spelled out and the loop above stopped at a group boundary.
+    sha1_round!(xor3, a, b, c, d, e, sha1_expand!(w, 75), k3);
+    if ROUNDS == 76 {
+        // Rotating frame after round 75: the newest value (a75) sits in
+        // the register named `e`; `b` was already rotated by the round.
+        return [e, a, b, c, d];
+    }
+    sha1_round!(xor3, e, a, b, c, d, sha1_expand!(w, 76), k3);
+    sha1_round!(xor3, d, e, a, b, c, sha1_expand!(w, 77), k3);
+    sha1_round!(xor3, c, d, e, a, b, sha1_expand!(w, 78), k3);
+    sha1_round!(xor3, b, c, d, e, a, sha1_expand!(w, 79, last), k3);
+    [a, b, c, d, e]
+}
+
+/// SHA-1 over `L` pre-padded single-block messages: the explicit-SIMD
+/// equivalent of [`crate::lanes::sha1_lanes`].
+#[inline(always)]
+pub(crate) fn sha1_blocks<V: Vec32, const L: usize>(blocks: &[[u32; 16]; L]) -> [[u32; 5]; L] {
+    let m = load_blocks::<V, L>(blocks);
+    let s = sha1_rounds::<V, 80>(&m);
+    let mut cols = [[0u32; L]; 5];
+    for (col, (v, iv)) in cols.iter_mut().zip(s.into_iter().zip(SHA1_IV)) {
+        v.add(V::splat(iv)).store(col);
+    }
+    core::array::from_fn(|l| [cols[0][l], cols[1][l], cols[2][l], cols[3][l], cols[4][l]])
+}
+
+/// The SHA-1 partial path: 76 rounds per lane, returning each lane's
+/// `a75` — the value [`crate::Sha1PartialSearch`] compares. Explicit-
+/// SIMD equivalent of [`crate::lanes::sha1_a75_lanes`].
+#[inline(always)]
+pub(crate) fn sha1_a75<V: Vec32, const L: usize>(blocks: &[[u32; 16]; L]) -> [u32; L] {
+    debug_assert_eq!(L, V::LANES);
+    let m = load_blocks::<V, L>(blocks);
+    // After round 75 (the 76th) the newest value sits in `a` of the
+    // rolling naming — that is a75.
+    let [a, _, _, _, _] = sha1_rounds::<V, { crate::sha1_partial::PARTIAL_ROUNDS }>(&m);
+    let mut out = [0u32; L];
+    a.store(&mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    //! The generic cores over scalar (`u32`) and paired-scalar
+    //! (`X2<u32>`) lanes vs. the scalar compression functions: proves
+    //! the *algorithm structure* before any ISA enters the picture.
+
+    use super::*;
+    use crate::md4::md4_compress;
+    use crate::md5::md5_compress;
+    use crate::padding::{pad_md5_block, pad_sha_block};
+    use crate::sha1::{expand_schedule, round as scalar_sha1_round, sha1_compress};
+    use crate::simd::vec::X2;
+
+    #[test]
+    fn scalar_core_md5_matches_compress() {
+        let block = pad_md5_block(b"core-check");
+        let got = md5_blocks::<u32, 1>(&[block]);
+        assert_eq!(got[0], md5_compress(MD5_IV, &block));
+    }
+
+    #[test]
+    fn paired_core_md5_matches_compress() {
+        let blocks = [pad_md5_block(b"left"), pad_md5_block(b"right")];
+        let got = md5_blocks::<X2<u32>, 2>(&blocks);
+        for (l, block) in blocks.iter().enumerate() {
+            assert_eq!(got[l], md5_compress(MD5_IV, block), "lane {l}");
+        }
+    }
+
+    #[test]
+    fn paired_core_md4_matches_compress() {
+        let blocks = [pad_md5_block(b"ntlm-a"), pad_md5_block(b"ntlm-b")];
+        let got = md4_blocks::<X2<u32>, 2>(&blocks);
+        for (l, block) in blocks.iter().enumerate() {
+            assert_eq!(got[l], md4_compress(md4::IV, block), "lane {l}");
+        }
+    }
+
+    #[test]
+    fn paired_core_sha1_matches_compress() {
+        let blocks = [pad_sha_block(b"sha-a"), pad_sha_block(b"sha-b")];
+        let got = sha1_blocks::<X2<u32>, 2>(&blocks);
+        for (l, block) in blocks.iter().enumerate() {
+            assert_eq!(got[l], sha1_compress(SHA1_IV, block), "lane {l}");
+        }
+    }
+
+    #[test]
+    fn paired_core_forward49_matches_scalar_steps() {
+        let template = pad_md5_block(b"AAAA-tail");
+        let w0s = [0x6162_6364u32, 0x7a79_7877];
+        let got = md5_forward49::<X2<u32>, 2>(&template, &w0s);
+        for (l, &w0) in w0s.iter().enumerate() {
+            let mut w = template;
+            w[0] = w0;
+            let mut s = MD5_IV;
+            for i in 0..crate::md5_reverse::FORWARD_STEPS {
+                s = crate::md5::step(i, s, &w);
+            }
+            assert_eq!(got[l], s, "lane {l}");
+        }
+    }
+
+    #[test]
+    fn paired_core_a75_matches_scalar_partial() {
+        let blocks = [pad_sha_block(b"a75-x"), pad_sha_block(b"a75-y")];
+        let got = sha1_a75::<X2<u32>, 2>(&blocks);
+        for (l, block) in blocks.iter().enumerate() {
+            let sched = expand_schedule(block);
+            let mut s = SHA1_IV;
+            for (i, &w) in sched.iter().enumerate().take(crate::sha1_partial::PARTIAL_ROUNDS) {
+                s = scalar_sha1_round(i, s, w);
+            }
+            assert_eq!(got[l], s[0], "lane {l}");
+        }
+    }
+}

@@ -1,0 +1,256 @@
+//! The portable vector vocabulary the explicit-SIMD cores are written
+//! against.
+//!
+//! [`Vec32`] is the small set of `u32`-lane operations every compression
+//! function in this module needs: splat, lane load/store, wrapping add,
+//! the bitwise ring, and a rotate by a uniform (runtime) amount. The
+//! boolean step functions of MD4/MD5/SHA-1 — select, majority,
+//! three-way xor, and MD5's round-4 `I` — are *derived* operations with
+//! default compositions, so an ISA that has a fused form (AVX-512's
+//! `vpternlogd`) overrides them with a single instruction while AVX2 and
+//! NEON inherit the 3-op composition.
+//!
+//! Every method is `#[inline(always)]`: the generic cores in
+//! [`super::cores`] instantiate to straight-line vector code *inside* the
+//! per-ISA `#[target_feature]` entry shims, so LLVM sees the whole hash
+//! as one feature-enabled function — the same structure `memchr` and the
+//! stdlib use to keep `unsafe` confined to one-line intrinsic wrappers.
+//!
+//! [`X2`] pairs two vectors into one logical batch of `2 × LANES` keys:
+//! the two halves form independent dependency chains, so an out-of-order
+//! core overlaps their rotate/add latencies — the paper's Section V
+//! observation that the kernel must expose instruction-level parallelism
+//! beyond a single hash state (interleaved multi-buffer scheduling).
+
+// Indexing/slicing below is over fixed-size lane arrays whose lengths
+// are established by `Self::LANES`; the workspace
+// `clippy::indexing_slicing` escalation guards new code, not these
+// proven accesses.
+#![allow(clippy::indexing_slicing)]
+
+/// A vector of `LANES` `u32` values, one candidate key per lane.
+///
+/// Implementations: `u32` (scalar reference, `LANES = 1`), the per-ISA
+/// register wrappers in `x86`/`neon`, and the [`X2`] pair combinator.
+pub(crate) trait Vec32: Copy {
+    /// Lanes per vector.
+    const LANES: usize;
+
+    /// Broadcast one word to every lane.
+    fn splat(x: u32) -> Self;
+
+    /// Load the first `LANES` words of `words` (one per lane).
+    ///
+    /// # Panics
+    /// Panics when `words` holds fewer than `LANES` words.
+    fn load(words: &[u32]) -> Self;
+
+    /// Store each lane into the first `LANES` slots of `out`.
+    ///
+    /// # Panics
+    /// Panics when `out` holds fewer than `LANES` slots.
+    fn store(self, out: &mut [u32]);
+
+    /// Lane-wise wrapping addition.
+    fn add(self, other: Self) -> Self;
+
+    /// Lane-wise exclusive or.
+    fn xor(self, other: Self) -> Self;
+
+    /// Lane-wise and.
+    fn and(self, other: Self) -> Self;
+
+    /// Lane-wise or.
+    fn or(self, other: Self) -> Self;
+
+    /// Lane-wise rotate left by a uniform amount `1..=31`.
+    fn rotl(self, s: u32) -> Self;
+
+    /// Bitwise select: `(self & t) | (!self & f)` — MD5/MD4 `F`, MD5 `G`
+    /// (with swapped operands) and SHA-1 `Ch`. AVX-512 overrides with
+    /// `vpternlogd` imm `0xCA`.
+    #[inline(always)]
+    fn sel(self, t: Self, f: Self) -> Self {
+        // The mux identity f ^ (mask & (t ^ f)): 3 ops, no NOT.
+        f.xor(self.and(t.xor(f)))
+    }
+
+    /// Bitwise majority of `self, b, c` — MD4 `G` and SHA-1 `Maj`.
+    /// AVX-512 overrides with `vpternlogd` imm `0xE8`.
+    #[inline(always)]
+    fn maj(self, b: Self, c: Self) -> Self {
+        // (a & (b ^ c)) ^ (b & c): 3 ops instead of the 5-op or-of-ands.
+        self.and(b.xor(c)).xor(b.and(c))
+    }
+
+    /// Three-way xor — MD4/MD5 `H` and SHA-1 `Parity`. AVX-512
+    /// overrides with `vpternlogd` imm `0x96`.
+    #[inline(always)]
+    fn xor3(self, b: Self, c: Self) -> Self {
+        self.xor(b).xor(c)
+    }
+
+    /// MD5 round-4 `I(b, c, d) = c ^ (b | !d)` with `self = b`.
+    /// AVX-512 overrides with `vpternlogd` imm `0x39`.
+    #[inline(always)]
+    fn md5i(self, c: Self, d: Self) -> Self {
+        c.xor(self.or(d.xor(Self::splat(!0))))
+    }
+}
+
+/// Scalar reference lanes: lets the property tests run the *generic
+/// cores* (not just the autovectorized `lanes` module) against the
+/// scalar compression functions, isolating core bugs from ISA-op bugs.
+impl Vec32 for u32 {
+    const LANES: usize = 1;
+
+    #[inline(always)]
+    fn splat(x: u32) -> Self {
+        x
+    }
+
+    #[inline(always)]
+    fn load(words: &[u32]) -> Self {
+        words[0]
+    }
+
+    #[inline(always)]
+    fn store(self, out: &mut [u32]) {
+        out[0] = self;
+    }
+
+    #[inline(always)]
+    fn add(self, other: Self) -> Self {
+        self.wrapping_add(other)
+    }
+
+    #[inline(always)]
+    fn xor(self, other: Self) -> Self {
+        self ^ other
+    }
+
+    #[inline(always)]
+    fn and(self, other: Self) -> Self {
+        self & other
+    }
+
+    #[inline(always)]
+    fn or(self, other: Self) -> Self {
+        self | other
+    }
+
+    #[inline(always)]
+    fn rotl(self, s: u32) -> Self {
+        self.rotate_left(s)
+    }
+}
+
+/// Two independent vectors treated as one batch of `2 × LANES` keys.
+///
+/// The halves never mix: every operation applies to both pairwise, so
+/// the compiled kernel carries two interleaved dependency chains per
+/// hash state register — enough ILP to keep the rotate/add ports busy
+/// while one chain waits on its previous step.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct X2<V>(pub V, pub V);
+
+impl<V: Vec32> Vec32 for X2<V> {
+    const LANES: usize = 2 * V::LANES;
+
+    #[inline(always)]
+    fn splat(x: u32) -> Self {
+        X2(V::splat(x), V::splat(x))
+    }
+
+    #[inline(always)]
+    fn load(words: &[u32]) -> Self {
+        X2(V::load(&words[..V::LANES]), V::load(&words[V::LANES..]))
+    }
+
+    #[inline(always)]
+    fn store(self, out: &mut [u32]) {
+        self.0.store(&mut out[..V::LANES]);
+        self.1.store(&mut out[V::LANES..]);
+    }
+
+    #[inline(always)]
+    fn add(self, other: Self) -> Self {
+        X2(self.0.add(other.0), self.1.add(other.1))
+    }
+
+    #[inline(always)]
+    fn xor(self, other: Self) -> Self {
+        X2(self.0.xor(other.0), self.1.xor(other.1))
+    }
+
+    #[inline(always)]
+    fn and(self, other: Self) -> Self {
+        X2(self.0.and(other.0), self.1.and(other.1))
+    }
+
+    #[inline(always)]
+    fn or(self, other: Self) -> Self {
+        X2(self.0.or(other.0), self.1.or(other.1))
+    }
+
+    #[inline(always)]
+    fn rotl(self, s: u32) -> Self {
+        X2(self.0.rotl(s), self.1.rotl(s))
+    }
+
+    // Forward the derived ops so a half's ISA override (e.g. AVX-512
+    // ternlog) is used; the trait defaults would re-derive them from the
+    // pair's own and/or/xor and lose the fused forms.
+
+    #[inline(always)]
+    fn sel(self, t: Self, f: Self) -> Self {
+        X2(self.0.sel(t.0, f.0), self.1.sel(t.1, f.1))
+    }
+
+    #[inline(always)]
+    fn maj(self, b: Self, c: Self) -> Self {
+        X2(self.0.maj(b.0, c.0), self.1.maj(b.1, c.1))
+    }
+
+    #[inline(always)]
+    fn xor3(self, b: Self, c: Self) -> Self {
+        X2(self.0.xor3(b.0, c.0), self.1.xor3(b.1, c.1))
+    }
+
+    #[inline(always)]
+    fn md5i(self, c: Self, d: Self) -> Self {
+        X2(self.0.md5i(c.0, d.0), self.1.md5i(c.1, d.1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_derived_ops_match_bit_formulas() {
+        let cases = [
+            (0x0000_0000, 0xffff_ffff, 0x1234_5678),
+            (0xdead_beef, 0x0f0f_0f0f, 0x8000_0001),
+            (0xffff_ffff, 0x0000_0000, 0xcafe_babe),
+        ];
+        for (a, b, c) in cases {
+            assert_eq!(a.sel(b, c), (a & b) | (!a & c));
+            assert_eq!(a.maj(b, c), (a & b) | (a & c) | (b & c));
+            assert_eq!(a.xor3(b, c), a ^ b ^ c);
+            assert_eq!(a.md5i(b, c), b ^ (a | !c));
+        }
+    }
+
+    #[test]
+    fn x2_pairs_are_independent() {
+        let v = X2::<u32>::load(&[7, 11]);
+        let w = X2::<u32>::load(&[1, 2]);
+        let mut out = [0u32; 2];
+        v.add(w).store(&mut out);
+        assert_eq!(out, [8, 13]);
+        v.rotl(4).store(&mut out);
+        assert_eq!(out, [7 << 4, 11 << 4]);
+        assert_eq!(X2::<u32>::LANES, 2);
+    }
+}

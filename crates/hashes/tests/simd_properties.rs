@@ -1,0 +1,127 @@
+//! Seeded property tests for the explicit-SIMD kernels: on every ISA the
+//! running CPU supports, every lane of every batched algorithm — forward
+//! MD5/MD4/SHA-1, the 49-step reversed-MD5 forward half, the 76-round
+//! SHA-1 `a75` partial — must be bit-for-bit equal to its scalar
+//! reference on random single-block messages.
+//!
+//! The checks are written once, generic over [`LaneHasher`], and
+//! instantiated per capability handle (AVX2 = 16 keys, AVX-512 = 32,
+//! NEON = 8). A handle constructor returning `None` — an unsupported
+//! ISA, or any run under Miri, where vendor intrinsics cannot execute —
+//! skips that ISA's instantiation cleanly; the test then proves exactly
+//! the set of kernels the host can run.
+
+use eks_core::prop::{forall, Rng};
+use eks_hashes::md5_reverse::FORWARD_STEPS;
+use eks_hashes::padding::{pad_md5_block, pad_sha_block, MAX_SINGLE_BLOCK_MSG};
+use eks_hashes::{md4, md5, sha1, LaneHasher};
+
+/// A random message of random length (0..=55 bytes, arbitrary bytes).
+fn random_msg(rng: &mut Rng) -> Vec<u8> {
+    let len = rng.index(MAX_SINGLE_BLOCK_MSG + 1);
+    rng.vec(len, |r| r.u32() as u8)
+}
+
+/// `L` random pre-padded blocks.
+fn random_blocks<const L: usize>(rng: &mut Rng, pad: fn(&[u8]) -> [u32; 16]) -> [[u32; 16]; L] {
+    let mut blocks = [[0u32; 16]; L];
+    for b in blocks.iter_mut() {
+        *b = pad(&random_msg(rng));
+    }
+    blocks
+}
+
+/// Every batched kernel of `hasher` against its scalar reference, at the
+/// hasher's native width.
+fn check_hasher<const L: usize, H: LaneHasher<L>>(name: &'static str, hasher: H) {
+    forall(name, 48, |rng| {
+        // Forward MD5: each lane equals the scalar compression.
+        let blocks = random_blocks::<L>(rng, pad_md5_block);
+        for (l, state) in hasher.md5_batch(&blocks).iter().enumerate() {
+            let b = blocks.get(l).expect("lane block");
+            assert_eq!(*state, md5::md5_compress(md5::IV, b), "{name} md5 lane {l}");
+        }
+
+        // Forward MD4 (the NTLM core).
+        let blocks = random_blocks::<L>(rng, pad_md5_block);
+        for (l, state) in hasher.md4_batch(&blocks).iter().enumerate() {
+            let b = blocks.get(l).expect("lane block");
+            assert_eq!(*state, md4::md4_compress(md4::IV, b), "{name} md4 lane {l}");
+        }
+
+        // Forward SHA-1.
+        let blocks = random_blocks::<L>(rng, pad_sha_block);
+        for (l, state) in hasher.sha1_batch(&blocks).iter().enumerate() {
+            let b = blocks.get(l).expect("lane block");
+            assert_eq!(*state, sha1::sha1_compress(sha1::IV, b), "{name} sha1 lane {l}");
+        }
+
+        // SHA-1 `a75` partial: 76 scalar rounds, newest register.
+        let blocks = random_blocks::<L>(rng, pad_sha_block);
+        for (l, &a75) in hasher.sha1_a75_batch(&blocks).iter().enumerate() {
+            let b = blocks.get(l).expect("lane block");
+            let w = sha1::expand_schedule(b);
+            let mut s = sha1::IV;
+            for (i, &wi) in w.iter().enumerate().take(76) {
+                s = sha1::round(i, s, wi);
+            }
+            assert_eq!(a75, s[0], "{name} a75 lane {l}");
+        }
+
+        // Reversed-MD5 forward half: lanes share words 1..16, differ only
+        // in w[0]; each lane equals 49 scalar steps in rotating form.
+        let mut template = [0u32; 16];
+        for w in template.iter_mut() {
+            *w = rng.u32();
+        }
+        let mut w0s = [0u32; L];
+        for w in w0s.iter_mut() {
+            *w = rng.u32();
+        }
+        for (l, got) in hasher.md5_forward49_batch(&template, &w0s).iter().enumerate() {
+            let mut w = template;
+            w[0] = *w0s.get(l).expect("lane w0");
+            let mut s = md5::IV;
+            for i in 0..FORWARD_STEPS {
+                s = md5::step(i, s, &w);
+            }
+            assert_eq!(*got, s, "{name} forward49 lane {l}");
+        }
+    });
+}
+
+#[cfg(target_arch = "x86_64")]
+#[test]
+fn avx2_kernels_equal_scalar_on_supported_hosts() {
+    match eks_hashes::simd::Avx2::new() {
+        Some(h) => check_hasher::<16, _>("avx2_kernels_equal_scalar", h),
+        None => eprintln!("skipped: AVX2 unavailable on this host"),
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[test]
+fn avx512_kernels_equal_scalar_on_supported_hosts() {
+    match eks_hashes::simd::Avx512::new() {
+        Some(h) => check_hasher::<32, _>("avx512_kernels_equal_scalar", h),
+        None => eprintln!("skipped: AVX-512F unavailable on this host"),
+    }
+}
+
+#[cfg(target_arch = "aarch64")]
+#[test]
+fn neon_kernels_equal_scalar_on_supported_hosts() {
+    match eks_hashes::simd::Neon::new() {
+        Some(h) => check_hasher::<8, _>("neon_kernels_equal_scalar", h),
+        None => eprintln!("skipped: NEON unavailable on this host"),
+    }
+}
+
+/// The autovectorized fallback satisfies the same trait contract, at
+/// both of its supported widths — so `AutoVec` and the explicit handles
+/// are interchangeable wherever a [`LaneHasher`] is expected.
+#[test]
+fn autovec_fallback_satisfies_the_same_contract() {
+    check_hasher::<8, _>("autovec8_kernels_equal_scalar", eks_hashes::AutoVec);
+    check_hasher::<16, _>("autovec16_kernels_equal_scalar", eks_hashes::AutoVec);
+}

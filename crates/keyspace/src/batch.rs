@@ -185,6 +185,49 @@ impl<'a> BlockBatch<'a> {
         BatchInfo { start_id, epoch: epoch0, uniform_suffix }
     }
 
+    /// Write the next `L` candidates' **first block words** into `out`
+    /// and advance, returning the batch metadata and the padded block of
+    /// the batch's first candidate (its words 1..16 are shared by every
+    /// lane whenever `uniform_suffix` holds).
+    ///
+    /// This is the reversed-MD5 fast path: when a search varies only the
+    /// leading 4 key bytes, the kernel needs one word per candidate —
+    /// 1/16th of [`BlockBatch::fill`]'s stores. When the returned info
+    /// says the suffix moved mid-batch (rare: once per `w[0]` rollover),
+    /// the caller must reconstruct full blocks for these identifiers and
+    /// take the forward path instead.
+    ///
+    /// # Panics
+    /// Panics when fewer than `L` candidates remain — the caller owns the
+    /// tail (scalar path).
+    #[inline]
+    pub fn fill_w0s<const L: usize>(&mut self, out: &mut [u32; L]) -> (BatchInfo, [u32; 16]) {
+        assert!(
+            self.remaining >= L as u128,
+            "fill_w0s of {L} lanes with only {} candidates remaining",
+            self.remaining
+        );
+        let start_id = self.next_id;
+        let epoch0 = self.epoch;
+        let template0 = self.template;
+        for (l, w0) in out.iter_mut().enumerate() {
+            *w0 = self.template[0];
+            if l + 1 < L {
+                self.advance_template();
+            }
+        }
+        // Same convention as `fill`: uniformity covers the L-1 advances
+        // between lanes; the positioning advance below may bump the epoch
+        // without invalidating this batch.
+        let uniform_suffix = self.epoch == epoch0;
+        self.next_id += L as u128;
+        self.remaining -= L as u128;
+        if self.remaining > 0 {
+            self.advance_template();
+        }
+        (BatchInfo { start_id, epoch: epoch0, uniform_suffix }, template0)
+    }
+
     /// Advance the key once and mirror the byte delta into the template.
     fn advance_template(&mut self) {
         let delta = advance_tracked(&mut self.key, self.space.charset(), self.space.order());
@@ -361,6 +404,29 @@ mod tests {
         let i2 = bb.fill(&mut blocks); // aa, ba
         assert_eq!(blocks[0][14], 16, "grown key has 2-byte length");
         assert!(i2.epoch > i1.epoch);
+    }
+
+    #[test]
+    fn fill_w0s_agrees_with_full_fill() {
+        let s = KeySpace::new(Charset::lowercase(), 4, 4, Order::FirstCharFastest).unwrap();
+        let mut full = BlockBatch::new(&s, BlockLayout::Md5Le, s.interval());
+        let mut fast = full.clone();
+        let mut blocks = [[0u32; 16]; 8];
+        let mut w0s = [0u32; 8];
+        for _ in 0..64 {
+            let info_full = full.fill(&mut blocks);
+            let (info_fast, template0) = fast.fill_w0s(&mut w0s);
+            assert_eq!(info_fast, info_full);
+            assert_eq!(template0, blocks[0], "first lane's whole block");
+            for (l, b) in blocks.iter().enumerate() {
+                assert_eq!(w0s[l], b[0], "lane {l} first word");
+                if info_fast.uniform_suffix {
+                    assert_eq!(b[1..], template0[1..], "lane {l} shared suffix");
+                }
+            }
+        }
+        assert_eq!(fast.next_id(), full.next_id());
+        assert_eq!(fast.remaining(), full.remaining());
     }
 
     #[test]

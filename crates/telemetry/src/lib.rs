@@ -77,6 +77,13 @@ pub mod names {
     /// Gauge `{device}`: tuned throughput in MKeys/s from the §VI
     /// tuning step.
     pub const DEVICE_RATE_MKEYS: &str = "eks_device_tuned_rate_mkeys";
+    /// Gauge `{backend, isa}`: 1 when the run selected that instruction
+    /// set for that backend (the paper's §V per-architecture kernel
+    /// specialization, resolved here by runtime CPU-feature detection).
+    pub const BACKEND_ISA: &str = "eks_backend_isa";
+    /// Gauge `{backend}`: a CPU backend's tuned single-thread
+    /// throughput in MKeys/s on this host.
+    pub const BACKEND_RATE_MKEYS: &str = "eks_backend_tuned_rate_mkeys";
     /// Gauge: whole-network parallel efficiency percent (the paper
     /// reports 85–90 %).
     pub const CLUSTER_EFFICIENCY_PCT: &str = "eks_cluster_efficiency_percent";

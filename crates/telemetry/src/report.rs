@@ -67,6 +67,12 @@ pub struct ReportData {
     pub workers: Vec<WorkerRow>,
     /// `(device, tuned MKeys/s)` rows, sorted by device.
     pub device_rates: Vec<(String, f64)>,
+    /// `(backend, isa)` selections the run recorded, sorted by backend
+    /// (which kernel specialization each CPU backend actually ran).
+    pub backend_isas: Vec<(String, String)>,
+    /// `(backend, tuned MKeys/s)` rows for CPU backends, sorted by
+    /// backend.
+    pub backend_rates: Vec<(String, f64)>,
     /// Whole-network efficiency percent, when the run recorded it.
     pub efficiency_pct: Option<f64>,
     /// Total ns inside `scan` spans (the measured `K_search` term).
@@ -136,6 +142,23 @@ pub fn analyze(samples: &[PromSample], trace: &[TraceRecord]) -> ReportData {
         .filter_map(|s| s.label("device").map(|d| (d.to_string(), s.value)))
         .collect();
     data.device_rates.sort_by(|a, b| a.0.cmp(&b.0));
+
+    data.backend_isas = samples
+        .iter()
+        .filter(|s| s.name == names::BACKEND_ISA && s.value != 0.0)
+        .filter_map(|s| match (s.label("backend"), s.label("isa")) {
+            (Some(b), Some(i)) => Some((b.to_string(), i.to_string())),
+            _ => None,
+        })
+        .collect();
+    data.backend_isas.sort();
+
+    data.backend_rates = samples
+        .iter()
+        .filter(|s| s.name == names::BACKEND_RATE_MKEYS)
+        .filter_map(|s| s.label("backend").map(|b| (b.to_string(), s.value)))
+        .collect();
+    data.backend_rates.sort_by(|a, b| a.0.cmp(&b.0));
 
     data.efficiency_pct = samples
         .iter()
@@ -235,6 +258,13 @@ pub fn render_report(samples: &[PromSample], trace: &[TraceRecord]) -> String {
     if data.rounds > 0 {
         writeln!(out, "  rounds:                  {:>12}", data.rounds).expect("write");
     }
+    for (backend, isa) in &data.backend_isas {
+        writeln!(out, "  selected ISA:            {:>12}  (backend {backend})", isa)
+            .expect("write");
+    }
+    for (backend, rate) in &data.backend_rates {
+        writeln!(out, "  tuned rate [{backend:<10}] {:>12.2} MKeys/s", rate).expect("write");
+    }
 
     if let Some(pct) = data.efficiency_pct {
         let (lo, hi) = PAPER_EFFICIENCY_RANGE;
@@ -277,6 +307,8 @@ mod tests {
         t.counter(names::BUSY_NS, &[("worker", "w0")]).add(3_000_000);
         t.counter(names::IDLE_NS, &[("worker", "w0")]).add(1_000_000);
         t.gauge(names::DEVICE_RATE_MKEYS, &[("device", "GTX 660")]).set(215.0);
+        t.gauge(names::BACKEND_ISA, &[("backend", "auto"), ("isa", "avx512")]).set(1.0);
+        t.gauge(names::BACKEND_RATE_MKEYS, &[("backend", "auto")]).set(40.5);
         t.gauge(names::CLUSTER_EFFICIENCY_PCT, &[]).set(87.5);
         t.histogram(names::CANCEL_LATENCY_NS, &[]).observe(2000);
         t.histogram(names::CANCEL_LATENCY_NS, &[]).observe(4000);
@@ -302,6 +334,8 @@ mod tests {
         assert_eq!(w0.worker, "w0");
         assert!((w0.utilization_pct() - 75.0).abs() < 1e-9);
         assert_eq!(data.device_rates, vec![("GTX 660".to_string(), 215.0)]);
+        assert_eq!(data.backend_isas, vec![("auto".to_string(), "avx512".to_string())]);
+        assert_eq!(data.backend_rates, vec![("auto".to_string(), 40.5)]);
         assert_eq!(data.efficiency_pct, Some(87.5));
         assert_eq!(data.scan_span_ns, 500_000);
         assert_eq!(data.cancel_latency_mean_ns, Some(3000.0));
@@ -334,6 +368,8 @@ mod tests {
             "cost model",
             "K_search",
             "K_D",
+            "selected ISA:                  avx512  (backend auto)",
+            "tuned rate [auto      ]        40.50 MKeys/s",
             "network efficiency: 87.5% (paper reports 85-90%",
             "membership events",
         ] {

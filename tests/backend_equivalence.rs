@@ -1,5 +1,6 @@
 //! Cross-backend equivalence: every [`eks::engine::Backend`] — scalar,
-//! 8- and 16-lane SIMD, and the simulated-GPU kernel backend — must
+//! 8- and 16-lane autovectorized, explicit-SIMD (when the host ISA
+//! allows), auto-tuned, and the simulated-GPU kernel backend — must
 //! produce identical hit sets when driven through the same
 //! [`eks::engine::Dispatcher`]. The paper's point is that one dispatch
 //! pattern covers heterogeneous devices; these properties pin the part
@@ -16,20 +17,28 @@ use std::sync::atomic::Ordering;
 use eks::cluster::SimKernelBackend;
 use eks::core::prop::{forall, Rng};
 use eks::cracker::batch::Lanes;
-use eks::cracker::{cpu_backend, TargetSet};
+use eks::cracker::{cpu_backend, AutoBackend, SimdBackend, TargetSet};
 use eks::engine::{Backend, Dispatcher, ScanMode};
 use eks::gpusim::device::Device;
 use eks::hashes::HashAlgo;
 use eks::keyspace::{Charset, Interval, Key, KeySpace};
 
-/// Every backend kind under test, freshly built.
+/// Every backend kind under test, freshly built. The explicit-SIMD
+/// backend joins the list only on hosts whose CPU exposes a supported
+/// ISA (Miri and exotic targets skip it); the auto backend always runs
+/// and exercises whichever implementation its tuner picks here.
 fn all_backends() -> Vec<Box<dyn Backend>> {
-    vec![
+    let mut backends: Vec<Box<dyn Backend>> = vec![
         cpu_backend(Lanes::Scalar),
         cpu_backend(Lanes::L8),
         cpu_backend(Lanes::L16),
         Box::new(SimKernelBackend::new(Device::geforce_gtx_660())),
-    ]
+        Box::new(AutoBackend::new(eks::telemetry::Telemetry::disabled())),
+    ];
+    if let Some(simd) = SimdBackend::best() {
+        backends.push(Box::new(simd));
+    }
+    backends
 }
 
 fn random_space(rng: &mut Rng) -> KeySpace {
