@@ -64,4 +64,60 @@ rm -rf "$BENCH_DIR"
 echo "==> bench_cracker --json BENCH_cracker.json (fails if batched < scalar, MD5 < 8x, 2-worker scaling < 1.6x, or telemetry overhead > 5%)"
 cargo bench -q -p eks-bench --bench bench_cracker -- --json "$PWD/BENCH_cracker.json" --min-md5-speedup 8.0 --min-scaling 1.6 --max-telemetry-overhead-pct 5
 
+echo "==> job service smoke: SIGKILL mid-search, restart, exactly-once resume"
+SPOOL_DIR="$(mktemp -d)"
+# Two digit-charset jobs of 10 + 100 + ... + 10^8 keys each; both
+# planted words sit deep enough that the kill below lands mid-search.
+JOB_SIZE=111111110
+./target/release/eks job submit --spool "$SPOOL_DIR" \
+  --digest "$(./target/release/eks hash 31415926)" --charset digits --max 8 --name pi > /dev/null
+./target/release/eks job submit --spool "$SPOOL_DIR" \
+  --digest "$(./target/release/eks hash 27182818)" --charset digits --max 8 --name e > /dev/null
+./target/release/eks job run --spool "$SPOOL_DIR" --threads 2 > /dev/null 2>&1 &
+RUN_PID=$!
+# Wait for the first durable checkpoint, then kill without warning.
+for _ in $(seq 1 500); do
+  if grep -q '"state":"running"' "$SPOOL_DIR/job-1.json" \
+     && ! grep -q '"tested":"0"' "$SPOOL_DIR/job-1.json"; then
+    break
+  fi
+  sleep 0.02
+done
+kill -9 "$RUN_PID" 2> /dev/null || true
+wait "$RUN_PID" 2> /dev/null || true
+if grep -q '"tested":"0"' "$SPOOL_DIR/job-1.json"; then
+  echo "FAIL: job-1 has no durable progress to resume from" >&2
+  exit 1
+fi
+for job in job-1 job-2; do
+  if grep -q "\"tested\":\"$JOB_SIZE\"" "$SPOOL_DIR/$job.json"; then
+    echo "FAIL: $job already finished before the kill; the gate proved nothing" >&2
+    exit 1
+  fi
+done
+# Restart over the same spool: both jobs must resume from their
+# checkpoints and finish with exactly-once coverage — tested equals the
+# keyspace size exactly (a rescan would overshoot, a skip undershoot).
+./target/release/eks job run --spool "$SPOOL_DIR" --threads 2 \
+  --metrics-out "$SPOOL_DIR/jobs.prom" --trace-out "$SPOOL_DIR/jobs.jsonl" > /dev/null
+for job in job-1 job-2; do
+  if ! grep -q '"state":"completed"' "$SPOOL_DIR/$job.json"; then
+    echo "FAIL: $job did not complete after the restart" >&2
+    exit 1
+  fi
+  if ! grep -q "\"tested\":\"$JOB_SIZE\"" "$SPOOL_DIR/$job.json"; then
+    echo "FAIL: $job coverage is not exactly $JOB_SIZE keys (rescan or skip)" >&2
+    exit 1
+  fi
+done
+# 3331343135393236 = hex("31415926"): the planted key was found.
+if ! grep -q '"key":"3331343135393236"' "$SPOOL_DIR/job-1.json"; then
+  echo "FAIL: job-1 never found its planted key" >&2
+  exit 1
+fi
+# The per-job telemetry dimension renders in the report.
+./target/release/eks report --metrics "$SPOOL_DIR/jobs.prom" --trace "$SPOOL_DIR/jobs.jsonl" \
+  | grep -q "job-1" || { echo "FAIL: report lacks the per-job table" >&2; exit 1; }
+rm -rf "$SPOOL_DIR"
+
 echo "CI green."

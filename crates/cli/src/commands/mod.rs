@@ -1,0 +1,232 @@
+//! Subcommand implementations, one module per command family, plus the
+//! flag-grammar helpers they share. The dispatch table below is the
+//! whole public surface: `main` hands every invocation to [`run`].
+
+mod analyze;
+mod bench;
+mod cluster;
+mod crack;
+mod job;
+mod misc;
+mod report;
+mod verify;
+
+use crate::args::Args;
+use crate::log::{Level, Logger};
+use eks_engine::SchedPolicy;
+use eks_hashes::HashAlgo;
+use eks_keyspace::Charset;
+use eks_telemetry::Telemetry;
+
+/// Dispatch a subcommand.
+pub fn run(command: &str, args: &Args) -> Result<(), String> {
+    match command {
+        "crack" => crack::cmd_crack(args),
+        "hash" => misc::cmd_hash(args),
+        "mine" => misc::cmd_mine(args),
+        "analyze" => analyze::cmd_analyze(args),
+        "verify" => verify::cmd_verify(args),
+        "devices" => misc::cmd_devices(),
+        "disasm" => misc::cmd_disasm(args),
+        "profile" => misc::cmd_profile(args),
+        "audit" => misc::cmd_audit(args),
+        "strength" => cluster::cmd_strength(args),
+        "simulate" => cluster::cmd_simulate(args),
+        "cluster" => cluster::cmd_cluster(args),
+        "report" => report::cmd_report(args),
+        "tune" => cluster::cmd_tune(args),
+        "bench" => bench::cmd_bench(args),
+        "job" => job::cmd_job(args),
+        "serve" => job::cmd_serve(args),
+        "help" | "--help" | "-h" => {
+            print_help();
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?}")),
+    }
+}
+
+fn print_help() {
+    println!("eks — exhaustive key search on (simulated) clusters of GPUs");
+    println!();
+    println!("commands:");
+    println!("  crack    --algo md5|sha1|ntlm --digest HEX [--charset lower|upper|digits|alpha|alnum|print]");
+    println!("           [--min N] [--max N] [--threads N] [--all] [--salt-prefix S] [--salt-suffix S]");
+    println!("           [--mask \"?u?l?l?d?d\"] [--words w1,w2,... [--suffix-digits N]]");
+    println!("           [--batch] [--lanes scalar|8|16]   lane-batched hashing (default: 8 lanes;");
+    println!("           mask/hybrid/salted searches always use the scalar path)");
+    println!("           [--backend scalar|lanes8|lanes16|simd|auto|simgpu [--device 660]]");
+    println!("           pick the engine backend explicitly: simd runs the explicit");
+    println!("           AVX2/AVX-512/NEON kernels on the widest ISA the CPU reports");
+    println!("           ([--isa avx2|avx512|neon] forces one; unavailable ISAs are a");
+    println!("           friendly error), auto tunes every CPU implementation per");
+    println!("           algorithm and runs the winner, simgpu drives a simulated");
+    println!("           device's kernel");
+    println!("           [--sched static|queue|steal]   worker scheduling (default: steal —");
+    println!("           per-worker interval deques with steal-half rebalancing)");
+    println!("           [--chunk N]   chunk size: the fixed pop in queue mode, the guided");
+    println!("           floor otherwise (default: derived from --threads; must be >= 1)");
+    println!("           [--stats]   print the per-worker scheduler table (tested, steals,");
+    println!("           splits, busy/idle ms, util%, keys/s) after the search");
+    println!("           [--metrics-out F.prom] [--trace-out F.jsonl]   write telemetry");
+    println!("           artifacts; [--progress] periodic keys/s + ETA + %-keyspace line;");
+    println!("           [--quiet|--verbose]   logging level");
+    println!("  hash     --algo md5|sha1 PLAINTEXT       compute a digest");
+    println!("  mine     [--difficulty BITS] [--header STR] [--threads N]");
+    println!("  analyze  [--algo md5|sha1|ntlm] [--variant optimized|naive|reversed]");
+    println!("           [--json] [--deny warnings] [--tolerance 0.12]");
+    println!("           static analysis: dataflow + peephole lints, register pressure,");
+    println!("           Table III-VI budget gate; non-zero exit on deny-level findings");
+    println!("  verify   [--workers N] [--intervals N] [--depth N] [--json]");
+    println!("           [--deny violations|warnings] [--mutate NAME]");
+    println!("           bounded exhaustive model checking of the work-stealing scheduler");
+    println!("           protocol (exactly-once, no-lost-lease, lowest-id merge, the");
+    println!("           cancellation bound) plus grid-IR soundness passes (bounds,");
+    println!("           must-defined, barrier divergence) over every shipped kernel");
+    println!("           wrapper; prints per-check state/transition counts and a");
+    println!("           counterexample trace on violation (non-zero exit). --mutate runs");
+    println!("           a seeded-bug model instead: drop-lease, double-count,");
+    println!("           merge-highest, ignore-cancel, unguarded-store, uninit-read,");
+    println!("           divergent-barrier");
+    println!("  devices                                  the paper's GPU catalog (Table VII)");
+    println!("  disasm   [--algo md5|sha1] [--cc 3.0] [--tool ours|barswf|cryptohaze]");
+    println!("  profile  [--algo md5|sha1|ntlm] [--device 660]   simulated profiler report");
+    println!("  audit    --digests h1,h2,... [--accounts a,b,...] [--charset ...] [--max N]");
+    println!("  strength PASSWORD [--algo md5] [--charset alnum] [--max N]   time-to-crack");
+    println!("  simulate [--keys N] [--algo md5|sha1]    whole-network DES (Table IX)");
+    println!("           [--topology \"A(660) -> B(550Ti, cpu:4)\"]   custom cluster");
+    println!("  cluster  --digest HEX [--algo md5|sha1|ntlm] [--charset ...] [--min N] [--max N]");
+    println!("           [--topology \"A(660, cpu:2)\"] [--all]   really crack across a");
+    println!("           heterogeneous cluster of CPU + simulated-GPU backends");
+    println!("           [--sched static|queue|steal]   leaf scheduling (default: static —");
+    println!("           rate-proportional shares; steal lets drained leaves rebalance)");
+    println!("           [--metrics-out F.prom] [--trace-out F.jsonl] [--quiet|--verbose]");
+    println!("  report   --metrics F.prom [--trace F.jsonl]   render a run report from");
+    println!("           telemetry artifacts: per-worker utilization, tuned rates, the");
+    println!("           paper's SIII cost-model phases, and network efficiency vs 85-90%");
+    println!("  tune     [--threads N]                   tune devices and this host's CPU");
+    println!("  bench    [--json FILE]                   tune every CPU backend on this host");
+    println!("           and print the per-(backend, algo) rates, the detected CPU");
+    println!("           features, and the selected ISA; --json writes the schema-3");
+    println!("           host-tuning report (cpu_features, rates, per-algo auto choice)");
+    println!("  job      --spool DIR submit|list|status|cancel|pause|resume|run");
+    println!("           submit --algo md5|sha1|ntlm --digest HEX [--name S] [--charset ...]");
+    println!("           [--min N] [--max N] [--priority N] [--first-hit]   enqueue a job");
+    println!("           list                                    one line per spooled job");
+    println!("           status <id>                             full record of one job");
+    println!("           cancel|pause|resume <id>                lifecycle transitions");
+    println!("           run [--threads N] [--topology ...] [--round-keys N]   drive the");
+    println!("           fair-share scheduler until every runnable job completes; safe to");
+    println!("           kill at any instant — completed leases are checkpointed and a");
+    println!("           restart resumes with no rescanned and no skipped keys");
+    println!("           [--metrics-out F.prom] [--trace-out F.jsonl]   per-job telemetry");
+    println!("  serve    --spool DIR [--addr HOST:PORT] [--threads N] [--round-keys N]");
+    println!("           [--no-run]   the job service as a JSON-lines TCP protocol:");
+    println!("           one request object per line ({{\"cmd\":\"submit\"|\"list\"|\"status\"|");
+    println!("           \"cancel\"|\"pause\"|\"resume\"|\"shutdown\"}}), one response per");
+    println!("           line; a scheduler thread drives the spool unless --no-run");
+}
+
+fn parse_algo(args: &Args) -> Result<HashAlgo, String> {
+    match args.get_or("algo", "md5") {
+        "md5" => Ok(HashAlgo::Md5),
+        "sha1" => Ok(HashAlgo::Sha1),
+        "ntlm" => Ok(HashAlgo::Ntlm),
+        other => Err(format!("unsupported --algo {other:?} (md5, sha1 or ntlm)")),
+    }
+}
+
+fn parse_charset(args: &Args) -> Result<Charset, String> {
+    Ok(match args.get_or("charset", "lower") {
+        "lower" => Charset::lowercase(),
+        "upper" => Charset::uppercase(),
+        "digits" => Charset::digits(),
+        "alpha" => Charset::alpha(),
+        "alnum" => Charset::alphanumeric(),
+        "print" => Charset::printable_ascii(),
+        custom => Charset::from_bytes(custom.as_bytes())
+            .map_err(|e| format!("invalid custom charset: {e}"))?,
+    })
+}
+
+/// `--sched static|queue|steal` picks the worker scheduling policy;
+/// `default` is the subcommand's policy when the flag is absent.
+fn parse_sched(args: &Args, default: SchedPolicy) -> Result<SchedPolicy, String> {
+    match args.get("sched") {
+        None => Ok(default),
+        Some(s) => SchedPolicy::parse(s)
+            .ok_or(format!("unsupported --sched {s:?} (static, queue or steal)")),
+    }
+}
+
+/// `--chunk N` overrides the scheduler's chunk size (the fixed pop in
+/// queue mode, the guided floor otherwise). Zero is rejected here so it
+/// surfaces as a usage error instead of an engine panic.
+fn parse_chunk(args: &Args) -> Result<Option<u64>, String> {
+    let Some(s) = args.get("chunk") else { return Ok(None) };
+    let chunk: u64 = s.parse().map_err(|_| format!("invalid --chunk {s:?}"))?;
+    if chunk == 0 {
+        return Err("--chunk must be at least 1".into());
+    }
+    Ok(Some(chunk))
+}
+
+/// Resolve the observability options shared by `crack` and `cluster`:
+/// the registry is enabled whenever any telemetry flag asks for output
+/// (`--metrics-out`, `--trace-out`, `--progress`), otherwise the
+/// disabled handle keeps the hot path untouched; the logger level comes
+/// from `--quiet`/`--verbose`.
+fn parse_telemetry(args: &Args) -> Result<(Telemetry, Logger), String> {
+    let wants = args.has("metrics-out") || args.has("trace-out") || args.has("progress");
+    let telemetry = if wants { Telemetry::enabled() } else { Telemetry::disabled() };
+    let level = Level::from_flags(args.has("quiet"), args.has("verbose"))?;
+    Ok((telemetry.clone(), Logger::new(level, telemetry)))
+}
+
+/// Write the `--metrics-out` (Prometheus text exposition) and
+/// `--trace-out` (JSONL trace) artifacts after a run.
+fn write_artifacts(args: &Args, telemetry: &Telemetry, log: &Logger) -> Result<(), String> {
+    if let Some(path) = args.get("metrics-out") {
+        std::fs::write(path, telemetry.render_prometheus())
+            .map_err(|e| format!("cannot write --metrics-out {path:?}: {e}"))?;
+        log.verbose(format!("wrote metrics exposition to {path}"));
+    }
+    if let Some(path) = args.get("trace-out") {
+        std::fs::write(path, telemetry.trace_jsonl())
+            .map_err(|e| format!("cannot write --trace-out {path:?}: {e}"))?;
+        log.verbose(format!("wrote trace JSONL to {path}"));
+    }
+    Ok(())
+}
+
+/// `--threads N` with `N >= 1`.
+fn parse_threads(args: &Args, default: usize) -> Result<usize, String> {
+    let threads: usize = args.get_parse_or("threads", default)?;
+    if threads == 0 {
+        return Err("--threads must be at least 1".into());
+    }
+    Ok(threads)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::run;
+    use crate::args::Args;
+
+    fn args(s: &[&str]) -> Args {
+        Args::parse(s.iter().map(|x| x.to_string())).unwrap()
+    }
+
+    #[test]
+    fn informational_commands() {
+        assert!(run("devices", &args(&["devices"])).is_ok());
+        assert!(run("help", &args(&["help"])).is_ok());
+        let a = args(&["simulate", "--keys", "1e9"]);
+        assert!(run("simulate", &a).is_ok());
+    }
+
+    #[test]
+    fn unknown_command_errors() {
+        assert!(run("frobnicate", &args(&["frobnicate"])).is_err());
+    }
+}

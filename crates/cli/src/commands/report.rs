@@ -1,0 +1,94 @@
+//! `eks report` — render a run report from saved telemetry artifacts.
+
+use crate::args::Args;
+use eks_telemetry::{parse_prometheus, parse_trace_jsonl, report::render_report};
+
+/// `eks report --metrics <file.prom> [--trace <file.jsonl>]`: parse the
+/// artifacts a `crack`/`cluster` run wrote and render the run report —
+/// per-worker utilization, per-device tuned rates, the paper's SIII
+/// cost-model phases, and the measured network efficiency next to the
+/// 85-90% band the paper reports.
+pub(super) fn cmd_report(args: &Args) -> Result<(), String> {
+    let metrics_path = args.get("metrics").ok_or("report requires --metrics <file.prom>")?;
+    let text = std::fs::read_to_string(metrics_path)
+        .map_err(|e| format!("cannot read --metrics {metrics_path:?}: {e}"))?;
+    let samples =
+        parse_prometheus(&text).map_err(|e| format!("invalid Prometheus exposition: {e}"))?;
+    let records = match args.get("trace") {
+        Some(path) => {
+            let jsonl = std::fs::read_to_string(path)
+                .map_err(|e| format!("cannot read --trace {path:?}: {e}"))?;
+            parse_trace_jsonl(&jsonl).map_err(|e| format!("invalid trace JSONL: {e}"))?
+        }
+        None => Vec::new(),
+    };
+    print!("{}", render_report(&samples, &records));
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::args::Args;
+    use crate::commands::run;
+    use eks_hashes::{to_hex, HashAlgo};
+    use eks_telemetry::{parse_prometheus, parse_trace_jsonl};
+
+    fn args(s: &[&str]) -> Args {
+        Args::parse(s.iter().map(|x| x.to_string())).unwrap()
+    }
+
+    #[test]
+    fn crack_writes_parseable_telemetry_artifacts_and_report_renders_them() {
+        let dir = std::env::temp_dir().join(format!("eks-cli-telemetry-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let metrics = dir.join("m.prom");
+        let trace = dir.join("t.jsonl");
+        let digest = to_hex(&HashAlgo::Md5.hash(b"zzz"));
+        let a = args(&[
+            "crack",
+            "--digest",
+            &digest,
+            "--max",
+            "3",
+            "--threads",
+            "2",
+            "--all",
+            "--metrics-out",
+            metrics.to_str().unwrap(),
+            "--trace-out",
+            trace.to_str().unwrap(),
+        ]);
+        assert!(run("crack", &a).is_ok());
+
+        // Both artifacts must parse with the self-contained checkers.
+        let samples = parse_prometheus(&std::fs::read_to_string(&metrics).unwrap()).unwrap();
+        assert!(samples.iter().any(|s| s.name == "eks_keys_tested_total"), "{samples:?}");
+        let records = parse_trace_jsonl(&std::fs::read_to_string(&trace).unwrap()).unwrap();
+        assert!(records.iter().any(|r| r.name == "scan"), "scan spans recorded");
+
+        // And `eks report` renders them.
+        let r = args(&[
+            "report",
+            "--metrics",
+            metrics.to_str().unwrap(),
+            "--trace",
+            trace.to_str().unwrap(),
+        ]);
+        assert!(run("report", &r).is_ok());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn report_requires_metrics_and_rejects_garbage() {
+        assert!(run("report", &args(&["report"])).is_err(), "needs --metrics");
+        let missing = args(&["report", "--metrics", "/nonexistent/m.prom"]);
+        assert!(run("report", &missing).is_err());
+        let dir = std::env::temp_dir();
+        let bad = dir.join(format!("eks-cli-bad-{}.prom", std::process::id()));
+        std::fs::write(&bad, "eks_x{ 1\n").unwrap();
+        let a = args(&["report", "--metrics", bad.to_str().unwrap()]);
+        let err = run("report", &a).expect_err("malformed exposition");
+        assert!(err.contains("invalid Prometheus"), "{err}");
+        std::fs::remove_file(&bad).ok();
+    }
+}

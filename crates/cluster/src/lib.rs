@@ -15,6 +15,10 @@
 //! * [`runtime`] — a real multi-threaded runtime (one thread per node,
 //!   scoped std threads) that actually cracks keys through the same
 //!   dispatch pattern, for end-to-end functional verification;
+//! * [`multijob`] — the same planned tree serving a whole *spool* of
+//!   jobs: the cluster's devices become a persistent [`eks_jobs::Fleet`]
+//!   the job service leases keyspace onto, with join/leave events
+//!   applied between fair-share rounds;
 //! * [`fault`] — the minimum fault-tolerance model the paper sketches:
 //!   detect a dead subtree, requeue its outstanding interval, repartition
 //!   over the survivors.
@@ -34,6 +38,7 @@ pub mod des;
 pub mod dynamic;
 pub mod fault;
 pub mod model;
+pub mod multijob;
 pub mod rounds;
 pub mod runtime;
 pub mod simgpu;
@@ -50,6 +55,10 @@ pub use dynamic::{
 };
 pub use fault::{simulate_search_with_failure, FailureEvent, FailureReport};
 pub use model::{calibrate, fit_model, FittedModel};
+pub use multijob::{
+    plan_job_fleet, run_cluster_jobs, run_dynamic_jobs, FleetEvent, MultiJobReport,
+    ScheduledFleetEvent,
+};
 pub use rounds::{run_rounds, run_rounds_observed, RoundConfig, RoundReport};
 pub use runtime::{
     run_cluster_search, run_cluster_search_observed, run_cluster_search_sched, ClusterSearchResult,

@@ -1,302 +1,10 @@
 //! Checkpointing long searches.
 //!
-//! A realistic audit sweeps days of keyspace; the paper's dispatch
-//! pattern makes progress trivially checkpointable because work is
-//! identifier intervals: remembering the frontier of completed chunks is
-//! enough to resume exactly where a crash or shutdown interrupted.
-//!
-//! The format is a tiny line-oriented text file (no external
-//! dependencies): a header line and one line per pending sub-interval.
+//! The frontier type itself now lives in the engine layer
+//! ([`eks_engine::checkpoint`]) so the multi-tenant job service, the
+//! cluster rounds driver, and this crate's audit session all share one
+//! implementation of the pending-interval arithmetic and its two
+//! serialized forms (legacy text and schema-stamped JSON). This module
+//! re-exports it under the historical path.
 
-// Indexing/slicing below is over fixed-size state arrays or lengths
-// established by construction; the workspace `clippy::indexing_slicing`
-// escalation guards new code, not these proven accesses.
-#![allow(clippy::indexing_slicing)]
-
-use std::fmt::Write as _;
-
-use eks_keyspace::Interval;
-
-/// Persistent search progress: the original interval and what remains.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct Checkpoint {
-    /// The full interval the search covers.
-    pub full: Interval,
-    /// Sub-intervals not yet completed, sorted, non-overlapping.
-    pub pending: Vec<Interval>,
-}
-
-impl Checkpoint {
-    /// A fresh checkpoint with everything pending.
-    pub fn new(full: Interval) -> Self {
-        Self { full, pending: if full.is_empty() { Vec::new() } else { vec![full] } }
-    }
-
-    /// Keys still to be tested.
-    pub fn remaining(&self) -> u128 {
-        self.pending.iter().map(|iv| iv.len).sum()
-    }
-
-    /// Completed fraction in `[0, 1]`.
-    pub fn progress(&self) -> f64 {
-        if self.full.len == 0 {
-            return 1.0;
-        }
-        1.0 - self.remaining() as f64 / self.full.len as f64
-    }
-
-    /// True when nothing remains.
-    pub fn is_complete(&self) -> bool {
-        self.pending.is_empty()
-    }
-
-    /// Mark `done` as completed, splitting pending intervals as needed.
-    ///
-    /// Completing an interval twice (or one never pending) is a no-op for
-    /// the already-complete part — idempotent by design, since cluster
-    /// workers may re-report after a requeue.
-    pub fn complete(&mut self, done: Interval) {
-        if done.is_empty() {
-            return;
-        }
-        let mut next = Vec::with_capacity(self.pending.len() + 1);
-        for iv in &self.pending {
-            let overlap = iv.intersect(&done);
-            if overlap.is_empty() {
-                next.push(*iv);
-                continue;
-            }
-            // Left remainder.
-            if iv.start < overlap.start {
-                next.push(Interval::new(iv.start, overlap.start - iv.start));
-            }
-            // Right remainder.
-            if overlap.end() < iv.end() {
-                next.push(Interval::new(overlap.end(), iv.end() - overlap.end()));
-            }
-        }
-        next.sort_by_key(|iv| iv.start);
-        self.pending = next;
-    }
-
-    /// Pop up to `n` keys of pending work (the resume-side dispatcher).
-    pub fn take_work(&mut self, n: u128) -> Option<Interval> {
-        let first = self.pending.first_mut()?;
-        let take = first.take_front(n);
-        if first.is_empty() {
-            self.pending.remove(0);
-        }
-        Some(take)
-    }
-
-    /// Return work taken with [`Checkpoint::take_work`] that was never
-    /// scanned (a worker went silent mid-round): the interval becomes
-    /// pending again, merged with its neighbours.
-    ///
-    /// # Panics
-    /// Panics when the interval escapes the checkpoint's full range or
-    /// overlaps work that is still pending (double-requeue).
-    pub fn requeue(&mut self, interval: Interval) {
-        if interval.is_empty() {
-            return;
-        }
-        assert_eq!(
-            interval.intersect(&self.full),
-            interval,
-            "requeued interval escapes the checkpoint range"
-        );
-        for iv in &self.pending {
-            assert!(
-                iv.intersect(&interval).is_empty(),
-                "requeued interval overlaps pending work"
-            );
-        }
-        self.pending.push(interval);
-        self.pending.sort_by_key(|iv| iv.start);
-        // Merge adjacent fragments to keep the list compact.
-        let mut merged: Vec<Interval> = Vec::with_capacity(self.pending.len());
-        for iv in self.pending.drain(..) {
-            match merged.last_mut() {
-                Some(last) if last.end() == iv.start => last.len += iv.len,
-                _ => merged.push(iv),
-            }
-        }
-        self.pending = merged;
-    }
-
-    /// Serialize to the checkpoint text format.
-    pub fn serialize(&self) -> String {
-        let mut out = String::new();
-        writeln!(out, "eks-checkpoint v1 {} {}", self.full.start, self.full.len)
-            .expect("write to string");
-        for iv in &self.pending {
-            writeln!(out, "{} {}", iv.start, iv.len).expect("write to string");
-        }
-        out
-    }
-
-    /// Parse the checkpoint text format.
-    pub fn deserialize(text: &str) -> Result<Self, String> {
-        let mut lines = text.lines();
-        let header = lines.next().ok_or("empty checkpoint")?;
-        let mut parts = header.split_whitespace();
-        if parts.next() != Some("eks-checkpoint") || parts.next() != Some("v1") {
-            return Err("bad checkpoint header".into());
-        }
-        let start: u128 = parts
-            .next()
-            .ok_or("missing start")?
-            .parse()
-            .map_err(|_| "bad start")?;
-        let len: u128 = parts
-            .next()
-            .ok_or("missing len")?
-            .parse()
-            .map_err(|_| "bad len")?;
-        let full = Interval::new(start, len);
-        let mut pending = Vec::new();
-        for (i, line) in lines.enumerate() {
-            if line.trim().is_empty() {
-                continue;
-            }
-            let mut p = line.split_whitespace();
-            let s: u128 = p
-                .next()
-                .ok_or(format!("line {i}: missing start"))?
-                .parse()
-                .map_err(|_| format!("line {i}: bad start"))?;
-            let l: u128 = p
-                .next()
-                .ok_or(format!("line {i}: missing len"))?
-                .parse()
-                .map_err(|_| format!("line {i}: bad len"))?;
-            let iv = Interval::new(s, l);
-            if iv.intersect(&full) != iv {
-                return Err(format!("line {i}: pending interval escapes the full range"));
-            }
-            pending.push(iv);
-        }
-        pending.sort_by_key(|iv| iv.start);
-        // Reject overlaps: they would double-count work.
-        for w in pending.windows(2) {
-            if w[0].end() > w[1].start {
-                return Err("overlapping pending intervals".into());
-            }
-        }
-        Ok(Self { full, pending })
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn fresh_checkpoint_has_everything_pending() {
-        let c = Checkpoint::new(Interval::new(100, 1000));
-        assert_eq!(c.remaining(), 1000);
-        assert_eq!(c.progress(), 0.0);
-        assert!(!c.is_complete());
-    }
-
-    #[test]
-    fn completing_middle_splits_pending() {
-        let mut c = Checkpoint::new(Interval::new(0, 100));
-        c.complete(Interval::new(40, 20));
-        assert_eq!(c.pending, vec![Interval::new(0, 40), Interval::new(60, 40)]);
-        assert_eq!(c.remaining(), 80);
-        assert!((c.progress() - 0.2).abs() < 1e-12);
-    }
-
-    #[test]
-    fn completing_everything_finishes() {
-        let mut c = Checkpoint::new(Interval::new(0, 100));
-        c.complete(Interval::new(0, 60));
-        c.complete(Interval::new(60, 40));
-        assert!(c.is_complete());
-        assert_eq!(c.progress(), 1.0);
-    }
-
-    #[test]
-    fn complete_is_idempotent() {
-        let mut c = Checkpoint::new(Interval::new(0, 100));
-        c.complete(Interval::new(10, 30));
-        let snapshot = c.clone();
-        c.complete(Interval::new(10, 30));
-        c.complete(Interval::new(15, 10));
-        assert_eq!(c, snapshot);
-    }
-
-    #[test]
-    fn take_work_drains_in_order() {
-        let mut c = Checkpoint::new(Interval::new(0, 100));
-        c.complete(Interval::new(30, 10));
-        assert_eq!(c.take_work(20), Some(Interval::new(0, 20)));
-        assert_eq!(c.take_work(20), Some(Interval::new(20, 10)), "clipped at the gap");
-        assert_eq!(c.take_work(100), Some(Interval::new(40, 60)));
-        assert_eq!(c.take_work(1), None);
-    }
-
-    #[test]
-    fn serialization_round_trip() {
-        let mut c = Checkpoint::new(Interval::new(5, 1_000_000));
-        c.complete(Interval::new(100, 500));
-        c.complete(Interval::new(999_000, 100));
-        let text = c.serialize();
-        let back = Checkpoint::deserialize(&text).unwrap();
-        assert_eq!(back, c);
-    }
-
-    #[test]
-    fn deserialize_rejects_garbage() {
-        assert!(Checkpoint::deserialize("").is_err());
-        assert!(Checkpoint::deserialize("nope v1 0 10").is_err());
-        assert!(Checkpoint::deserialize("eks-checkpoint v1 0").is_err());
-        assert!(
-            Checkpoint::deserialize("eks-checkpoint v1 0 10\n5 20").is_err(),
-            "pending escapes range"
-        );
-        assert!(
-            Checkpoint::deserialize("eks-checkpoint v1 0 100\n0 20\n10 20").is_err(),
-            "overlap"
-        );
-    }
-
-    #[test]
-    fn requeue_restores_and_merges() {
-        let mut c = Checkpoint::new(Interval::new(0, 100));
-        let a = c.take_work(30).unwrap();
-        let b = c.take_work(30).unwrap();
-        c.complete(a);
-        // b was lost: requeue it; it must merge with the remaining tail.
-        c.requeue(b);
-        assert_eq!(c.remaining(), 70);
-        assert_eq!(c.pending, vec![Interval::new(30, 70)], "merged with the tail");
-        assert_eq!(c.take_work(1000), Some(Interval::new(30, 70)));
-    }
-
-    #[test]
-    #[should_panic]
-    fn double_requeue_rejected() {
-        let mut c = Checkpoint::new(Interval::new(0, 100));
-        let a = c.take_work(30).unwrap();
-        c.requeue(a);
-        c.requeue(a);
-    }
-
-    #[test]
-    fn resumed_search_covers_exactly_the_remainder() {
-        // Simulate an interrupted sweep: complete a prefix, serialize,
-        // deserialize, drain the rest, and check total coverage.
-        let full = Interval::new(0, 10_000);
-        let mut c = Checkpoint::new(full);
-        c.complete(Interval::new(0, 4_321));
-        let restored = Checkpoint::deserialize(&c.serialize()).unwrap();
-        let mut resumed = restored;
-        let mut covered = 0u128;
-        while let Some(iv) = resumed.take_work(1_000) {
-            covered += iv.len;
-        }
-        assert_eq!(covered, 10_000 - 4_321);
-    }
-}
+pub use eks_engine::checkpoint::{Checkpoint, CheckpointError, SearchCheckpoint};

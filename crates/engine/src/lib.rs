@@ -23,7 +23,11 @@
 //!   core — deque-scheduled workers ([`Dispatcher::run_deques`] /
 //!   [`Dispatcher::run_workers`]), the classic work queue
 //!   ([`Dispatcher::run_queue`], now a thin wrapper) and tree dispatch
-//!   ([`Dispatcher::scan_as`]).
+//!   ([`Dispatcher::scan_as`]);
+//! * [`checkpoint`] — serializable search state: the completed-work
+//!   frontier ([`Checkpoint`]) and the schema-stamped JSON snapshot of a
+//!   mid-search dispatcher ([`SearchCheckpoint`]), the substrate the
+//!   multi-tenant job service persists and resumes from.
 //!
 //! Backend *implementations* live up-stack: `eks-cracker` provides the
 //! scalar and lane-batched CPU backends, `eks-cluster` the simulated-GPU
@@ -31,12 +35,16 @@
 //! `eks-hashes`, so every layer above can plug in.
 
 pub mod backend;
+pub mod checkpoint;
 pub mod dispatch;
 pub mod poll;
 pub mod steal;
 pub mod target;
 
 pub use backend::{Backend, BackendKind, ScanMode, ScanReport};
+pub use checkpoint::{
+    Checkpoint, CheckpointError, SearchCheckpoint, CHECKPOINT_SCHEMA_VERSION,
+};
 pub use dispatch::{DequeLeaf, DispatchReport, Dispatcher, ProgressEvent, SchedOptions, WorkerId};
 pub use poll::{poll_quantum, PollCursor, POLL_CHUNK};
 pub use steal::{steal_split, ChunkPolicy, IntervalDeques, SchedPolicy, WorkerStats, GUIDED_DIVISOR};

@@ -26,6 +26,7 @@ pub fn poll_quantum(stride: u128) -> u128 {
 /// each one. A pre-raised flag cancels before anything is scanned.
 #[derive(Debug)]
 pub struct PollCursor<'a> {
+    full: Interval,
     remaining: Interval,
     stop: &'a AtomicBool,
     chunk: u128,
@@ -45,6 +46,7 @@ impl<'a> PollCursor<'a> {
     pub fn with_stride(interval: Interval, stop: &'a AtomicBool, stride: u128) -> Self {
         let chunk = poll_quantum(stride);
         Self {
+            full: interval,
             remaining: interval,
             stop,
             chunk,
@@ -79,6 +81,15 @@ impl<'a> PollCursor<'a> {
     pub fn remaining(&self) -> Interval {
         self.remaining
     }
+
+    /// The prefix already handed out as chunks. Consumption is strictly
+    /// front-to-back, so `consumed()` and [`PollCursor::remaining`]
+    /// partition the original interval exactly — this is what a
+    /// checkpoint records to make consumed-vs-outstanding work
+    /// reconstructible after a restart.
+    pub fn consumed(&self) -> Interval {
+        Interval::new(self.full.start, self.full.len - self.remaining.len)
+    }
 }
 
 #[cfg(test)]
@@ -99,6 +110,23 @@ mod tests {
         }
         assert_eq!(covered, 10_000);
         assert!(!cursor.cancelled());
+        assert_eq!(cursor.consumed(), Interval::new(10, 10_000));
+        assert!(cursor.remaining().is_empty());
+    }
+
+    #[test]
+    fn consumed_and_remaining_partition_the_interval() {
+        let stop = AtomicBool::new(false);
+        let full = Interval::new(100, 100_000);
+        let mut cursor = PollCursor::new(full, &stop);
+        assert!(cursor.consumed().is_empty());
+        cursor.next_chunk();
+        cursor.next_chunk();
+        let consumed = cursor.consumed();
+        let remaining = cursor.remaining();
+        assert_eq!(consumed.start, full.start);
+        assert_eq!(consumed.end(), remaining.start, "contiguous partition");
+        assert_eq!(consumed.len + remaining.len, full.len);
     }
 
     #[test]

@@ -287,6 +287,15 @@ impl IntervalDeques {
         best.map(|(i, _)| i)
     }
 
+    /// The current per-slot intervals, in slot order (empty slots
+    /// included, so indices line up with leaves). Taken one lock at a
+    /// time: only meaningful as a *checkpoint* when the owning round is
+    /// quiescent — between rounds, or after `run_deques` returned —
+    /// where it is exact. [`IntervalDeques::assign`] restores it.
+    pub fn snapshot(&self) -> Vec<Interval> {
+        self.slots.iter().map(|s| *s.lock().expect("deque slot")).collect()
+    }
+
     /// Steal-half: split the back half of the largest remote deque into
     /// `thief`'s (empty) slot. Returns the victim's slot index, or
     /// `None` when every remote deque is empty — the queue is drained

@@ -1,0 +1,35 @@
+//! # eks-jobs — the multi-tenant job service
+//!
+//! The paper's dispatcher assumes one search owning the whole fleet.
+//! This crate breaks that assumption: many concurrent crack **jobs** are
+//! multiplexed onto the same scatter/gather machinery with exactly-once
+//! coverage preserved across process kills.
+//!
+//! * [`job`] — job identity, spec, lifecycle
+//!   (`pending → running ⇄ paused → completed/cancelled`), and the
+//!   schema-stamped JSON record;
+//! * [`store`] — the spool directory: one atomically-written file per
+//!   job, self-describing and relocatable;
+//! * [`sched`] — inter-job fair share: the paper's §III scatter
+//!   proportions applied one level up, with priorities as weights;
+//! * [`service`] — the round loop: carve a key budget across runnable
+//!   jobs, dispatch each job's lease over the shared [`Fleet`]
+//!   (second-level scatter by tuned rate, stealing on), checkpoint
+//!   after every lease.
+//!
+//! The crash-safety contract, end to end: a record on disk is always a
+//! complete document (temp-file + rename); the frontier of completed
+//! intervals only advances in the same write that carries the credit
+//! derived from it; so a SIGKILL at any instant costs at most one
+//! in-flight lease of *rescanning*, never a double-credit and never a
+//! skipped key.
+
+pub mod job;
+pub mod sched;
+pub mod service;
+pub mod store;
+
+pub use job::{JobError, JobHit, JobId, JobRecord, JobSpec, JobState, JOB_SCHEMA_VERSION};
+pub use sched::carve_budget;
+pub use service::{Fleet, FleetMember, JobService, RoundReport, ServiceConfig};
+pub use store::JobStore;

@@ -1,0 +1,75 @@
+//! Inter-job fair share: the paper's scatter proportions, one level up.
+//!
+//! The paper's §III scatter step sizes each device's sub-interval by
+//! tuned throughput (`N_j = N_max · X_j / X_max`). The job scheduler
+//! reuses exactly that arithmetic — [`Interval::split_weighted`], the
+//! same function `IntervalDeques::scatter` is built on — but with
+//! *priorities* as the weights and a round's key budget as the interval:
+//! a priority-2 job receives twice the keys per round of a priority-1
+//! job. Within each job's share, the second scatter level (per-worker,
+//! by tuned rate) is unchanged.
+
+use eks_keyspace::Interval;
+
+/// Split a round's key budget across jobs proportionally to their
+/// priorities, clipped to what each job still owes. Shares lost to
+/// clipping are *not* redistributed within the round — the next round's
+/// weights only cover still-runnable jobs, so the budget shifts to them
+/// automatically and no job is ever over-leased.
+///
+/// Returns one lease budget per job, aligned with the input slice.
+pub fn carve_budget(budget: u128, jobs: &[(u32, u128)]) -> Vec<u128> {
+    if jobs.is_empty() || budget == 0 {
+        return vec![0; jobs.len()];
+    }
+    let weights: Vec<f64> = jobs.iter().map(|&(priority, _)| priority.max(1) as f64).collect();
+    // The scatter proportion function itself: split a synthetic
+    // [0, budget) interval and keep only the part lengths.
+    Interval::new(0, budget)
+        .split_weighted(&weights)
+        .into_iter()
+        .zip(jobs)
+        .map(|(part, &(_, remaining))| part.len.min(remaining))
+        .collect()
+}
+
+#[cfg(test)]
+#[allow(clippy::indexing_slicing)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_priorities_split_evenly() {
+        let shares = carve_budget(1000, &[(1, u128::MAX), (1, u128::MAX)]);
+        assert_eq!(shares, vec![500, 500]);
+    }
+
+    #[test]
+    fn priority_weights_the_share() {
+        let shares = carve_budget(900, &[(2, u128::MAX), (1, u128::MAX)]);
+        assert_eq!(shares, vec![600, 300]);
+    }
+
+    #[test]
+    fn shares_are_clipped_to_remaining_work() {
+        let shares = carve_budget(1000, &[(1, 100), (1, u128::MAX)]);
+        assert_eq!(shares, vec![100, 500]);
+    }
+
+    #[test]
+    fn whole_budget_is_assigned_when_work_abounds() {
+        for jobs in [1usize, 2, 3, 7] {
+            let spec: Vec<(u32, u128)> = (0..jobs).map(|i| (i as u32 + 1, u128::MAX)).collect();
+            let shares = carve_budget(999_983, &spec);
+            assert_eq!(shares.iter().sum::<u128>(), 999_983, "{jobs} jobs");
+        }
+    }
+
+    #[test]
+    fn degenerate_inputs_are_safe() {
+        assert!(carve_budget(1000, &[]).is_empty());
+        assert_eq!(carve_budget(0, &[(1, 10)]), vec![0]);
+        // Priority 0 is treated as 1 rather than dividing by zero.
+        assert_eq!(carve_budget(100, &[(0, u128::MAX), (1, u128::MAX)]), vec![50, 50]);
+    }
+}

@@ -1,0 +1,230 @@
+//! The spool directory: one JSON file per job, written atomically.
+//!
+//! Durability contract: every mutation is persisted with a
+//! write-to-temp-then-rename, so a record on disk is always a complete,
+//! parseable document — a SIGKILL can lose the *latest* lease's
+//! progress (it is rescanned, never double-credited, because the
+//! frontier only advances when the write lands) but can never corrupt a
+//! record or skip keys. File names are `job-<n>.json`; ids are allocated
+//! densely by scanning the directory, so a spool is fully
+//! self-describing and relocatable.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use crate::job::{JobError, JobId, JobRecord, JobSpec, JobState};
+
+/// A handle on one spool directory.
+#[derive(Debug, Clone)]
+pub struct JobStore {
+    spool: PathBuf,
+}
+
+impl JobStore {
+    /// Open (creating if needed) a spool directory.
+    pub fn open(spool: impl Into<PathBuf>) -> Result<Self, JobError> {
+        let spool = spool.into();
+        fs::create_dir_all(&spool)
+            .map_err(|e| JobError::Io(format!("create {}: {e}", spool.display())))?;
+        Ok(Self { spool })
+    }
+
+    /// The spool directory path.
+    pub fn spool(&self) -> &Path {
+        &self.spool
+    }
+
+    fn record_path(&self, id: JobId) -> PathBuf {
+        self.spool.join(format!("{id}.json"))
+    }
+
+    /// Validate a spec, allocate the next id, and persist a fresh
+    /// pending record.
+    pub fn submit(&self, spec: JobSpec) -> Result<JobRecord, JobError> {
+        let next = self.ids()?.last().map_or(1, |id| id.0 + 1);
+        let record = JobRecord::new(JobId(next), spec)?;
+        self.save(&record)?;
+        Ok(record)
+    }
+
+    /// Persist a record atomically (temp file + rename).
+    pub fn save(&self, record: &JobRecord) -> Result<(), JobError> {
+        let path = self.record_path(record.id);
+        let tmp = path.with_extension("json.tmp");
+        let mut doc = record.to_json();
+        doc.push('\n');
+        fs::write(&tmp, doc).map_err(|e| JobError::Io(format!("write {}: {e}", tmp.display())))?;
+        fs::rename(&tmp, &path)
+            .map_err(|e| JobError::Io(format!("rename {} -> {}: {e}", tmp.display(), path.display())))
+    }
+
+    /// Load one record, with the file path attached to any corruption
+    /// error so `eks job status` can point at the offending file.
+    pub fn load(&self, id: JobId) -> Result<JobRecord, JobError> {
+        let path = self.record_path(id);
+        let text = match fs::read_to_string(&path) {
+            Ok(text) => text,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                return Err(JobError::NotFound(id))
+            }
+            Err(e) => return Err(JobError::Io(format!("read {}: {e}", path.display()))),
+        };
+        let record = JobRecord::from_json(&text).map_err(|e| match e {
+            JobError::Corrupt { reason, .. } => {
+                JobError::Corrupt { path: path.display().to_string(), reason }
+            }
+            other => other,
+        })?;
+        if record.id != id {
+            return Err(JobError::Corrupt {
+                path: path.display().to_string(),
+                reason: format!("file name says {id} but the record says {}", record.id),
+            });
+        }
+        Ok(record)
+    }
+
+    /// Every job id present in the spool, ascending.
+    pub fn ids(&self) -> Result<Vec<JobId>, JobError> {
+        let entries = fs::read_dir(&self.spool)
+            .map_err(|e| JobError::Io(format!("read {}: {e}", self.spool.display())))?;
+        let mut ids = Vec::new();
+        for entry in entries {
+            let entry = entry.map_err(|e| JobError::Io(e.to_string()))?;
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else { continue };
+            let Some(stem) = name.strip_suffix(".json") else { continue };
+            if let Some(id) = JobId::parse(stem) {
+                ids.push(id);
+            }
+        }
+        ids.sort();
+        Ok(ids)
+    }
+
+    /// Every record in the spool, ascending by id.
+    pub fn list(&self) -> Result<Vec<JobRecord>, JobError> {
+        self.ids()?.into_iter().map(|id| self.load(id)).collect()
+    }
+
+    /// Apply a lifecycle transition, enforcing the state machine, and
+    /// persist the result.
+    pub fn set_state(&self, id: JobId, to: JobState) -> Result<JobRecord, JobError> {
+        let mut record = self.load(id)?;
+        if !record.state.can_transition(to) {
+            return Err(JobError::BadTransition { from: record.state, to });
+        }
+        record.state = to;
+        self.save(&record)?;
+        Ok(record)
+    }
+
+    /// Pause a runnable job.
+    pub fn pause(&self, id: JobId) -> Result<JobRecord, JobError> {
+        self.set_state(id, JobState::Paused)
+    }
+
+    /// Resume a paused job (back to the runnable pool).
+    pub fn resume(&self, id: JobId) -> Result<JobRecord, JobError> {
+        self.set_state(id, JobState::Running)
+    }
+
+    /// Cancel a job (terminal).
+    pub fn cancel(&self, id: JobId) -> Result<JobRecord, JobError> {
+        self.set_state(id, JobState::Cancelled)
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::indexing_slicing)]
+mod tests {
+    use super::*;
+    use eks_hashes::HashAlgo;
+    use eks_keyspace::Order;
+
+    fn spec(name: &str) -> JobSpec {
+        JobSpec {
+            name: name.into(),
+            algo: HashAlgo::Md5,
+            digest: HashAlgo::Md5.hash(b"cab"),
+            charset: (b'a'..=b'z').collect(),
+            min_len: 1,
+            max_len: 3,
+            order: Order::FirstCharFastest,
+            priority: 1,
+            first_hit_only: false,
+        }
+    }
+
+    fn tmp_spool(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("eks-jobs-store-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn submit_allocates_dense_ids_and_round_trips() {
+        let dir = tmp_spool("submit");
+        let store = JobStore::open(&dir).unwrap();
+        let a = store.submit(spec("a")).unwrap();
+        let b = store.submit(spec("b")).unwrap();
+        assert_eq!((a.id, b.id), (JobId(1), JobId(2)));
+        let listed = store.list().unwrap();
+        assert_eq!(listed.len(), 2);
+        assert_eq!(listed[0], a);
+        assert_eq!(listed[1], b);
+        // A second handle on the same directory sees the same jobs and
+        // continues the id sequence.
+        let reopened = JobStore::open(&dir).unwrap();
+        let c = reopened.submit(spec("c")).unwrap();
+        assert_eq!(c.id, JobId(3));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn lifecycle_transitions_are_enforced() {
+        let dir = tmp_spool("lifecycle");
+        let store = JobStore::open(&dir).unwrap();
+        let job = store.submit(spec("a")).unwrap();
+        store.pause(job.id).unwrap();
+        assert_eq!(store.load(job.id).unwrap().state, JobState::Paused);
+        store.resume(job.id).unwrap();
+        store.cancel(job.id).unwrap();
+        // Terminal: neither pause nor resume may leave it.
+        assert!(matches!(store.pause(job.id), Err(JobError::BadTransition { .. })));
+        assert!(matches!(store.resume(job.id), Err(JobError::BadTransition { .. })));
+        // Cancelling again is idempotent.
+        store.cancel(job.id).unwrap();
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_and_corrupt_records_are_friendly_errors() {
+        let dir = tmp_spool("corrupt");
+        let store = JobStore::open(&dir).unwrap();
+        assert_eq!(store.load(JobId(9)), Err(JobError::NotFound(JobId(9))));
+        fs::write(dir.join("job-5.json"), "{truncated").unwrap();
+        match store.load(JobId(5)) {
+            Err(JobError::Corrupt { path, .. }) => assert!(path.contains("job-5.json")),
+            other => panic!("expected corrupt error, got {other:?}"),
+        }
+        // The broken file must not prevent listing errors from naming it.
+        assert!(store.list().is_err());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn save_is_atomic_no_partial_files_linger() {
+        let dir = tmp_spool("atomic");
+        let store = JobStore::open(&dir).unwrap();
+        let job = store.submit(spec("a")).unwrap();
+        store.save(&job).unwrap();
+        let leftovers: Vec<_> = fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().ends_with(".tmp"))
+            .collect();
+        assert!(leftovers.is_empty(), "temp files must be renamed away");
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -91,6 +91,18 @@ pub mod names {
     pub const ROUNDS: &str = "eks_rounds_total";
     /// Counter: dynamic-membership rebalances performed.
     pub const REBALANCES: &str = "eks_rebalances_total";
+    /// Counter `{job}`: keys credited to one job by the job service —
+    /// the per-tenant carve-out of [`KEYS_TESTED`]. Summed over jobs it
+    /// reconciles exactly with the sum over workers, because both sides
+    /// are flushed from the same `DispatchReport` accounting.
+    pub const JOB_KEYS_TESTED: &str = "eks_job_keys_tested_total";
+    /// Counter `{job}`: hits credited to one job.
+    pub const JOB_HITS: &str = "eks_job_hits_total";
+    /// Counter `{job}`: keyspace leases dispatched for one job.
+    pub const JOB_LEASES: &str = "eks_job_leases_total";
+    /// Gauge `{job}`: keys still pending for one job (drives the
+    /// per-job ETA in `eks report`).
+    pub const JOB_REMAINING_KEYS: &str = "eks_job_remaining_keys";
     /// Gauge `{device}`: simulated-GPU profiler IPC.
     pub const SIM_IPC: &str = "eks_sim_ipc";
     /// Gauge `{device}`: simulated-GPU profiler efficiency (0..1).
@@ -118,6 +130,8 @@ pub mod names {
     pub const EVENT_LEAVE: &str = "leave";
     /// Event: a key matched a target digest.
     pub const EVENT_HIT: &str = "hit";
+    /// Event: the job service dispatched one keyspace lease.
+    pub const EVENT_LEASE: &str = "lease";
     /// Event: a leveled log line routed through the sink.
     pub const EVENT_LOG: &str = "log";
 }

@@ -53,6 +53,56 @@ impl WorkerRow {
     }
 }
 
+/// One job's row of the multi-tenant table: the per-job carve-out of
+/// the shared worker counters, plus what the job still owes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobRow {
+    /// The `job` label value.
+    pub job: String,
+    /// Keys credited to this job.
+    pub tested: f64,
+    /// Hits credited to this job.
+    pub hits: f64,
+    /// Leases dispatched for this job.
+    pub leases: f64,
+    /// Keys still pending (from the remaining-keys gauge), when the
+    /// run recorded it.
+    pub remaining: Option<f64>,
+}
+
+impl JobRow {
+    /// This job's share of all job-credited keys, in percent. 0 when
+    /// nothing was credited anywhere — never NaN.
+    pub fn share_pct(&self, all_jobs_tested: f64) -> f64 {
+        if all_jobs_tested <= 0.0 {
+            0.0
+        } else {
+            100.0 * self.tested / all_jobs_tested
+        }
+    }
+
+    /// Keys per second carved out for this job, prorating the fleet
+    /// rate by the job's share of tested keys over the run wall time.
+    pub fn keys_per_sec(&self, run_secs: f64) -> f64 {
+        if run_secs <= 0.0 {
+            0.0
+        } else {
+            self.tested / run_secs
+        }
+    }
+
+    /// Estimated seconds to finish this job at its achieved rate.
+    /// `None` when the job recorded no remaining gauge or no rate.
+    pub fn eta_secs(&self, run_secs: f64) -> Option<f64> {
+        let remaining = self.remaining?;
+        let rate = self.keys_per_sec(run_secs);
+        if rate <= 0.0 {
+            return None;
+        }
+        Some(remaining / rate)
+    }
+}
+
 /// Everything the report derives before formatting, exposed so tests
 /// and the example can assert on numbers instead of grepping prose.
 #[derive(Debug, Clone, Default)]
@@ -65,6 +115,10 @@ pub struct ReportData {
     pub chunks: f64,
     /// Per-worker rows, sorted by worker label.
     pub workers: Vec<WorkerRow>,
+    /// Per-job rows, sorted by job label (empty for single-tenant runs).
+    pub jobs: Vec<JobRow>,
+    /// Total ns inside `run` spans (wall time the job rates prorate).
+    pub run_span_ns: u64,
     /// `(device, tuned MKeys/s)` rows, sorted by device.
     pub device_rates: Vec<(String, f64)>,
     /// `(backend, isa)` selections the run recorded, sorted by backend
@@ -136,6 +190,35 @@ pub fn analyze(samples: &[PromSample], trace: &[TraceRecord]) -> ReportData {
         });
     }
 
+    let mut jobs: Vec<String> = samples
+        .iter()
+        .filter(|s| s.name == names::JOB_KEYS_TESTED)
+        .filter_map(|s| s.label("job").map(str::to_string))
+        .collect();
+    jobs.sort();
+    jobs.dedup();
+    for job in jobs {
+        let pick = |name: &str| {
+            samples
+                .iter()
+                .filter(|s| s.name == name && s.label("job") == Some(job.as_str()))
+                .map(|s| s.value)
+                .sum::<f64>()
+                + 0.0
+        };
+        let remaining = samples
+            .iter()
+            .find(|s| s.name == names::JOB_REMAINING_KEYS && s.label("job") == Some(job.as_str()))
+            .map(|s| s.value);
+        data.jobs.push(JobRow {
+            tested: pick(names::JOB_KEYS_TESTED),
+            hits: pick(names::JOB_HITS),
+            leases: pick(names::JOB_LEASES),
+            remaining,
+            job,
+        });
+    }
+
     data.device_rates = samples
         .iter()
         .filter(|s| s.name == names::DEVICE_RATE_MKEYS)
@@ -179,6 +262,7 @@ pub fn analyze(samples: &[PromSample], trace: &[TraceRecord]) -> ReportData {
             (TraceKind::Span, names::SPAN_SCATTER) => data.scatter_span_ns += record.dur_ns,
             (TraceKind::Span, names::SPAN_MERGE) => data.merge_span_ns += record.dur_ns,
             (TraceKind::Span, names::SPAN_ROUND) => data.rounds += 1,
+            (TraceKind::Span, names::SPAN_RUN) => data.run_span_ns += record.dur_ns,
             (TraceKind::Event, names::EVENT_JOIN | names::EVENT_LEAVE) => {
                 data.membership.push((
                     record.ts_ns,
@@ -231,6 +315,35 @@ pub fn render_report(samples: &[PromSample], trace: &[TraceRecord]) -> String {
                 row.steals,
                 row.splits,
                 row.keys_per_sec()
+            )
+            .expect("write");
+        }
+    }
+
+    if !data.jobs.is_empty() {
+        let all_tested: f64 = data.jobs.iter().map(|j| j.tested).sum::<f64>() + 0.0;
+        let run_secs = data.run_span_ns as f64 / 1e9;
+        writeln!(out, "\nper-job carve-out").expect("write");
+        writeln!(
+            out,
+            "{:<20} {:>14} {:>6} {:>8} {:>8} {:>12} {:>12}",
+            "job", "tested", "hits", "leases", "share%", "keys/s", "eta s"
+        )
+        .expect("write");
+        for row in &data.jobs {
+            let eta = match row.eta_secs(run_secs) {
+                Some(eta) => format!("{eta:>12.1}"),
+                None => format!("{:>12}", "-"),
+            };
+            writeln!(
+                out,
+                "{:<20} {:>14.0} {:>6.0} {:>8.0} {:>8.1} {:>12.0} {eta}",
+                row.job,
+                row.tested,
+                row.hits,
+                row.leases,
+                row.share_pct(all_tested),
+                row.keys_per_sec(run_secs),
             )
             .expect("write");
         }
@@ -340,6 +453,46 @@ mod tests {
         assert_eq!(data.scan_span_ns, 500_000);
         assert_eq!(data.cancel_latency_mean_ns, Some(3000.0));
         assert_eq!(data.membership.len(), 1);
+    }
+
+    #[test]
+    fn per_job_rows_carve_the_shared_counters() {
+        let clock = Arc::new(ManualClock::new());
+        let t = Telemetry::with_clock(clock.clone());
+        // Two workers share the fleet; two jobs split their output.
+        t.counter(names::KEYS_TESTED, &[("worker", "w0")]).add(700);
+        t.counter(names::KEYS_TESTED, &[("worker", "w1")]).add(300);
+        t.counter(names::JOB_KEYS_TESTED, &[("job", "job-1")]).add(600);
+        t.counter(names::JOB_KEYS_TESTED, &[("job", "job-2")]).add(400);
+        t.counter(names::JOB_HITS, &[("job", "job-1")]).inc();
+        t.counter(names::JOB_LEASES, &[("job", "job-1")]).add(3);
+        t.counter(names::JOB_LEASES, &[("job", "job-2")]).add(2);
+        t.gauge(names::JOB_REMAINING_KEYS, &[("job", "job-2")]).set(4000.0);
+        {
+            let span = t.span(names::SPAN_RUN);
+            clock.advance(2_000_000_000);
+            span.finish();
+        }
+        let samples = parse_prometheus(&t.render_prometheus()).unwrap();
+        let trace = parse_trace_jsonl(&t.trace_jsonl()).unwrap();
+        let data = analyze(&samples, &trace);
+        assert_eq!(data.jobs.len(), 2);
+        let j1 = &data.jobs[0];
+        let j2 = &data.jobs[1];
+        assert_eq!((j1.job.as_str(), j1.tested, j1.hits, j1.leases), ("job-1", 600.0, 1.0, 3.0));
+        // Per-job totals reconcile exactly against the worker counters.
+        let job_sum: f64 = data.jobs.iter().map(|j| j.tested).sum();
+        assert_eq!(job_sum, data.keys_tested);
+        assert!((j1.share_pct(job_sum) - 60.0).abs() < 1e-9);
+        assert_eq!(data.run_span_ns, 2_000_000_000);
+        // job-2: 400 keys over 2 s = 200 keys/s; 4000 remaining = 20 s ETA.
+        assert_eq!(j2.keys_per_sec(2.0), 200.0);
+        assert_eq!(j2.eta_secs(2.0), Some(20.0));
+        assert_eq!(j1.eta_secs(2.0), None, "no remaining gauge, no ETA");
+
+        let report = render_report(&samples, &trace);
+        assert!(report.contains("per-job carve-out"), "{report}");
+        assert!(!report.contains("NaN"), "{report}");
     }
 
     #[test]

@@ -28,6 +28,10 @@
 //! * [`cluster`] — hierarchical dispatch: tuning, balancing, the
 //!   discrete-event network simulation (Table IX), the threaded runtime
 //!   and the fault model;
+//! * [`jobs`] — the multi-tenant job service: a persistent spool of
+//!   crack jobs, inter-job fair-share scheduling (the paper's scatter
+//!   proportions with priorities as weights), and crash-safe
+//!   checkpointed resume with exactly-once coverage;
 //! * [`telemetry`] — std-only observability: a sharded metrics registry
 //!   (Prometheus-text / JSON exposition), a bounded structured trace
 //!   sink (JSONL), an injectable clock, and the run-report renderer that
@@ -63,6 +67,7 @@ pub use eks_cracker as cracker;
 pub use eks_engine as engine;
 pub use eks_gpusim as gpusim;
 pub use eks_hashes as hashes;
+pub use eks_jobs as jobs;
 pub use eks_kernels as kernels;
 pub use eks_keyspace as keyspace;
 pub use eks_telemetry as telemetry;

@@ -1,0 +1,198 @@
+//! Golden tests pinning the JSON schemas of the checkpoint and job-store
+//! documents, mirroring `tests/diagnostics_schema.rs`.
+//!
+//! Both documents are durable state: a checkpoint written by this build
+//! must be readable by the next one, and the spool directory of a killed
+//! job server must resume under a rebuilt binary. The `schema` stamp,
+//! field order, and the decimal-string integer dialect (exact `u128`
+//! round-trips — JSON numbers lose precision past 2^53) are therefore
+//! contract. Any layout change must bump the matching
+//! `*_SCHEMA_VERSION` and update the goldens here in the same commit.
+//! Readers must *reject* unknown future versions, never guess.
+
+use eks::engine::checkpoint::{
+    Checkpoint, CheckpointError, SearchCheckpoint, CHECKPOINT_SCHEMA_VERSION,
+};
+use eks::engine::WorkerStats;
+use eks::hashes::{from_hex, HashAlgo};
+use eks::jobs::{JobError, JobHit, JobId, JobRecord, JobSpec, JobState, JOB_SCHEMA_VERSION};
+use eks::keyspace::{Interval, Order};
+
+/// The schema versions every writer stamps today. Bump deliberately.
+#[test]
+fn schema_versions_are_pinned() {
+    assert_eq!(CHECKPOINT_SCHEMA_VERSION, 1, "schema bump: update the goldens in this file");
+    assert_eq!(JOB_SCHEMA_VERSION, 1, "schema bump: update the goldens in this file");
+}
+
+fn sample_snapshot() -> SearchCheckpoint {
+    let mut frontier = Checkpoint::new(Interval::new(0, 100));
+    frontier.complete(Interval::new(0, 40));
+    let mut w = WorkerStats::new("cpu#0");
+    w.tested = 40;
+    w.steals = 1;
+    w.splits = 2;
+    w.idle_ns = 3;
+    w.busy_ns = 4;
+    SearchCheckpoint {
+        frontier,
+        slots: vec![Interval::new(40, 30), Interval::new(70, 30)],
+        workers: vec![w],
+    }
+}
+
+/// Byte-exact golden for a mid-search checkpoint: the schema stamp comes
+/// first, intervals spell `start`/`len` as decimal strings, worker
+/// counters are decimal strings too.
+#[test]
+fn search_checkpoint_json_golden() {
+    let expected = concat!(
+        "{\"schema\":1,",
+        "\"full\":{\"start\":\"0\",\"len\":\"100\"},",
+        "\"pending\":[{\"start\":\"40\",\"len\":\"60\"}],",
+        "\"slots\":[{\"start\":\"40\",\"len\":\"30\"},{\"start\":\"70\",\"len\":\"30\"}],",
+        "\"workers\":[{\"label\":\"cpu#0\",\"tested\":\"40\",\"steals\":\"1\",",
+        "\"splits\":\"2\",\"idle_ns\":\"3\",\"busy_ns\":\"4\"}]}"
+    );
+    assert_eq!(sample_snapshot().to_json(), expected);
+    // And the golden parses back to exactly the same state.
+    assert_eq!(SearchCheckpoint::from_json(expected).unwrap(), sample_snapshot());
+}
+
+/// A fresh checkpoint (nothing scattered, no workers) still carries the
+/// stamp and the full/pending pair.
+#[test]
+fn fresh_checkpoint_json_golden() {
+    let snap = SearchCheckpoint::fresh(Interval::new(7, 5));
+    assert_eq!(
+        snap.to_json(),
+        concat!(
+            "{\"schema\":1,\"full\":{\"start\":\"7\",\"len\":\"5\"},",
+            "\"pending\":[{\"start\":\"7\",\"len\":\"5\"}],\"slots\":[],\"workers\":[]}"
+        )
+    );
+}
+
+/// Identifier counts beyond 2^53 survive exactly — the whole reason the
+/// dialect uses decimal strings. A 62^8 keyspace (~2.18e14) and anything
+/// larger would be silently corrupted by an `f64` round-trip.
+#[test]
+fn u128_counters_round_trip_exactly() {
+    let big = (1u128 << 100) + 3;
+    let mut snap = SearchCheckpoint::fresh(Interval::new(0, big));
+    snap.frontier.complete(Interval::new(0, (1u128 << 99) + 1));
+    let back = SearchCheckpoint::from_json(&snap.to_json()).unwrap();
+    assert_eq!(back, snap);
+    assert_eq!(back.frontier.consumed(), (1u128 << 99) + 1);
+}
+
+/// Forward-compat: a checkpoint stamped by a future build is rejected
+/// with the version named, not half-parsed.
+#[test]
+fn checkpoint_rejects_unknown_future_schema() {
+    let bumped = sample_snapshot().to_json().replacen("\"schema\":1", "\"schema\":7", 1);
+    assert_eq!(SearchCheckpoint::from_json(&bumped), Err(CheckpointError::Schema(7)));
+}
+
+fn golden_spec() -> JobSpec {
+    JobSpec {
+        name: "golden".into(),
+        algo: HashAlgo::Md5,
+        digest: from_hex("00112233445566778899aabbccddeeff").unwrap(),
+        charset: b"abc".to_vec(),
+        min_len: 1,
+        max_len: 2,
+        order: Order::FirstCharFastest,
+        priority: 3,
+        first_hit_only: false,
+    }
+}
+
+/// Byte-exact golden for a fresh job record: spec fields precede the
+/// progress fields, the keyspace interval is re-derived and cross-checked
+/// on load (3 + 3*3 = 12 keys here).
+#[test]
+fn fresh_job_record_json_golden() {
+    let rec = JobRecord::new(JobId(1), golden_spec()).unwrap();
+    let expected = concat!(
+        "{\"schema\":1,\"id\":1,\"name\":\"golden\",\"state\":\"pending\",",
+        "\"algo\":\"md5\",\"digest\":\"00112233445566778899aabbccddeeff\",",
+        "\"charset\":\"abc\",\"min_len\":1,\"max_len\":2,\"order\":\"first\",",
+        "\"priority\":3,\"first_hit\":false,",
+        "\"full\":{\"start\":\"0\",\"len\":\"12\"},",
+        "\"pending\":[{\"start\":\"0\",\"len\":\"12\"}],",
+        "\"tested\":\"0\",\"hits\":[]}"
+    );
+    assert_eq!(rec.to_json(), expected);
+    assert_eq!(JobRecord::from_json(expected).unwrap(), rec);
+}
+
+/// Byte-exact golden for a mid-search record: a consumed lease splits
+/// the pending list, the credit equals the frontier's consumed count,
+/// and hits carry hex-encoded key bytes.
+#[test]
+fn mid_search_job_record_json_golden() {
+    let mut rec = JobRecord::new(JobId(2), golden_spec()).unwrap();
+    rec.state = JobState::Running;
+    let lease = rec.take_lease(5).unwrap();
+    rec.frontier.complete(lease);
+    rec.tested = rec.frontier.consumed();
+    rec.hits.push(JobHit { id: 2, key: b"ab".to_vec() });
+    let expected = concat!(
+        "{\"schema\":1,\"id\":2,\"name\":\"golden\",\"state\":\"running\",",
+        "\"algo\":\"md5\",\"digest\":\"00112233445566778899aabbccddeeff\",",
+        "\"charset\":\"abc\",\"min_len\":1,\"max_len\":2,\"order\":\"first\",",
+        "\"priority\":3,\"first_hit\":false,",
+        "\"full\":{\"start\":\"0\",\"len\":\"12\"},",
+        "\"pending\":[{\"start\":\"5\",\"len\":\"7\"}],",
+        "\"tested\":\"5\",\"hits\":[{\"id\":\"2\",\"key\":\"6162\"}]}"
+    );
+    assert_eq!(rec.to_json(), expected);
+    assert_eq!(JobRecord::from_json(expected).unwrap(), rec);
+}
+
+/// Forward-compat: job records from a future build are rejected with the
+/// version named.
+#[test]
+fn job_record_rejects_unknown_future_schema() {
+    let rec = JobRecord::new(JobId(1), golden_spec()).unwrap();
+    let bumped = rec.to_json().replacen("\"schema\":1", "\"schema\":9", 1);
+    assert_eq!(JobRecord::from_json(&bumped), Err(JobError::Schema(9)));
+}
+
+/// Structural corruption is a load error, never a resumed search that
+/// rescans or skips keys: overlapping pending intervals, intervals
+/// escaping the keyspace, and spec/interval mismatches all reject.
+#[test]
+fn corrupt_progress_is_rejected_not_resumed() {
+    let rec = JobRecord::new(JobId(1), golden_spec()).unwrap();
+    let base = rec.to_json();
+    let overlap = base.replacen(
+        "\"pending\":[{\"start\":\"0\",\"len\":\"12\"}]",
+        "\"pending\":[{\"start\":\"0\",\"len\":\"8\"},{\"start\":\"4\",\"len\":\"8\"}]",
+        1,
+    );
+    assert!(matches!(JobRecord::from_json(&overlap), Err(JobError::Corrupt { .. })));
+    let escape = base.replacen(
+        "\"pending\":[{\"start\":\"0\",\"len\":\"12\"}]",
+        "\"pending\":[{\"start\":\"6\",\"len\":\"12\"}]",
+        1,
+    );
+    assert!(matches!(JobRecord::from_json(&escape), Err(JobError::Corrupt { .. })));
+    // Spec edited after submission: the recorded interval no longer
+    // matches the spec's keyspace, so ids would mis-map.
+    let tampered = base.replacen("\"max_len\":2", "\"max_len\":3", 1);
+    assert!(matches!(JobRecord::from_json(&tampered), Err(JobError::Corrupt { .. })));
+}
+
+/// The two schemas share one integer dialect (the checkpoint module's
+/// helpers), so they can never drift: both spell `u128` values as
+/// decimal strings and both accept `schema` as a plain number.
+#[test]
+fn shared_dialect_spot_check() {
+    let rec = JobRecord::new(JobId(1), golden_spec()).unwrap();
+    assert!(rec.to_json().contains("\"tested\":\"0\""), "u128 as decimal string");
+    assert!(rec.to_json().contains("\"schema\":1,"), "schema as plain number");
+    let snap = SearchCheckpoint::fresh(Interval::new(0, 12));
+    assert!(snap.to_json().contains("\"schema\":1,"), "same stamp spelling");
+}
