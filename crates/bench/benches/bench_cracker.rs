@@ -3,9 +3,14 @@
 //! autovectorized widths, the explicit-SIMD kernels (when the host's
 //! CPU reports an ISA), the auto-tuned winner, and the simulated-GPU
 //! kernel backend — all driven through the one `Dispatcher` core via
-//! `crack_parallel_backend`. The JSON artifact (schema 3) records the
+//! `crack_parallel_backend`. The JSON artifact (schema 4) records the
 //! detected CPU features and selected ISA so committed numbers carry
-//! their hardware context.
+//! their hardware context, plus the adaptive-vs-static skewed-fleet
+//! scenario (`--min-adaptive-ratio` gates its efficiency ratio): a
+//! deliberately misweighted two-backend fleet under the iterated-MD5
+//! KDF where the closed-loop retune (live rate estimates, drift-check
+//! re-scatters, steals) must recover the idle time the stale static
+//! split leaves on the table.
 //!
 //! Run directly for a human-readable table, or with `--json <path>` to
 //! also write a machine-readable artifact (the committed
@@ -48,7 +53,9 @@ use eks_cracker::{
     ParallelConfig, SimdBackend, TargetSet,
 };
 use eks_telemetry::Telemetry;
-use eks_engine::{Backend, BackendKind, ChunkPolicy, IntervalDeques, ScanMode};
+use eks_engine::{
+    eta_drift_pct, Backend, BackendKind, ChunkPolicy, IntervalDeques, RateBook, ScanMode,
+};
 use eks_gpusim::device::Device;
 use eks_hashes::{cpu_features, HashAlgo, SimdIsa};
 use eks_keyspace::{Charset, Interval, KeySpace, Order};
@@ -66,6 +73,9 @@ fn algo_name(algo: HashAlgo) -> &'static str {
         HashAlgo::Md5 => "md5",
         HashAlgo::Sha1 => "sha1",
         HashAlgo::Ntlm => "ntlm",
+        // The KDF rows carry their iteration count; the sweep tables
+        // here only cover the base algorithms.
+        HashAlgo::Md5Iter { .. } => "md5-iterated",
     }
 }
 
@@ -126,8 +136,7 @@ struct Row {
 /// Virtual cost of one steal (lock the largest victim, halve it,
 /// install the half) — a generous bound for an uncontended mutex pair.
 const STEAL_NS: u64 = 2_000;
-/// Timed sweeps per scaling configuration (caches are already warm from
-/// the wall-clock rows, so no extra warmup sweep).
+/// Timed sweeps per scaling configuration.
 const SCALING_BEST_OF: usize = 2;
 /// Workers simulated for the scaling rows.
 const SCALING_WORKERS: usize = 2;
@@ -143,7 +152,12 @@ fn virtual_throughput(algo: HashAlgo, kind: BackendKind, workers: usize) -> f64 
     let stop = AtomicBool::new(false);
     let policy = ChunkPolicy::Guided { min: 1 << 12 };
     let mut best = 0.0f64;
-    for _ in 0..SCALING_BEST_OF {
+    // Sweep 0 is an untimed warm-up: it touches the same keys through
+    // the same backend so caches, page tables and any lazily-initialized
+    // kernel state are hot before the first timed makespan. (The
+    // wall-clock rows warm a *different* backend instance, so without
+    // this the first timed sweep could carry a cold-start penalty.)
+    for i in 0..=SCALING_BEST_OF {
         let deques =
             IntervalDeques::scatter(Interval::new(0, KEYS as u128), &vec![1.0; workers]);
         let mut clock = vec![0u64; workers];
@@ -170,9 +184,168 @@ fn virtual_throughput(algo: HashAlgo, kind: BackendKind, workers: usize) -> f64 
             }
         }
         let makespan_ns = clock.iter().copied().max().unwrap_or(0).max(1);
-        best = best.max(KEYS as f64 / (makespan_ns as f64 / 1e9) / 1e6);
+        if i > 0 {
+            best = best.max(KEYS as f64 / (makespan_ns as f64 / 1e9) / 1e6);
+        }
     }
     best
+}
+
+/// Keys for the adaptive-vs-static scenario: smaller than [`KEYS`]
+/// because the iterated-MD5 KDF multiplies per-key cost, and the
+/// scenario runs the sweep four times (warm-up + timed, two arms).
+const ADAPTIVE_KEYS: u64 = 60_000;
+/// KDF work factor: 2 + (key-byte-sum % 8) MD5 rounds per candidate, so
+/// per-key cost varies with the key itself — the workload the paper's
+/// frozen one-shot tuning cannot see.
+const ADAPTIVE_ITERS: u16 = 8;
+/// Fleet-wide chunk count between drift checks and the drift threshold
+/// that triggers a re-scatter — the bench mirror of `Retune::default()`.
+const ADAPTIVE_EVERY_CHUNKS: u64 = 8;
+const ADAPTIVE_DRIFT_PCT: f64 = 25.0;
+/// Guided floor for the scenario: fine enough that the slow worker's
+/// share is many chunks (the estimator needs samples and the re-scatter
+/// needs queued work left to move).
+const ADAPTIVE_CHUNK_MIN: u128 = 1 << 9;
+
+/// How many times the handicapped worker re-scans each chunk: the
+/// bench's stand-in for a fleet member severalfold weaker than the
+/// stale tuned book claims.
+const ADAPTIVE_SLOW_FACTOR: u32 = 4;
+
+/// A deliberately slowed backend: scans each chunk
+/// [`ADAPTIVE_SLOW_FACTOR`] times and reports it once, so its true
+/// rate is a known fraction of the inner backend's while the stale
+/// book still lists them as equals.
+struct SlowedBackend {
+    inner: Box<dyn Backend>,
+    factor: u32,
+}
+
+impl Backend for SlowedBackend {
+    fn name(&self) -> String {
+        format!("{}-slow{}", self.inner.name(), self.factor)
+    }
+
+    fn scan(
+        &self,
+        space: &KeySpace,
+        targets: &TargetSet,
+        interval: Interval,
+        stop: &AtomicBool,
+        mode: ScanMode,
+    ) -> eks_engine::ScanReport {
+        let out = self.inner.scan(space, targets, interval, stop, mode);
+        for _ in 1..self.factor {
+            let extra = self.inner.scan(space, targets, interval, stop, mode);
+            assert!(extra.hits.is_empty(), "impossible target must not hit");
+        }
+        out
+    }
+
+    fn tuned_rate(&self, algo: HashAlgo) -> f64 {
+        self.inner.tuned_rate(algo) / f64::from(self.factor.max(1))
+    }
+}
+
+/// One arm of the skewed-fleet scenario.
+struct FleetArm {
+    /// Parallel efficiency: `Σ busy / (workers × makespan)`.
+    efficiency: f64,
+    /// Virtual makespan, milliseconds.
+    makespan_ms: f64,
+    /// Closed-loop re-scatters performed (always 0 in the static arm).
+    rescatters: u64,
+}
+
+/// The closed-loop payoff scenario: a two-worker fleet where worker 0
+/// runs the batched backend at full speed and worker 1 the same
+/// backend handicapped [`ADAPTIVE_SLOW_FACTOR`]-fold, under the
+/// iterated-MD5 KDF, but the scatter trusts a *stale* tuned book that
+/// claims the workers are equal.
+///
+/// The static arm drains exactly its planned share — the fast worker
+/// idles while the slow one grinds through the misassigned half. The
+/// adaptive arm feeds every chunk timing into a live [`RateBook`],
+/// checks the estimated-time-to-drain drift every
+/// [`ADAPTIVE_EVERY_CHUNKS`] pops, re-scatters the queued remainders by
+/// the live rates once the estimates warm up, and steals at drain —
+/// the same feedback loop `--retune` enables in the real scheduler,
+/// driven deterministically through the virtual-core clock so the
+/// measured ratio is scheduler quality, not host core count.
+fn skewed_fleet_arm(adaptive: bool) -> FleetArm {
+    let algo = HashAlgo::Md5Iter { iters: ADAPTIVE_ITERS };
+    let space =
+        KeySpace::new(Charset::lowercase(), 1, 8, Order::FirstCharFastest).expect("space");
+    let impossible = TargetSet::new(algo, &[vec![0u8; algo.digest_len()]]);
+    let backends: Vec<Box<dyn Backend>> = vec![
+        cpu_backend(Lanes::L8),
+        Box::new(SlowedBackend { inner: cpu_backend(Lanes::L8), factor: ADAPTIVE_SLOW_FACTOR }),
+    ];
+    let workers = backends.len();
+    let stop = AtomicBool::new(false);
+    let policy = ChunkPolicy::Guided { min: ADAPTIVE_CHUNK_MIN };
+    let mut result = FleetArm { efficiency: 0.0, makespan_ms: 0.0, rescatters: 0 };
+    // Sweep 0 warms both backends untimed, as in `virtual_throughput`.
+    for sweep in 0..2 {
+        // The stale book: equal weights although the fleet is skewed.
+        let stale = vec![1.0; workers];
+        let deques =
+            IntervalDeques::scatter(Interval::new(0, ADAPTIVE_KEYS as u128), &stale);
+        let rates = RateBook::new(stale);
+        let mut clock = vec![0u64; workers];
+        let mut busy = vec![0u64; workers];
+        let mut done = vec![false; workers];
+        let mut chunks = 0u64;
+        let mut rescatters = 0u64;
+        while let Some(w) = (0..workers).filter(|&w| !done[w]).min_by_key(|&w| clock[w]) {
+            match deques.pop(w, policy) {
+                Some(chunk) => {
+                    let t0 = Instant::now();
+                    let out = backends[w]
+                        .scan(&space, &impossible, chunk, &stop, ScanMode::Exhaustive);
+                    let ns = t0.elapsed().as_nanos() as u64;
+                    clock[w] += ns;
+                    busy[w] += ns;
+                    assert!(out.hits.is_empty(), "impossible target must not hit");
+                    rates.observe(w, out.tested, ns);
+                    chunks += 1;
+                    if adaptive && chunks % ADAPTIVE_EVERY_CHUNKS == 0 {
+                        let remaining: Vec<u128> =
+                            (0..workers).map(|s| deques.remaining(s)).collect();
+                        let live = rates.weights();
+                        if eta_drift_pct(&remaining, &live, false) > ADAPTIVE_DRIFT_PCT
+                            && deques.rescatter(&live)
+                        {
+                            rescatters += 1;
+                        }
+                    }
+                }
+                None => {
+                    if adaptive {
+                        clock[w] += STEAL_NS;
+                        if deques.steal_into(w).is_none() {
+                            done[w] = true;
+                        }
+                    } else {
+                        done[w] = true;
+                    }
+                }
+            }
+        }
+        let makespan_ns = clock.iter().copied().max().unwrap_or(0).max(1);
+        let total_busy: u64 = busy.iter().sum();
+        let efficiency =
+            total_busy as f64 / (workers as f64 * makespan_ns as f64);
+        if sweep > 0 {
+            result = FleetArm {
+                efficiency,
+                makespan_ms: makespan_ns as f64 / 1e6,
+                rescatters,
+            };
+        }
+    }
+    result
 }
 
 /// Timed sweeps per telemetry-overhead arm; more than the wall-clock
@@ -227,6 +400,7 @@ fn main() {
     let mut json_path: Option<String> = None;
     let mut min_md5_speedup = 1.0f64;
     let mut min_scaling = 0.0f64;
+    let mut min_adaptive_ratio = 0.0f64;
     let mut max_telemetry_overhead_pct = f64::INFINITY;
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -245,6 +419,12 @@ fn main() {
                     .next()
                     .and_then(|v| v.parse().ok())
                     .expect("--min-scaling takes a number");
+            }
+            "--min-adaptive-ratio" => {
+                min_adaptive_ratio = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--min-adaptive-ratio takes a number");
             }
             "--max-telemetry-overhead-pct" => {
                 max_telemetry_overhead_pct = args
@@ -365,6 +545,34 @@ fn main() {
         failed = true;
     }
 
+    // The closed-loop gate: on the skewed fleet under stale equal tuned
+    // weights, adaptive retuning must recover at least
+    // `--min-adaptive-ratio` times the static arm's parallel efficiency.
+    let static_arm = skewed_fleet_arm(false);
+    let adaptive_arm = skewed_fleet_arm(true);
+    let adaptive_ratio = if static_arm.efficiency > 0.0 {
+        adaptive_arm.efficiency / static_arm.efficiency
+    } else {
+        0.0
+    };
+    println!(
+        "skewed fleet (md5x{ADAPTIVE_ITERS}, lanes8 + {ADAPTIVE_SLOW_FACTOR}x-slowed lanes8, stale equal weights): \
+         static eff {:.1}% ({:.1} ms), adaptive eff {:.1}% ({:.1} ms, {} re-scatter(s)) \
+         → {adaptive_ratio:.2}x (floor {min_adaptive_ratio:.2}x)",
+        static_arm.efficiency * 100.0,
+        static_arm.makespan_ms,
+        adaptive_arm.efficiency * 100.0,
+        adaptive_arm.makespan_ms,
+        adaptive_arm.rescatters,
+    );
+    let _ = write!(gates, ", \"adaptive_efficiency_ratio\": {adaptive_ratio:.3}");
+    if adaptive_ratio < min_adaptive_ratio {
+        eprintln!(
+            "GATE FAILED: adaptive/static efficiency ratio {adaptive_ratio:.2}x is below the {min_adaptive_ratio:.2}x floor"
+        );
+        failed = true;
+    }
+
     // The telemetry gate: chunk-granularity instrumentation on the
     // batched MD5 hot path must cost at most
     // `--max-telemetry-overhead-pct` of throughput vs the null handle.
@@ -415,8 +623,14 @@ fn main() {
             .join(", ");
         let isa_body =
             SimdIsa::detect().map_or("null".to_string(), |isa| format!("\"{isa}\""));
+        let adaptive_body = format!(
+            "{{\"algo\": \"md5x{ADAPTIVE_ITERS}\", \"workers\": 2, \"backends\": [\"lanes8\", \"lanes8-slow{ADAPTIVE_SLOW_FACTOR}\"], \
+             \"static_efficiency\": {:.3}, \"adaptive_efficiency\": {:.3}, \
+             \"efficiency_ratio\": {adaptive_ratio:.3}, \"rescatters\": {}}}",
+            static_arm.efficiency, adaptive_arm.efficiency, adaptive_arm.rescatters
+        );
         let json = format!(
-            "{{\n  \"bench\": \"cracker_backends_vs_scalar\",\n  \"schema\": 3,\n  \"keys_per_sweep\": {KEYS},\n  \"best_of\": {BEST_OF},\n  \"min_md5_speedup\": {min_md5_speedup},\n  \"min_scaling\": {min_scaling},\n  \"cpu_features\": {{{features_body}}},\n  \"simd_isa\": {isa_body},\n  \"results\": [\n{body}\n  ],\n  \"scaling\": [\n{scaling_body}\n  ],\n  \"gates\": {{{gates}}}\n}}\n"
+            "{{\n  \"bench\": \"cracker_backends_vs_scalar\",\n  \"schema\": 4,\n  \"keys_per_sweep\": {KEYS},\n  \"best_of\": {BEST_OF},\n  \"min_md5_speedup\": {min_md5_speedup},\n  \"min_scaling\": {min_scaling},\n  \"min_adaptive_ratio\": {min_adaptive_ratio},\n  \"cpu_features\": {{{features_body}}},\n  \"simd_isa\": {isa_body},\n  \"results\": [\n{body}\n  ],\n  \"scaling\": [\n{scaling_body}\n  ],\n  \"adaptive\": {adaptive_body},\n  \"gates\": {{{gates}}}\n}}\n"
         );
         std::fs::write(&path, json).expect("write json artifact");
         println!("wrote {path}");

@@ -34,8 +34,9 @@ pub(super) fn cmd_analyze(args: &Args) -> Result<(), String> {
 
     // Build the requested kernel: its IR, the dead-store roots (comparison
     // outputs plus loop-carried registers) and whether it should lower
-    // with the per-architecture optimizations.
-    let (ir, roots, optimized) = match algo {
+    // with the per-architecture optimizations. An iterated KDF analyzes
+    // its base kernel — the round loop is driver code, not device IR.
+    let (ir, roots, optimized) = match algo.base() {
         HashAlgo::Md5 => {
             let v = match variant {
                 "naive" => Md5Variant::Naive,
@@ -65,6 +66,7 @@ pub(super) fn cmd_analyze(args: &Args) -> Result<(), String> {
             let b = build_md4(v, &ntlm_words_for_key_len(4));
             (b.ir, [b.outputs, b.carried].concat(), v == Md4Variant::Optimized)
         }
+        HashAlgo::Md5Iter { .. } => unreachable!("base() strips iteration"),
     };
 
     // Run the whole pipeline: IR dataflow, per-architecture peephole and

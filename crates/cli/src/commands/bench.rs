@@ -22,6 +22,9 @@ pub(super) fn cmd_bench(args: &Args) -> Result<(), String> {
             HashAlgo::Md5 => "md5",
             HashAlgo::Sha1 => "sha1",
             HashAlgo::Ntlm => "ntlm",
+            // The tuning table covers the base primitives; the iterated
+            // KDF's rate is derived (base / cost_factor), not swept.
+            HashAlgo::Md5Iter { .. } => unreachable!("bench sweeps base algorithms only"),
         }
     }
 

@@ -2,7 +2,7 @@
 
 use crate::args::Args;
 use eks_cluster::{
-    paper_network, run_cluster_search_observed, simulate_search, tune_device, AchievedModel,
+    paper_network, run_cluster_search_retuned, simulate_search, tune_device, AchievedModel,
     SimParams,
 };
 use eks_cracker::{render_worker_stats, TargetSet};
@@ -12,7 +12,7 @@ use eks_hashes::{from_hex, HashAlgo};
 use eks_kernels::Tool;
 use eks_keyspace::{Charset, KeySpace, Order};
 
-use super::{parse_algo, parse_charset, parse_sched, parse_telemetry, write_artifacts};
+use super::{parse_algo, parse_charset, parse_retune, parse_sched, parse_telemetry, write_artifacts};
 
 /// Really crack a digest across a heterogeneous cluster: every simulated
 /// GPU becomes a [`SimKernelBackend`], every `cpu:N` worker a lane
@@ -42,20 +42,23 @@ pub(super) fn cmd_cluster(args: &Args) -> Result<(), String> {
         ),
     };
     let sched = parse_sched(args, SchedPolicy::Static)?;
+    let retune = parse_retune(args)?;
     let (telemetry, log) = parse_telemetry(args)?;
     let targets = TargetSet::new(algo, &[digest]);
     log.info(format!(
-        "cluster [{label}]: searching {} {} candidates ({sched} schedule)",
+        "cluster [{label}]: searching {} {} candidates ({sched} schedule{})",
         space.size(),
-        algo.name()
+        algo.name(),
+        if retune.is_some() { ", closed-loop retune" } else { "" }
     ));
-    let r = run_cluster_search_observed(
+    let r = run_cluster_search_retuned(
         &net,
         &space,
         &targets,
         space.interval(),
         !args.has("all"),
         sched,
+        retune,
         &telemetry,
     );
     print!("{}", render_worker_stats(&r.stats));
@@ -199,6 +202,24 @@ mod tests {
             "--topology", "box(660)", "--sched", "lifo",
         ]);
         assert!(run("cluster", &bad).is_err());
+    }
+
+    #[test]
+    fn cluster_retune_flag_publishes_live_rate_gauges() {
+        let dir = std::env::temp_dir();
+        let metrics = dir.join(format!("eks-cli-cluster-retune-{}.prom", std::process::id()));
+        let digest = to_hex(&HashAlgo::Md5.hash(b"cab"));
+        let a = args(&[
+            "cluster", "--digest", &digest, "--max", "3", "--all",
+            "--topology", "box(660, cpu:2)", "--sched", "steal", "--retune",
+            "--retune-interval", "2", "--metrics-out", metrics.to_str().unwrap(),
+        ]);
+        assert!(run("cluster", &a).is_ok());
+        let samples = parse_prometheus(&std::fs::read_to_string(&metrics).unwrap()).unwrap();
+        assert!(samples.iter().any(|s| s.name == "eks_worker_rate_est_mkeys"), "{samples:?}");
+        assert!(samples.iter().any(|s| s.name == "eks_worker_rate_tuned_mkeys"), "{samples:?}");
+        assert!(samples.iter().any(|s| s.name == "eks_rescatter_total"), "{samples:?}");
+        std::fs::remove_file(&metrics).ok();
     }
 
     #[test]

@@ -13,8 +13,8 @@ use eks_telemetry::{names, Telemetry};
 use eks_keyspace::{KeySpace, Order};
 
 use super::{
-    parse_algo, parse_charset, parse_chunk, parse_sched, parse_telemetry, parse_threads,
-    write_artifacts,
+    parse_algo, parse_charset, parse_chunk, parse_retune, parse_sched, parse_telemetry,
+    parse_threads, write_artifacts,
 };
 
 /// `--batch` opts into the lane-batched path explicitly (it is already the
@@ -124,6 +124,7 @@ pub(super) fn cmd_crack(args: &Args) -> Result<(), String> {
     let backend = parse_backend(args, &telemetry)?;
     let chunk = parse_chunk(args)?;
     let sched = parse_sched(args, SchedPolicy::Steal)?;
+    let retune = parse_retune(args)?;
     let structured = args.get("mask").is_some()
         || args.get("words").is_some()
         || args.get("salt-prefix").is_some()
@@ -133,6 +134,9 @@ pub(super) fn cmd_crack(args: &Args) -> Result<(), String> {
     }
     if args.get("sched").is_some() && structured {
         return Err("--sched applies only to plain charset searches".into());
+    }
+    if retune.is_some() && structured {
+        return Err("--retune applies only to plain charset searches".into());
     }
 
     // Mask attack: --mask "?u?l?l?d?d".
@@ -214,6 +218,7 @@ pub(super) fn cmd_crack(args: &Args) -> Result<(), String> {
         first_hit_only: !args.has("all"),
         lanes,
         sched,
+        retune,
         ..ParallelConfig::for_threads(threads)
     };
     if let Some(c) = chunk {
@@ -389,6 +394,29 @@ mod tests {
         let masked =
             args(&["crack", "--digest", &digest, "--sched", "steal", "--mask", "?l?l?l"]);
         assert!(run("crack", &masked).is_err(), "--sched is plain-search only");
+    }
+
+    #[test]
+    fn crack_retune_flags() {
+        let digest = to_hex(&HashAlgo::Md5.hash(b"cab"));
+        let a = args(&[
+            "crack", "--digest", &digest, "--max", "3", "--threads", "2", "--all", "--retune",
+        ]);
+        assert!(run("crack", &a).is_ok(), "--retune");
+        // --retune-interval implies --retune.
+        let a = args(&[
+            "crack", "--digest", &digest, "--max", "3", "--threads", "2",
+            "--retune-interval", "4",
+        ]);
+        assert!(run("crack", &a).is_ok(), "--retune-interval alone");
+        let bad = args(&["crack", "--digest", &digest, "--retune-interval", "0"]);
+        let err = run("crack", &bad).expect_err("interval 0 must be rejected");
+        assert!(err.contains("--retune-interval"), "{err}");
+        let bad = args(&["crack", "--digest", &digest, "--retune-interval", "soon"]);
+        assert!(run("crack", &bad).is_err(), "non-numeric interval");
+        let masked =
+            args(&["crack", "--digest", &digest, "--retune", "--mask", "?l?l?l"]);
+        assert!(run("crack", &masked).is_err(), "--retune is plain-search only");
     }
 
     #[test]

@@ -176,6 +176,7 @@ fn parse_round_keys(args: &Args) -> Result<u128, String> {
 fn job_run(store: JobStore, args: &Args) -> Result<(), String> {
     let threads = parse_threads(args, 4)?;
     let round_keys = parse_round_keys(args)?;
+    let retune = super::parse_retune(args)?.is_some();
     let (telemetry, log) = parse_telemetry(args)?;
     let fleet = match args.get("topology") {
         Some(t) => eks_cluster::plan_job_fleet(
@@ -185,8 +186,11 @@ fn job_run(store: JobStore, args: &Args) -> Result<(), String> {
         ),
         None => host_fleet(threads),
     };
-    let service = JobService::new(store, ServiceConfig { round_keys, ..ServiceConfig::default() })
-        .with_telemetry(telemetry.clone());
+    let service = JobService::new(
+        store,
+        ServiceConfig { round_keys, retune, ..ServiceConfig::default() },
+    )
+    .with_telemetry(telemetry.clone());
     let run_span = telemetry.span(names::SPAN_RUN);
     let rounds = service.run_until_idle(&fleet).map_err(|e| e.to_string())?;
     run_span.finish();

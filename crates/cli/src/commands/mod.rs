@@ -13,7 +13,7 @@ mod verify;
 
 use crate::args::Args;
 use crate::log::{Level, Logger};
-use eks_engine::SchedPolicy;
+use eks_engine::{Retune, SchedPolicy};
 use eks_hashes::HashAlgo;
 use eks_keyspace::Charset;
 use eks_telemetry::Telemetry;
@@ -66,6 +66,11 @@ fn print_help() {
     println!("           per-worker interval deques with steal-half rebalancing)");
     println!("           [--chunk N]   chunk size: the fixed pop in queue mode, the guided");
     println!("           floor otherwise (default: derived from --threads; must be >= 1)");
+    println!("           [--retune [--retune-interval N]]   closed-loop adaptive rebalancing:");
+    println!("           live EWMA rate estimates per worker, a drift check every N fleet");
+    println!("           chunks (default 8), and a deque re-scatter when the estimated");
+    println!("           time-to-drain divergence exceeds 25%; off by default — without it");
+    println!("           the static tuned-rate accounting is reproduced byte-for-byte");
     println!("           [--stats]   print the per-worker scheduler table (tested, steals,");
     println!("           splits, busy/idle ms, util%, keys/s) after the search");
     println!("           [--metrics-out F.prom] [--trace-out F.jsonl]   write telemetry");
@@ -100,6 +105,8 @@ fn print_help() {
     println!("           heterogeneous cluster of CPU + simulated-GPU backends");
     println!("           [--sched static|queue|steal]   leaf scheduling (default: static —");
     println!("           rate-proportional shares; steal lets drained leaves rebalance)");
+    println!("           [--retune [--retune-interval N]]   feed live per-leaf rates back");
+    println!("           into the schedule and re-scatter on drift (see crack --retune)");
     println!("           [--metrics-out F.prom] [--trace-out F.jsonl] [--quiet|--verbose]");
     println!("  report   --metrics F.prom [--trace F.jsonl]   render a run report from");
     println!("           telemetry artifacts: per-worker utilization, tuned rates, the");
@@ -115,8 +122,10 @@ fn print_help() {
     println!("           list                                    one line per spooled job");
     println!("           status <id>                             full record of one job");
     println!("           cancel|pause|resume <id>                lifecycle transitions");
-    println!("           run [--threads N] [--topology ...] [--round-keys N]   drive the");
-    println!("           fair-share scheduler until every runnable job completes; safe to");
+    println!("           run [--threads N] [--topology ...] [--round-keys N] [--retune]");
+    println!("           drive the fair-share scheduler until every runnable job completes;");
+    println!("           --retune tracks live fleet throughput, re-splitting leases and");
+    println!("           scaling the round budget to real rates; safe to");
     println!("           kill at any instant — completed leases are checkpointed and a");
     println!("           restart resumes with no rescanned and no skipped keys");
     println!("           [--metrics-out F.prom] [--trace-out F.jsonl]   per-job telemetry");
@@ -128,12 +137,10 @@ fn print_help() {
 }
 
 fn parse_algo(args: &Args) -> Result<HashAlgo, String> {
-    match args.get_or("algo", "md5") {
-        "md5" => Ok(HashAlgo::Md5),
-        "sha1" => Ok(HashAlgo::Sha1),
-        "ntlm" => Ok(HashAlgo::Ntlm),
-        other => Err(format!("unsupported --algo {other:?} (md5, sha1 or ntlm)")),
-    }
+    let spec = args.get_or("algo", "md5");
+    eks_jobs::parse_algo_key(spec).ok_or_else(|| {
+        format!("unsupported --algo {spec:?} (md5, sha1, ntlm or md5xN for iterated MD5)")
+    })
 }
 
 fn parse_charset(args: &Args) -> Result<Charset, String> {
@@ -169,6 +176,32 @@ fn parse_chunk(args: &Args) -> Result<Option<u64>, String> {
         return Err("--chunk must be at least 1".into());
     }
     Ok(Some(chunk))
+}
+
+/// `--retune` switches on closed-loop adaptive rebalancing (live EWMA
+/// rate estimates feeding drift checks and re-scatters);
+/// `--retune-interval N` sets the fleet-wide chunk count between drift
+/// checks and implies `--retune`. Absent both, `None` keeps the
+/// deterministic static (tuned-rate) accounting byte-for-byte.
+fn parse_retune(args: &Args) -> Result<Option<Retune>, String> {
+    let interval = match args.get("retune-interval") {
+        None => None,
+        Some(s) => {
+            let n: u64 = s.parse().map_err(|_| format!("invalid --retune-interval {s:?}"))?;
+            if n == 0 {
+                return Err("--retune-interval must be at least 1".into());
+            }
+            Some(n)
+        }
+    };
+    if !args.has("retune") && interval.is_none() {
+        return Ok(None);
+    }
+    let mut retune = Retune::default();
+    if let Some(every) = interval {
+        retune.every_chunks = every;
+    }
+    Ok(Some(retune))
 }
 
 /// Resolve the observability options shared by `crack` and `cluster`:

@@ -61,7 +61,8 @@ pub use multijob::{
 };
 pub use rounds::{run_rounds, run_rounds_observed, RoundConfig, RoundReport};
 pub use runtime::{
-    run_cluster_search, run_cluster_search_observed, run_cluster_search_sched, ClusterSearchResult,
+    run_cluster_search, run_cluster_search_observed, run_cluster_search_retuned,
+    run_cluster_search_sched, ClusterSearchResult,
 };
 pub use simgpu::SimKernelBackend;
 pub use spec::{paper_network, ClusterNode, CpuWorker, GpuSlot};

@@ -160,6 +160,23 @@ fn verify_kernel_ir(algo: HashAlgo, key: &Key) {
                 .expect("SHA-1 outputs 5 words");
             eks_hashes::sha1::state_to_digest(state).to_vec()
         }
+        HashAlgo::Md5Iter { .. } => {
+            // The device kernel is the base MD5 compression; the round
+            // loop is driver code. Pin the first compression to the IR,
+            // then chain the host-side rounds exactly as the driver
+            // would.
+            let words = words_for_key_len(len);
+            let built = build_md5(Md5Variant::Naive, &words);
+            let block = pad_md5_block(key.as_bytes());
+            let state: [u32; 4] = eval_ir(&built.ir, &built.outputs, &words, &block)
+                .try_into()
+                .expect("MD5 outputs 4 words");
+            let mut digest = eks_hashes::md5::state_to_digest(state);
+            for _ in 1..algo.rounds_for(key.as_bytes()) {
+                digest = eks_hashes::md5::md5_single_block(&digest);
+            }
+            digest.to_vec()
+        }
     };
     let want = algo.hash(key.as_bytes());
     assert_eq!(

@@ -76,7 +76,10 @@ pub fn tune_device(device: &Device, tool: Tool, algo: HashAlgo, model: AchievedM
             }
         }
     };
-    let scale = device.mp_count as f64 * device.clock_hz() / 1e6;
+    // An iterated KDF runs the base kernel `cost_factor` times per key
+    // on average, so the keys/s rates scale down by that factor (the
+    // kernel itself is the base hash's — see `ToolKernel::build`).
+    let scale = device.mp_count as f64 * device.clock_hz() / 1e6 / algo.cost_factor();
     let theoretical = theo_per_mp_cycle * scale;
     let achieved = achieved_per_mp_cycle * scale;
     let min_batch = min_keys_for_efficiency(TARGET_EFFICIENCY, achieved, LAUNCH_OVERHEAD_MS);
@@ -245,6 +248,17 @@ mod tests {
             let sha = tune_device(&d, Tool::OurApproach, HashAlgo::Sha1, AchievedModel::Analytic);
             assert!(sha.achieved_mkeys < md5.achieved_mkeys, "{pat}");
         }
+    }
+
+    #[test]
+    fn iterated_md5_tunes_slower_by_its_cost_factor() {
+        let d = DeviceCatalog::find("660").unwrap();
+        let base = tune_device(&d, Tool::OurApproach, HashAlgo::Md5, AchievedModel::Analytic);
+        let algo = HashAlgo::Md5Iter { iters: 9 };
+        let t = tune_device(&d, Tool::OurApproach, algo, AchievedModel::Analytic);
+        let rel =
+            (t.achieved_mkeys * algo.cost_factor() - base.achieved_mkeys).abs() / base.achieved_mkeys;
+        assert!(rel < 1e-9, "iterated rate should be base / cost_factor, got {t:?} vs {base:?}");
     }
 
     #[test]

@@ -86,10 +86,19 @@ impl std::fmt::Display for Lanes {
 /// The block layout a hash algorithm expects its candidates in.
 pub fn layout_for(algo: HashAlgo) -> BlockLayout {
     match algo {
-        HashAlgo::Md5 => BlockLayout::Md5Le,
+        HashAlgo::Md5 | HashAlgo::Md5Iter { .. } => BlockLayout::Md5Le,
         HashAlgo::Ntlm => BlockLayout::NtlmUtf16Le,
         HashAlgo::Sha1 => BlockLayout::ShaBe,
     }
+}
+
+/// True when the batched lane kernels cannot run `algo` directly: the
+/// iterated KDF re-hashes each digest a data-dependent number of times,
+/// which has no lockstep formulation, so the batched entry points drop
+/// to the scalar cracker (which hashes through [`TargetSet::matches`]
+/// and is therefore correct for every algorithm).
+fn needs_scalar_fallback(algo: HashAlgo) -> bool {
+    algo.base() != algo
 }
 
 /// Every `SAMPLE_MASK + 1`-th batch gets its fill and hash phases wall-
@@ -157,6 +166,9 @@ pub fn crack_interval_batched_observed(
     lanes: Lanes,
     telemetry: &Telemetry,
 ) -> CrackOutcome {
+    if needs_scalar_fallback(targets.algo()) {
+        return crack_interval(space, targets, interval, stop, first_hit_only);
+    }
     let instruments = BatchInstruments::new(telemetry);
     match lanes {
         Lanes::Scalar => crack_interval(space, targets, interval, stop, first_hit_only),
@@ -203,6 +215,9 @@ pub fn crack_interval_simd_observed(
     hasher: SimdHasher,
     telemetry: &Telemetry,
 ) -> CrackOutcome {
+    if needs_scalar_fallback(targets.algo()) {
+        return crack_interval(space, targets, interval, stop, first_hit_only);
+    }
     let instruments = BatchInstruments::new(telemetry);
     match hasher {
         #[cfg(target_arch = "x86_64")]
@@ -341,6 +356,9 @@ fn crack_lanes<const L: usize, H: LaneHasher<L>>(
                                 *slot = targets.match_digest(&sha1::state_to_digest(state));
                             }
                         }
+                    }
+                    HashAlgo::Md5Iter { .. } => {
+                        unreachable!("iterated algos fall back to the scalar cracker")
                     }
                 }
             }

@@ -51,12 +51,21 @@ use eks_keyspace::{Interval, Key, KeySpace};
 use eks_telemetry::{names, Counter, Histogram, Telemetry};
 
 use crate::backend::{Backend, ScanMode, ScanReport};
-use crate::steal::{ChunkPolicy, IntervalDeques, SchedPolicy, WorkerStats};
+use crate::rate::{eta_drift_pct, RateBook, RetuneControl};
+use crate::steal::{ChunkPolicy, IntervalDeques, SchedPolicy, StealOutcome, WorkerStats};
 use crate::target::TargetSet;
 
 /// Handle to a registered worker (index into the accounting table).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct WorkerId(usize);
+
+impl WorkerId {
+    /// The registration index, as used by [`DispatchReport::per_worker`]
+    /// and [`Dispatcher::worker_stats`] snapshots.
+    pub fn index(&self) -> usize {
+        self.0
+    }
+}
 
 /// A progress observation, emitted after each merged scan.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -140,6 +149,7 @@ struct DispatchInstruments {
     chunks: Counter,
     scan_ns: Histogram,
     cancel_latency_ns: Histogram,
+    rescatters: Counter,
 }
 
 impl DispatchInstruments {
@@ -148,6 +158,7 @@ impl DispatchInstruments {
             chunks: telemetry.counter(names::CHUNKS, &[]),
             scan_ns: telemetry.histogram(names::SCAN_NS, &[]),
             cancel_latency_ns: telemetry.histogram(names::CANCEL_LATENCY_NS, &[]),
+            rescatters: telemetry.counter(names::RESCATTERS, &[]),
         }
     }
 }
@@ -165,6 +176,29 @@ pub struct DequeLeaf<'b> {
     pub backend: &'b dyn Backend,
 }
 
+/// The closed-loop retune knobs: when set on [`SchedOptions`], every
+/// worker feeds its chunk timings into a shared [`RateBook`], and every
+/// `every_chunks` pops one worker is elected to compare the live rates
+/// against the queued remainders ([`eta_drift_pct`]) and re-scatter the
+/// deques when the divergence exceeds `drift_pct`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Retune {
+    /// Fleet-wide chunk count between drift checks.
+    pub every_chunks: u64,
+    /// Estimated-time-to-drain divergence (percent) that triggers a
+    /// re-scatter.
+    pub drift_pct: u32,
+}
+
+impl Default for Retune {
+    fn default() -> Self {
+        // A check every 8 chunks keeps the controller off the hot path;
+        // 25 % drift is well past split_weighted rounding noise but far
+        // below the 100 % a starved worker shows.
+        Self { every_chunks: 8, drift_pct: 25 }
+    }
+}
+
 /// Knobs of a [`Dispatcher::run_deques`] run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SchedOptions {
@@ -172,13 +206,52 @@ pub struct SchedOptions {
     pub chunk: ChunkPolicy,
     /// Whether drained workers steal from remote deques.
     pub steal: bool,
+    /// Closed-loop adaptive rebalancing; `None` reproduces the static
+    /// (tuned-rate) accounting exactly.
+    pub retune: Option<Retune>,
 }
 
 impl SchedOptions {
     /// The options a [`SchedPolicy`] names, with `chunk` as the fixed
-    /// size (queue mode) or guided floor (static/steal modes).
+    /// size (queue mode) or guided floor (static/steal modes). Retune
+    /// is off; see [`SchedOptions::with_retune`].
     pub fn for_policy(policy: SchedPolicy, chunk: u128) -> Self {
-        Self { chunk: policy.chunk_policy(chunk), steal: policy.steals() }
+        Self { chunk: policy.chunk_policy(chunk), steal: policy.steals(), retune: None }
+    }
+
+    /// The same options with closed-loop retuning enabled.
+    pub fn with_retune(mut self, retune: Retune) -> Self {
+        self.retune = Some(retune);
+        self
+    }
+}
+
+/// Shared state of one `run_deques` round when retuning is on.
+struct RetuneShared {
+    rates: RateBook,
+    control: RetuneControl,
+    drift_pct: f64,
+    steal: bool,
+}
+
+impl RetuneShared {
+    /// Drift check + re-scatter, run by the elected worker. Returns
+    /// true when a re-scatter happened.
+    fn maybe_rescatter(&self, deques: &IntervalDeques) -> bool {
+        let remaining: Vec<u128> = (0..deques.len()).map(|s| deques.remaining(s)).collect();
+        let rates = self.rates.weights();
+        // Under a stealing policy an empty slot feeds itself, so only
+        // imbalance among loaded slots argues for a re-scatter; under
+        // static scatter the empty slots are exactly the starved ones.
+        let drift = eta_drift_pct(&remaining, &rates, !self.steal);
+        if drift <= self.drift_pct {
+            return false;
+        }
+        let changed = deques.rescatter(&rates);
+        if changed {
+            self.control.record_rescatter();
+        }
+        changed
     }
 }
 
@@ -267,6 +340,14 @@ impl<'a> Dispatcher<'a> {
     /// True once any hit has been gathered.
     pub fn any_hits(&self) -> bool {
         !self.gathered.lock().expect("dispatch lock").hits.is_empty()
+    }
+
+    /// A point-in-time copy of the gathered per-worker stats — the live
+    /// counterpart of [`DispatchReport::stats`]. Round masters diff
+    /// successive snapshots to turn each round's `(tested, busy)`
+    /// deltas into rate observations.
+    pub fn worker_stats(&self) -> Vec<WorkerStats> {
+        self.gathered.lock().expect("dispatch lock").workers.clone()
     }
 
     /// Register a worker for accounting; labels appear in
@@ -362,9 +443,18 @@ impl<'a> Dispatcher<'a> {
     pub fn run_deques(&self, leaves: &[DequeLeaf<'_>], deques: &IntervalDeques, opts: SchedOptions) {
         assert!(!leaves.is_empty(), "need at least one leaf");
         assert_eq!(leaves.len(), deques.len(), "one deque slot per leaf");
+        let retune = opts.retune.map(|r| RetuneShared {
+            rates: RateBook::new(
+                leaves.iter().map(|l| l.backend.tuned_rate(self.targets.algo())).collect(),
+            ),
+            control: RetuneControl::new(r.every_chunks),
+            drift_pct: f64::from(r.drift_pct),
+            steal: opts.steal,
+        });
+        let retune = retune.as_ref();
         std::thread::scope(|scope| {
             for (slot, leaf) in leaves.iter().enumerate() {
-                scope.spawn(move || self.drive_leaf(slot, leaf, deques, opts));
+                scope.spawn(move || self.drive_leaf(slot, leaf, deques, opts, retune));
             }
         });
         // Fold the split counters into the owning workers' stats once the
@@ -373,10 +463,67 @@ impl<'a> Dispatcher<'a> {
         for (slot, leaf) in leaves.iter().enumerate() {
             self.credit_sched(leaf.worker, 0, deques.splits(slot), 0, 0);
         }
+        if let Some(shared) = retune {
+            self.flush_rates(leaves, shared);
+        }
+    }
+
+    /// Export the final live-rate estimates (and their tuned baselines)
+    /// as per-worker gauges, once per run — the feedstock of the
+    /// rate-drift column in `eks report`.
+    fn flush_rates(&self, leaves: &[DequeLeaf<'_>], shared: &RetuneShared) {
+        if !self.telemetry.is_enabled() {
+            return;
+        }
+        let g = self.gathered.lock().expect("dispatch lock");
+        for (slot, leaf) in leaves.iter().enumerate() {
+            let label = g.workers[leaf.worker.0].label.as_str();
+            let labels = [("worker", label)];
+            self.telemetry.gauge(names::WORKER_RATE_EST, &labels).set(shared.rates.mkeys(slot));
+            self.telemetry
+                .gauge(names::WORKER_RATE_TUNED, &labels)
+                .set(shared.rates.tuned_mkeys(slot));
+        }
+    }
+
+    /// Scan one chunk inside the worker loop: time it, feed the rate
+    /// estimator, run the elected drift check. Returns true when the
+    /// worker must exit (stop raised or first hit found).
+    fn drive_chunk(
+        &self,
+        slot: usize,
+        leaf: &DequeLeaf<'_>,
+        deques: &IntervalDeques,
+        retune: Option<&RetuneShared>,
+        chunk: Interval,
+        busy_ns: &mut u64,
+    ) -> bool {
+        let t0 = Instant::now();
+        let out = self.scan_as(leaf.worker, leaf.backend, chunk);
+        let elapsed = t0.elapsed().as_nanos() as u64;
+        *busy_ns += elapsed;
+        if let Some(shared) = retune {
+            shared.rates.observe(slot, out.tested, elapsed);
+            if shared.control.tick()
+                && !self.stop.load(Ordering::Relaxed)
+                && shared.maybe_rescatter(deques)
+            {
+                self.instruments.rescatters.inc();
+            }
+        }
+        self.stop.load(Ordering::Relaxed)
+            || (self.mode.first_hit_only() && !out.hits.is_empty())
     }
 
     /// One worker's pop/scan/steal loop.
-    fn drive_leaf(&self, slot: usize, leaf: &DequeLeaf<'_>, deques: &IntervalDeques, opts: SchedOptions) {
+    fn drive_leaf(
+        &self,
+        slot: usize,
+        leaf: &DequeLeaf<'_>,
+        deques: &IntervalDeques,
+        opts: SchedOptions,
+        retune: Option<&RetuneShared>,
+    ) {
         let mut steals = 0u64;
         let mut idle_ns = 0u64;
         let mut busy_ns = 0u64;
@@ -384,32 +531,82 @@ impl<'a> Dispatcher<'a> {
             if self.stop.load(Ordering::Relaxed) {
                 break;
             }
-            while let Some(chunk) = deques.pop(slot, opts.chunk) {
-                let t0 = Instant::now();
-                let out = self.scan_as(leaf.worker, leaf.backend, chunk);
-                busy_ns += t0.elapsed().as_nanos() as u64;
-                if self.stop.load(Ordering::Relaxed)
-                    || (self.mode.first_hit_only() && !out.hits.is_empty())
-                {
+            loop {
+                let chunk = match retune {
+                    Some(shared) => {
+                        deques.pop_rated(slot, opts.chunk, shared.rates.keys_per_sec(slot))
+                    }
+                    None => deques.pop(slot, opts.chunk),
+                };
+                let Some(chunk) = chunk else { break };
+                if self.drive_chunk(slot, leaf, deques, retune, chunk, &mut busy_ns) {
                     break 'work;
                 }
             }
             if !opts.steal {
-                break;
+                if retune.is_none() {
+                    break; // pure static scatter: drained means done
+                }
+                // Static scatter with retune on: a drained worker waits
+                // for the controller to move work its way instead of
+                // exiting while the fleet still holds keys. Retirement
+                // is the handshake that makes the wait safe: work is
+                // only assigned to slots that have not retired.
+                let mut spins = 0u32;
+                loop {
+                    if self.stop.load(Ordering::Relaxed) {
+                        break 'work;
+                    }
+                    if deques.remaining(slot) > 0 {
+                        continue 'work;
+                    }
+                    if deques.total_remaining() == 0 {
+                        let _ = deques.retire_if_empty(slot);
+                        break 'work;
+                    }
+                    spins += 1;
+                    if spins < 16 {
+                        std::thread::yield_now();
+                    } else {
+                        std::thread::sleep(std::time::Duration::from_micros(200));
+                    }
+                }
             }
             let t0 = Instant::now();
-            let victim = deques.steal_into(slot);
+            let outcome = deques.try_steal(slot);
             idle_ns += t0.elapsed().as_nanos() as u64;
-            if let Some(victim) = victim {
-                steals += 1;
-                self.telemetry
-                    .event(names::EVENT_STEAL)
-                    .worker(leaf.worker.0)
-                    .field("slot", slot)
-                    .field("victim", victim)
-                    .finish();
-            } else {
-                break; // every deque is drained
+            match outcome {
+                StealOutcome::Stolen { victim } => {
+                    steals += 1;
+                    self.telemetry
+                        .event(names::EVENT_STEAL)
+                        .worker(leaf.worker.0)
+                        .field("slot", slot)
+                        .field("victim", victim)
+                        .finish();
+                }
+                StealOutcome::Handoff { victim, chunk } => {
+                    // A concurrent re-scatter refilled this slot while
+                    // the steal was in flight; the split half cannot be
+                    // installed, so scan it directly.
+                    steals += 1;
+                    self.telemetry
+                        .event(names::EVENT_STEAL)
+                        .worker(leaf.worker.0)
+                        .field("slot", slot)
+                        .field("victim", victim)
+                        .finish();
+                    if self.drive_chunk(slot, leaf, deques, retune, chunk, &mut busy_ns) {
+                        break 'work;
+                    }
+                }
+                StealOutcome::Drained => {
+                    // Nothing to steal; exit unless a re-scatter slipped
+                    // work into this slot in the meantime.
+                    if deques.retire_if_empty(slot) {
+                        break;
+                    }
+                }
             }
         }
         self.credit_sched(leaf.worker, steals, 0, idle_ns, busy_ns);
@@ -431,8 +628,25 @@ impl<'a> Dispatcher<'a> {
         chunk: u64,
         sched: SchedPolicy,
     ) {
-        assert!(workers >= 1, "need at least one worker");
         assert!(chunk >= 1, "chunk must be positive");
+        let opts = SchedOptions::for_policy(sched, chunk as u128);
+        self.run_workers_opts(backend, interval, workers, opts);
+    }
+
+    /// [`Dispatcher::run_workers`] with the full [`SchedOptions`] knob
+    /// set, for callers that want closed-loop retuning on top of a
+    /// named policy.
+    ///
+    /// # Panics
+    /// Panics when `workers == 0`.
+    pub fn run_workers_opts(
+        &self,
+        backend: &dyn Backend,
+        interval: Interval,
+        workers: usize,
+        opts: SchedOptions,
+    ) {
+        assert!(workers >= 1, "need at least one worker");
         let clamped = interval.intersect(&self.space.interval());
         let ids: Vec<WorkerId> = (0..workers)
             .map(|w| self.register(format!("{}#{w}", backend.name())))
@@ -440,7 +654,7 @@ impl<'a> Dispatcher<'a> {
         let leaves: Vec<DequeLeaf<'_>> =
             ids.iter().map(|&worker| DequeLeaf { worker, backend }).collect();
         let deques = IntervalDeques::scatter(clamped, &vec![1.0; workers]);
-        self.run_deques(&leaves, &deques, SchedOptions::for_policy(sched, chunk as u128));
+        self.run_deques(&leaves, &deques, opts);
     }
 
     /// The classic work-queue frontend, kept as a thin wrapper over
@@ -613,7 +827,7 @@ mod tests {
         d.run_deques(
             &leaves,
             &deques,
-            SchedOptions { chunk: ChunkPolicy::Guided { min: 256 }, steal: true },
+            SchedOptions { chunk: ChunkPolicy::Guided { min: 256 }, steal: true, retune: None },
         );
         let r = d.finish();
         assert_eq!(r.tested, s.size(), "nothing lost, nothing doubled");

@@ -124,7 +124,9 @@ impl TargetSet {
         match algo {
             // Little-endian serialization: digest bytes 0..4 are the final
             // `a` state word, the first thing md5_lanes/md4_lanes yield.
-            HashAlgo::Md5 | HashAlgo::Ntlm => {
+            // Iterated MD5's final round is a plain MD5 compression, so
+            // its digest carries the same lane word.
+            HashAlgo::Md5 | HashAlgo::Ntlm | HashAlgo::Md5Iter { .. } => {
                 u32::from_le_bytes(digest[0..4].try_into().expect("4 bytes"))
             }
             // SHA-1 cannot compare the digest directly 4 rounds early; the

@@ -278,11 +278,7 @@ impl JobRecord {
             self.id.0,
             escape_json(&self.spec.name),
             self.state.name(),
-            match self.spec.algo {
-                HashAlgo::Md5 => "md5",
-                HashAlgo::Sha1 => "sha1",
-                HashAlgo::Ntlm => "ntlm",
-            },
+            algo_key(self.spec.algo),
             to_hex(&self.spec.digest),
             escape_json(&String::from_utf8_lossy(&self.spec.charset)),
             self.spec.min_len,
@@ -328,12 +324,8 @@ impl JobRecord {
         let id = JobId(u64_field(&doc, "id")?);
         let state = JobState::parse(str_field(&doc, "state")?)
             .ok_or_else(|| invalid(format!("unknown state {:?}", str_field(&doc, "state"))))?;
-        let algo = match str_field(&doc, "algo")? {
-            "md5" => HashAlgo::Md5,
-            "sha1" => HashAlgo::Sha1,
-            "ntlm" => HashAlgo::Ntlm,
-            other => return Err(invalid(format!("unknown algo {other:?}"))),
-        };
+        let algo = parse_algo_key(str_field(&doc, "algo")?)
+            .ok_or_else(|| invalid(format!("unknown algo {:?}", str_field(&doc, "algo"))))?;
         let digest = from_hex(str_field(&doc, "digest")?)
             .ok_or_else(|| invalid("digest is not hex".into()))?;
         let order = match str_field(&doc, "order")? {
@@ -401,6 +393,32 @@ impl JobRecord {
     /// or `None` when nothing is pending.
     pub fn take_lease(&mut self, n: u128) -> Option<Interval> {
         self.frontier.take_work(n)
+    }
+}
+
+/// The stable on-disk spelling of an algorithm: `md5`/`sha1`/`ntlm`,
+/// plus `md5x{iters}` for the iterated KDF (so `md5x32` round-trips the
+/// iteration bound).
+pub fn algo_key(algo: HashAlgo) -> String {
+    match algo {
+        HashAlgo::Md5 => "md5".to_string(),
+        HashAlgo::Sha1 => "sha1".to_string(),
+        HashAlgo::Ntlm => "ntlm".to_string(),
+        HashAlgo::Md5Iter { iters } => format!("md5x{iters}"),
+    }
+}
+
+/// Inverse of [`algo_key`]; `None` on an unknown spelling (including a
+/// zero or unparsable iteration count).
+pub fn parse_algo_key(s: &str) -> Option<HashAlgo> {
+    match s {
+        "md5" => Some(HashAlgo::Md5),
+        "sha1" => Some(HashAlgo::Sha1),
+        "ntlm" => Some(HashAlgo::Ntlm),
+        _ => {
+            let iters = s.strip_prefix("md5x")?.parse::<u16>().ok()?;
+            (iters > 0).then_some(HashAlgo::Md5Iter { iters })
+        }
     }
 }
 

@@ -29,7 +29,10 @@ pub mod sched;
 pub mod service;
 pub mod store;
 
-pub use job::{JobError, JobHit, JobId, JobRecord, JobSpec, JobState, JOB_SCHEMA_VERSION};
+pub use job::{
+    algo_key, parse_algo_key, JobError, JobHit, JobId, JobRecord, JobSpec, JobState,
+    JOB_SCHEMA_VERSION,
+};
 pub use sched::carve_budget;
 pub use service::{Fleet, FleetMember, JobService, RoundReport, ServiceConfig};
 pub use store::JobStore;

@@ -65,6 +65,10 @@ impl ToolKernel {
     /// runtime words but keep the same structure).
     pub fn build(tool: Tool, algo: HashAlgo, cc: ComputeCapability) -> Self {
         let key_len = 4;
+        // An iterated KDF re-runs its base kernel; the per-key round loop
+        // lives in the driver, so the device kernel is the base hash's
+        // (throughput modeling divides by `HashAlgo::cost_factor`).
+        let algo = algo.base();
         match (tool, algo) {
             (Tool::OurApproach, HashAlgo::Md5) => ToolKernel {
                 ir: build_md5(Md5Variant::Optimized, &words_for_key_len(key_len)).ir,
@@ -110,6 +114,9 @@ impl ToolKernel {
                 ir: build_md4(Md4Variant::Naive, &ntlm_words_for_key_len(key_len)).ir,
                 options: LoweringOptions::plain(cc),
             },
+            (_, HashAlgo::Md5Iter { .. }) => {
+                unreachable!("HashAlgo::base() strips iteration")
+            }
         }
     }
 }

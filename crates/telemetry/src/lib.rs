@@ -103,6 +103,16 @@ pub mod names {
     /// Gauge `{job}`: keys still pending for one job (drives the
     /// per-job ETA in `eks report`).
     pub const JOB_REMAINING_KEYS: &str = "eks_job_remaining_keys";
+    /// Gauge `{worker}`: live EWMA throughput estimate in MKeys/s from
+    /// the closed-loop retune controller (falls back to the tuned rate
+    /// while the estimator warms up).
+    pub const WORKER_RATE_EST: &str = "eks_worker_rate_est_mkeys";
+    /// Gauge `{worker}`: the tuned-rate baseline the live estimate is
+    /// compared against (the rate-drift column in `eks report` is
+    /// `(est - tuned) / tuned`).
+    pub const WORKER_RATE_TUNED: &str = "eks_worker_rate_tuned_mkeys";
+    /// Counter: live re-scatters performed by the retune controller.
+    pub const RESCATTERS: &str = "eks_rescatter_total";
     /// Gauge `{device}`: simulated-GPU profiler IPC.
     pub const SIM_IPC: &str = "eks_sim_ipc";
     /// Gauge `{device}`: simulated-GPU profiler efficiency (0..1).
