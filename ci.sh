@@ -157,4 +157,62 @@ fi
   | grep -q "job-1" || { echo "FAIL: report lacks the per-job table" >&2; exit 1; }
 rm -rf "$SPOOL_DIR"
 
+echo "==> observability smoke (skewed fleet: straggler flagged within two windows, mid-run /metrics scrape, flight dump replays)"
+OBS_DIR="$(mktemp -d)"
+cargo run -q --release -p eks-bench --example observability_smoke "$OBS_DIR/flight.json"
+# The dump the smoke run wrote must replay through the real CLI and
+# name the straggler it flagged.
+./target/release/eks postmortem "$OBS_DIR/flight.json" | grep -q "host/slow" \
+  || { echo "FAIL: postmortem does not name the flagged worker" >&2; exit 1; }
+
+echo "==> live scrape smoke: eks serve --listen-metrics, scraped mid-run by eks top --once"
+./target/release/eks job submit --spool "$OBS_DIR" \
+  --digest "$(./target/release/eks hash 31415926)" --charset digits --max 8 --name scrape > /dev/null
+./target/release/eks serve --spool "$OBS_DIR" --addr 127.0.0.1:0 \
+  --listen-metrics 127.0.0.1:0 > "$OBS_DIR/serve.log" 2>&1 &
+SERVE_PID=$!
+METRICS_ADDR=""
+for _ in $(seq 1 500); do
+  METRICS_ADDR="$(sed -n 's#^metrics listening on http://##p' "$OBS_DIR/serve.log")"
+  [ -n "$METRICS_ADDR" ] && break
+  sleep 0.02
+done
+if [ -z "$METRICS_ADDR" ]; then
+  echo "FAIL: serve never printed its --listen-metrics address" >&2
+  kill "$SERVE_PID" 2> /dev/null || true
+  exit 1
+fi
+# `eks top --once` is the scrape client: it checks /healthz, parses
+# /metrics with the self-contained exposition checker, and renders the
+# job list from /jobs — all three endpoints in one probe.
+./target/release/eks top --addr "$METRICS_ADDR" --once > "$OBS_DIR/top.out"
+kill "$SERVE_PID" 2> /dev/null || true
+wait "$SERVE_PID" 2> /dev/null || true
+for want in "eks top" "scrape"; do
+  if ! grep -q "$want" "$OBS_DIR/top.out"; then
+    echo "FAIL: eks top frame is missing \"$want\"" >&2
+    cat "$OBS_DIR/top.out" >&2
+    exit 1
+  fi
+done
+
+echo "==> flight recorder: forced panic mid-search must dump flight.json that eks postmortem replays"
+if ./target/release/eks crack --algo md5 --digest 00000000000000000000000000000000 \
+    --max 4 --all --threads 2 --flight "$OBS_DIR/crash.json" --panic-after-chunks 5 \
+    --quiet > /dev/null 2>&1; then
+  echo "FAIL: the forced-panic crack exited zero" >&2
+  exit 1
+fi
+if [ ! -s "$OBS_DIR/crash.json" ]; then
+  echo "FAIL: the panic hook left no flight dump" >&2
+  exit 1
+fi
+./target/release/eks postmortem "$OBS_DIR/crash.json" > "$OBS_DIR/crash.txt"
+grep -q "forced panic after" "$OBS_DIR/crash.txt" \
+  || { echo "FAIL: postmortem lacks the panic reason" >&2; exit 1; }
+# The per-worker table at crash names the workers that were searching.
+grep -q "#0" "$OBS_DIR/crash.txt" \
+  || { echo "FAIL: postmortem lacks the per-worker table" >&2; cat "$OBS_DIR/crash.txt" >&2; exit 1; }
+rm -rf "$OBS_DIR"
+
 echo "CI green."

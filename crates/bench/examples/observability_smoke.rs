@@ -1,0 +1,232 @@
+//! CI smoke gate for the live observability plane.
+//!
+//! A two-worker fleet is deliberately skewed — both workers scan with
+//! the real 8-lane MD5 backend, but the driver charges worker
+//! `host/slow` [`SLOW_FACTOR`]× the virtual nanoseconds per key — and
+//! the whole run is driven on a [`ManualClock`] through the same
+//! deterministic virtual-core loop as `adaptive_smoke`. The telemetry
+//! handle carries an attached [`LivePlane`] with 1-second windows, so
+//! every `Dispatcher::scan_as` merge runs the real
+//! `Telemetry::observe_plane` hook: windows flush exactly when the
+//! virtual clock crosses a boundary and the anomaly detector
+//! classifies the flushed deltas.
+//!
+//! The gate asserts the ISSUE acceptance criteria end to end:
+//!
+//! 1. the detector flags `host/slow` as a straggler within two
+//!    windows of the run starting;
+//! 2. a live `/metrics` scrape taken mid-run (work still queued) shows
+//!    `eks_anomaly_total{kind="straggler"}` and the
+//!    `eks_worker_flagged` gauge for the slow worker;
+//! 3. a flight dump rendered from the same telemetry names the slow
+//!    worker, and round-trips through the flight parser — `ci.sh`
+//!    replays the written file with `eks postmortem`.
+//!
+//! Pass an argument to choose where the flight dump lands (CI does);
+//! the default is a per-process file under the temp dir. Exits
+//! non-zero when any bound is missed.
+
+use std::process::ExitCode;
+use std::sync::Arc;
+
+use eks_cracker::{cpu_backend, Lanes, TargetSet};
+use eks_engine::{ChunkPolicy, Dispatcher, IntervalDeques, RateBook, ScanMode};
+use eks_hashes::HashAlgo;
+use eks_keyspace::{Charset, Interval, KeySpace, Order};
+use eks_telemetry::{
+    http_get, names, parse_flight, parse_prometheus, render_flight, render_postmortem,
+    AnomalyConfig, AnomalyKind, LivePlane, ManualClock, MetricsServer, Telemetry,
+};
+
+/// Keys in the run — enough virtual work for three-plus windows.
+const KEYS: u128 = 400_000;
+/// Virtual cost charged per key on the healthy worker.
+const FAST_NS_PER_KEY: u64 = 10_000;
+/// The straggler's handicap: 4× the per-key cost, a 75 % rate deficit
+/// against the tuned book — far past the 40 % straggler line.
+const SLOW_FACTOR: u64 = 4;
+/// Window width on the live plane (virtual nanoseconds).
+const WINDOW_NS: u64 = 1_000_000_000;
+/// The acceptance bound: flagged in window index ≤ this.
+const MAX_FLAG_WINDOW: u64 = 2;
+/// Both workers' stale tuned claim, in MKeys/s: exactly the healthy
+/// worker's true virtual rate (1 key per 10 µs = 0.1 MKey/s).
+const TUNED_MKEYS: f64 = 0.1;
+/// Fixed pop size — ~100 chunks across the run.
+const CHUNK: u128 = 1 << 12;
+
+const WORKERS: usize = 2;
+const LABELS: [&str; WORKERS] = ["host/fast", "host/slow"];
+
+fn check(ok: bool, what: &str) -> bool {
+    println!("  [{}] {what}", if ok { "ok" } else { "FAIL" });
+    ok
+}
+
+fn main() -> ExitCode {
+    let flight_path = match std::env::args().nth(1) {
+        Some(p) => std::path::PathBuf::from(p),
+        None => std::env::temp_dir().join(format!("eks-observability-{}.json", std::process::id())),
+    };
+
+    // Virtual time: the telemetry clock only moves when the driver
+    // advances it, so window boundaries are deterministic.
+    let clock = Arc::new(ManualClock::new());
+    let telemetry = Telemetry::with_clock(clock.clone());
+    let plane = Arc::new(LivePlane::new(WINDOW_NS, 16, AnomalyConfig::default()));
+    telemetry.attach_plane(plane.clone());
+    let server = match MetricsServer::spawn("127.0.0.1:0", telemetry.clone(), None) {
+        Ok(s) => s,
+        Err(e) => {
+            println!("  [FAIL] metrics server bind: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let addr = server.local_addr().to_string();
+    println!("observability smoke: 2 workers, {SLOW_FACTOR}x skew, scraping http://{addr}");
+
+    let space = KeySpace::new(Charset::lowercase(), 1, 4, Order::FirstCharFastest)
+        .expect("keyspace");
+    let digest = vec![0u8; 16]; // impossible target: pure sweep
+    let targets = TargetSet::new(HashAlgo::Md5, &[digest]);
+    let dispatcher = Dispatcher::new(&space, &targets, ScanMode::Exhaustive)
+        .with_telemetry(telemetry.clone());
+    let ids = LABELS.map(|l| dispatcher.register(l));
+    let backend = cpu_backend(Lanes::L8);
+
+    // The scatter trusts the stale equal book, so the slow worker owns
+    // half the keys — the PR 9 skewed-fleet scenario.
+    let deques = IntervalDeques::scatter(Interval::new(0, KEYS), &[1.0; WORKERS]);
+    let rates = RateBook::new(vec![TUNED_MKEYS; WORKERS]);
+    let cost_ns_per_key: [u64; WORKERS] = [FAST_NS_PER_KEY, FAST_NS_PER_KEY * SLOW_FACTOR];
+
+    let mut vclock = [0u64; WORKERS];
+    let mut done = [false; WORKERS];
+    let mut mid_run_scrape: Option<(String, u128)> = None;
+    loop {
+        // Always advance the furthest-behind live worker.
+        let Some(w) = (0..WORKERS).filter(|&w| !done[w]).min_by_key(|&w| vclock[w]) else {
+            break;
+        };
+        let chunk = match deques.pop(w, ChunkPolicy::Fixed(CHUNK)) {
+            Some(c) => c,
+            None => {
+                if deques.steal_into(w).is_none() {
+                    done[w] = true;
+                }
+                continue;
+            }
+        };
+        // The real dispatch path: live labelled counters, scan spans,
+        // and the observe_plane hook all fire inside scan_as.
+        let report = dispatcher.scan_as(ids[w], backend.as_ref(), chunk);
+        let cost = u64::try_from(report.tested).unwrap_or(u64::MAX) * cost_ns_per_key[w];
+        rates.observe(w, report.tested, cost);
+        vclock[w] += cost;
+        // Publish the live-vs-tuned gauges the straggler rule reads,
+        // exactly as the scheduler's elected retune tick does.
+        for (slot, label) in LABELS.iter().enumerate() {
+            telemetry.gauge(names::WORKER_RATE_EST, &[("worker", label)]).set(rates.mkeys(slot));
+            telemetry
+                .gauge(names::WORKER_RATE_TUNED, &[("worker", label)])
+                .set(rates.tuned_mkeys(slot));
+        }
+        // The fleet's "now" is the slowest live worker's frontier.
+        if let Some(&frontier) = vclock
+            .iter()
+            .zip(done.iter())
+            .filter(|(_, &d)| !d)
+            .map(|(v, _)| v)
+            .min()
+        {
+            clock.set(frontier);
+        }
+        // First time the plane flags the straggler with work still
+        // queued, take the mid-run /metrics scrape the gate asserts on.
+        if mid_run_scrape.is_none() && plane.is_flagged(LABELS[1]) {
+            let remaining = deques.total_remaining();
+            if let Ok(body) = http_get(&addr, "/metrics") {
+                mid_run_scrape = Some((body, remaining));
+            }
+        }
+    }
+    let report = dispatcher.finish();
+    server.shutdown();
+
+    let mut ok = true;
+    ok &= check(report.tested == KEYS, &format!("swept all {KEYS} keys ({})", report.tested));
+
+    // 1. The straggler verdict, and how early it landed.
+    let straggler_window = plane
+        .recent_anomalies()
+        .iter()
+        .filter(|a| a.kind == AnomalyKind::Straggler && a.worker == LABELS[1])
+        .map(|a| a.window)
+        .min();
+    ok &= check(
+        straggler_window.is_some_and(|w| w <= MAX_FLAG_WINDOW),
+        &format!(
+            "{} flagged straggler within {MAX_FLAG_WINDOW} windows (window {:?})",
+            LABELS[1], straggler_window
+        ),
+    );
+    ok &= check(
+        !plane.is_flagged(LABELS[0]) || plane.is_flagged(LABELS[1]),
+        "healthy worker is never the only flagged one",
+    );
+
+    // 2. The mid-run scrape saw the verdict while keys were queued.
+    match &mid_run_scrape {
+        Some((body, remaining)) => {
+            let samples = parse_prometheus(body).unwrap_or_default();
+            let straggler_total: f64 = samples
+                .iter()
+                .filter(|s| s.name == names::ANOMALIES && s.label("kind") == Some("straggler"))
+                .map(|s| s.value)
+                .sum();
+            let flagged = samples.iter().any(|s| {
+                s.name == names::WORKER_FLAGGED
+                    && s.label("worker") == Some(LABELS[1])
+                    && s.value > 0.0
+            });
+            ok &= check(*remaining > 0, &format!("scrape was mid-run ({remaining} keys queued)"));
+            ok &= check(straggler_total >= 1.0, "/metrics showed eks_anomaly_total{kind=straggler}");
+            ok &= check(flagged, "/metrics showed the slow worker's flagged gauge");
+        }
+        None => {
+            ok = check(false, "a mid-run /metrics scrape was taken after flagging");
+        }
+    }
+
+    // 3. The flight dump replays and names the straggler.
+    let dump = render_flight(
+        &telemetry,
+        Some(&plane),
+        u64::MAX,
+        "observability smoke snapshot",
+        "observability_smoke.rs",
+    );
+    if let Err(e) = std::fs::write(&flight_path, &dump) {
+        ok = check(false, &format!("write {}: {e}", flight_path.display()));
+    } else {
+        println!("  flight dump: {}", flight_path.display());
+    }
+    match parse_flight(&dump) {
+        Ok(flight) => {
+            let postmortem = render_postmortem(&flight);
+            ok &= check(
+                postmortem.contains(LABELS[1]),
+                "postmortem timeline names the slow worker",
+            );
+        }
+        Err(e) => ok = check(false, &format!("flight dump round-trips: {e}")),
+    }
+
+    if ok {
+        println!("observability smoke: PASS");
+        ExitCode::SUCCESS
+    } else {
+        println!("observability smoke: FAIL");
+        ExitCode::FAILURE
+    }
+}

@@ -12,7 +12,10 @@ use eks_hashes::{from_hex, HashAlgo};
 use eks_kernels::Tool;
 use eks_keyspace::{Charset, KeySpace, Order};
 
-use super::{parse_algo, parse_charset, parse_retune, parse_sched, parse_telemetry, write_artifacts};
+use super::{
+    arm_flight_recorder, parse_algo, parse_charset, parse_retune, parse_sched, parse_telemetry,
+    spawn_metrics_server, write_artifacts,
+};
 
 /// Really crack a digest across a heterogeneous cluster: every simulated
 /// GPU becomes a [`SimKernelBackend`], every `cpu:N` worker a lane
@@ -44,6 +47,8 @@ pub(super) fn cmd_cluster(args: &Args) -> Result<(), String> {
     let sched = parse_sched(args, SchedPolicy::Static)?;
     let retune = parse_retune(args)?;
     let (telemetry, log) = parse_telemetry(args)?;
+    let _metrics_server = spawn_metrics_server(args, &telemetry, None)?;
+    arm_flight_recorder(args, &telemetry);
     let targets = TargetSet::new(algo, &[digest]);
     log.info(format!(
         "cluster [{label}]: searching {} {} candidates ({sched} schedule{})",

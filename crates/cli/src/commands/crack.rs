@@ -13,8 +13,8 @@ use eks_telemetry::{names, Telemetry};
 use eks_keyspace::{KeySpace, Order};
 
 use super::{
-    parse_algo, parse_charset, parse_chunk, parse_retune, parse_sched, parse_telemetry,
-    parse_threads, write_artifacts,
+    arm_flight_recorder, parse_algo, parse_charset, parse_chunk, parse_retune, parse_sched,
+    parse_telemetry, parse_threads, spawn_metrics_server, write_artifacts,
 };
 
 /// `--batch` opts into the lane-batched path explicitly (it is already the
@@ -85,8 +85,8 @@ fn parse_backend(args: &Args, telemetry: &Telemetry) -> Result<Option<Box<dyn Ba
     }))
 }
 
-/// How often the periodic progress line refreshes.
-const PROGRESS_EVERY: std::time::Duration = std::time::Duration::from_millis(500);
+/// How often the periodic progress line refreshes (telemetry-clock ns).
+const PROGRESS_EVERY_NS: u64 = 500_000_000;
 
 /// Format one progress line from a merged-scan observation: percent of
 /// the keyspace, aggregate rate, and the ETA at that rate. All three
@@ -121,6 +121,8 @@ pub(super) fn cmd_crack(args: &Args) -> Result<(), String> {
     let threads = parse_threads(args, 8)?;
     let lanes = parse_lanes(args)?;
     let (telemetry, log) = parse_telemetry(args)?;
+    let _metrics_server = spawn_metrics_server(args, &telemetry, None)?;
+    arm_flight_recorder(args, &telemetry);
     let backend = parse_backend(args, &telemetry)?;
     let chunk = parse_chunk(args)?;
     let sched = parse_sched(args, SchedPolicy::Steal)?;
@@ -225,22 +227,35 @@ pub(super) fn cmd_crack(args: &Args) -> Result<(), String> {
         config.chunk = c;
     }
     // Periodic progress line: throttled to one refresh per
-    // PROGRESS_EVERY, derived from the merged-scan observations the
-    // dispatcher already emits (no extra hot-path work).
+    // PROGRESS_EVERY_NS on the telemetry clock (an injected ManualClock
+    // therefore controls exactly which refreshes print), derived from
+    // the merged-scan observations the dispatcher already emits (no
+    // extra hot-path work).
     let total = space.size();
-    let start = std::time::Instant::now();
-    let last_line = std::sync::Mutex::new(start);
+    let start_ns = telemetry.now_ns();
+    let throttle = eks_telemetry::Throttle::new(start_ns, PROGRESS_EVERY_NS);
     let want_progress = args.has("progress");
+    // Hidden test hook for the CI flight-recorder gate: panic after the
+    // N-th merged chunk, mid-search, so the armed --flight hook dumps a
+    // black box that `eks postmortem` must replay.
+    let panic_after: Option<u64> = match args.get("panic-after-chunks") {
+        Some(s) => Some(s.parse().map_err(|_| format!("invalid --panic-after-chunks {s:?}"))?),
+        None => None,
+    };
+    let chunks_seen = std::sync::atomic::AtomicU64::new(0);
     let progress = |e: &ProgressEvent| {
+        if let Some(n) = panic_after {
+            let seen = chunks_seen.fetch_add(1, std::sync::atomic::Ordering::Relaxed) + 1;
+            assert!(seen < n, "forced panic after {n} chunks (--panic-after-chunks)");
+        }
         if !want_progress {
             return;
         }
-        let mut last = last_line.lock().expect("progress throttle");
-        if last.elapsed() < PROGRESS_EVERY {
+        let now_ns = telemetry.now_ns();
+        if !throttle.ready(now_ns) {
             return;
         }
-        *last = std::time::Instant::now();
-        log.progress(progress_line(e, total, start.elapsed().as_secs_f64()));
+        log.progress(progress_line(e, total, now_ns.saturating_sub(start_ns) as f64 / 1e9));
     };
     // Record which kernel specialization the backend selected (the §V
     // per-architecture choice) and its tuned rate, so `eks report` can

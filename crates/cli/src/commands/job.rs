@@ -24,9 +24,12 @@ use eks_jobs::{
 };
 use eks_keyspace::Order;
 use eks_telemetry::parse::{parse_json, Json};
-use eks_telemetry::names;
+use eks_telemetry::{names, Telemetry};
 
-use super::{parse_algo, parse_charset, parse_telemetry, parse_threads, write_artifacts};
+use super::{
+    parse_algo, parse_charset, parse_telemetry, parse_threads, spawn_metrics_server,
+    write_artifacts,
+};
 
 /// Dispatch `eks job <subcommand>`.
 pub(super) fn cmd_job(args: &Args) -> Result<(), String> {
@@ -150,6 +153,25 @@ fn job_transition(store: &JobStore, args: &Args, to: JobState) -> Result<(), Str
     Ok(())
 }
 
+/// The spool snapshot both `/jobs` (HTTP exposition) and the line
+/// protocol's `list` answer with, so `eks top` and protocol clients
+/// read one schema.
+fn jobs_list_json(store: &JobStore) -> Result<String, String> {
+    let records = store.list().map_err(|e| e.to_string())?;
+    let body: Vec<String> = records.iter().map(JobRecord::to_json).collect();
+    Ok(format!("{{\"ok\":true,\"jobs\":[{}]}}", body.join(",")))
+}
+
+/// A `/jobs` supplier closing over its own clone of the spool handle;
+/// a corrupt spool answers with an error document, not a hung scrape.
+fn jobs_fn(store: &JobStore) -> eks_telemetry::JobsFn {
+    let store = store.clone();
+    Arc::new(move || {
+        jobs_list_json(&store)
+            .unwrap_or_else(|e| format!("{{\"ok\":false,\"error\":\"{}\"}}", escape_json(&e)))
+    })
+}
+
 /// The default fleet for `job run`/`serve`: `threads` lane-batched CPU
 /// workers with equal scatter weights.
 fn host_fleet(threads: usize) -> Fleet {
@@ -178,6 +200,7 @@ fn job_run(store: JobStore, args: &Args) -> Result<(), String> {
     let round_keys = parse_round_keys(args)?;
     let retune = super::parse_retune(args)?.is_some();
     let (telemetry, log) = parse_telemetry(args)?;
+    let _metrics_server = spawn_metrics_server(args, &telemetry, Some(jobs_fn(&store)))?;
     let fleet = match args.get("topology") {
         Some(t) => eks_cluster::plan_job_fleet(
             &eks_cluster::parse_topology(t, 0.0)?,
@@ -232,10 +255,12 @@ pub(super) fn cmd_serve(args: &Args) -> Result<(), String> {
     let threads = parse_threads(args, 2)?;
     let round_keys = parse_round_keys(args)?;
     let store = JobStore::open(spool).map_err(|e| e.to_string())?;
+    let (telemetry, _log) = parse_telemetry(args)?;
+    let _metrics_server = spawn_metrics_server(args, &telemetry, Some(jobs_fn(&store)))?;
     let listener = TcpListener::bind(addr).map_err(|e| format!("cannot bind {addr}: {e}"))?;
     let local = listener.local_addr().map_err(|e| e.to_string())?;
     println!("serving jobs on {local} (spool {})", store.spool().display());
-    serve(listener, store, threads, round_keys, !args.has("no-run"))
+    serve(listener, store, threads, round_keys, !args.has("no-run"), telemetry)
 }
 
 /// The accept loop: connections are handled one at a time (the protocol
@@ -247,6 +272,7 @@ fn serve(
     threads: usize,
     round_keys: u128,
     run_jobs: bool,
+    telemetry: Telemetry,
 ) -> Result<(), String> {
     let shared = Arc::new(Shared { store, gate: Mutex::new(()), stop: AtomicBool::new(false) });
     let runner = run_jobs.then(|| {
@@ -256,7 +282,8 @@ fn serve(
             let service = JobService::new(
                 shared.store.clone(),
                 ServiceConfig { round_keys, ..ServiceConfig::default() },
-            );
+            )
+            .with_telemetry(telemetry);
             while !shared.stop.load(Ordering::Relaxed) {
                 let idle = {
                     let _g = shared.gate.lock().expect("serve gate");
@@ -374,11 +401,7 @@ fn respond(shared: &Shared, line: &str) -> Result<String, String> {
             let rec = shared.store.submit(spec_from_json(&req)?).map_err(|e| e.to_string())?;
             Ok(rec.to_json())
         }
-        "list" => {
-            let records = shared.store.list().map_err(|e| e.to_string())?;
-            let body: Vec<String> = records.iter().map(JobRecord::to_json).collect();
-            Ok(format!("{{\"ok\":true,\"jobs\":[{}]}}", body.join(",")))
-        }
+        "list" => jobs_list_json(&shared.store),
         "status" => {
             Ok(shared.store.load(req_id(&req)?).map_err(|e| e.to_string())?.to_json())
         }
@@ -526,7 +549,8 @@ mod tests {
         let store = JobStore::open(&dir).unwrap();
         let listener = TcpListener::bind("127.0.0.1:0").unwrap();
         let addr = listener.local_addr().unwrap();
-        let server = std::thread::spawn(move || serve(listener, store, 2, 4096, true));
+        let server =
+            std::thread::spawn(move || serve(listener, store, 2, 4096, true, Telemetry::disabled()));
 
         let mut conn = TcpStream::connect(addr).unwrap();
         let mut reader = BufReader::new(conn.try_clone().unwrap());

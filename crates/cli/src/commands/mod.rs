@@ -8,15 +8,18 @@ mod cluster;
 mod crack;
 mod job;
 mod misc;
+mod observe;
 mod report;
 mod verify;
+
+use std::sync::Arc;
 
 use crate::args::Args;
 use crate::log::{Level, Logger};
 use eks_engine::{Retune, SchedPolicy};
 use eks_hashes::HashAlgo;
 use eks_keyspace::Charset;
-use eks_telemetry::Telemetry;
+use eks_telemetry::{JobsFn, LivePlane, MetricsServer, Telemetry};
 
 /// Dispatch a subcommand.
 pub fn run(command: &str, args: &Args) -> Result<(), String> {
@@ -38,6 +41,8 @@ pub fn run(command: &str, args: &Args) -> Result<(), String> {
         "bench" => bench::cmd_bench(args),
         "job" => job::cmd_job(args),
         "serve" => job::cmd_serve(args),
+        "top" => observe::cmd_top(args),
+        "postmortem" => observe::cmd_postmortem(args),
         "help" | "--help" | "-h" => {
             print_help();
             Ok(())
@@ -75,6 +80,11 @@ fn print_help() {
     println!("           splits, busy/idle ms, util%, keys/s) after the search");
     println!("           [--metrics-out F.prom] [--trace-out F.jsonl]   write telemetry");
     println!("           artifacts; [--progress] periodic keys/s + ETA + %-keyspace line;");
+    println!("           [--listen-metrics HOST:PORT]   live HTTP exposition for the run:");
+    println!("           /metrics (Prometheus text), /healthz, /jobs — scrape mid-run or");
+    println!("           point `eks top` at it (port 0 picks an ephemeral port, printed)");
+    println!("           [--flight F.json]   arm the flight recorder: a panic dumps the");
+    println!("           recent telemetry for `eks postmortem` to replay");
     println!("           [--quiet|--verbose]   logging level");
     println!("  hash     --algo md5|sha1 PLAINTEXT       compute a digest");
     println!("  mine     [--difficulty BITS] [--header STR] [--threads N]");
@@ -107,10 +117,12 @@ fn print_help() {
     println!("           rate-proportional shares; steal lets drained leaves rebalance)");
     println!("           [--retune [--retune-interval N]]   feed live per-leaf rates back");
     println!("           into the schedule and re-scatter on drift (see crack --retune)");
-    println!("           [--metrics-out F.prom] [--trace-out F.jsonl] [--quiet|--verbose]");
+    println!("           [--metrics-out F.prom] [--trace-out F.jsonl] [--listen-metrics");
+    println!("           HOST:PORT] [--quiet|--verbose]");
     println!("  report   --metrics F.prom [--trace F.jsonl]   render a run report from");
-    println!("           telemetry artifacts: per-worker utilization, tuned rates, the");
-    println!("           paper's SIII cost-model phases, and network efficiency vs 85-90%");
+    println!("           telemetry artifacts: per-worker utilization, tuned rates, scan");
+    println!("           p50/p95/p99, the paper's SIII cost-model phases, and network");
+    println!("           efficiency vs 85-90%");
     println!("  tune     [--threads N]                   tune devices and this host's CPU");
     println!("  bench    [--json FILE]                   tune every CPU backend on this host");
     println!("           and print the per-(backend, algo) rates, the detected CPU");
@@ -133,7 +145,16 @@ fn print_help() {
     println!("           [--no-run]   the job service as a JSON-lines TCP protocol:");
     println!("           one request object per line ({{\"cmd\":\"submit\"|\"list\"|\"status\"|");
     println!("           \"cancel\"|\"pause\"|\"resume\"|\"shutdown\"}}), one response per");
-    println!("           line; a scheduler thread drives the spool unless --no-run");
+    println!("           line; a scheduler thread drives the spool unless --no-run;");
+    println!("           [--listen-metrics HOST:PORT]   HTTP exposition alongside the");
+    println!("           line protocol: /metrics, /healthz and a /jobs spool snapshot");
+    println!("  top      --addr HOST:PORT [--interval MS] [--once]   live terminal");
+    println!("           dashboard over a run's --listen-metrics endpoint: per-worker");
+    println!("           rates vs tuned, per-job progress, efficiency vs the 85-90%");
+    println!("           band, and active anomaly verdicts; --once prints one frame");
+    println!("  postmortem <flight.json>   replay a flight-recorder dump: panic reason");
+    println!("           and location, final per-worker accounting, anomaly verdicts,");
+    println!("           and the last seconds of the trace as a timeline");
 }
 
 fn parse_algo(args: &Args) -> Result<HashAlgo, String> {
@@ -204,16 +225,55 @@ fn parse_retune(args: &Args) -> Result<Option<Retune>, String> {
     Ok(Some(retune))
 }
 
-/// Resolve the observability options shared by `crack` and `cluster`:
-/// the registry is enabled whenever any telemetry flag asks for output
-/// (`--metrics-out`, `--trace-out`, `--progress`), otherwise the
-/// disabled handle keeps the hot path untouched; the logger level comes
-/// from `--quiet`/`--verbose`.
+/// Resolve the observability options shared by `crack`, `cluster` and
+/// the job commands: the registry is enabled whenever any telemetry
+/// flag asks for output (`--metrics-out`, `--trace-out`, `--progress`,
+/// `--listen-metrics`, `--flight`), otherwise the disabled handle keeps
+/// the hot path untouched. An enabled handle also gets a [`LivePlane`]
+/// attached — sliding-window aggregation plus the anomaly detector —
+/// driven from the dispatch/round/lease hot paths via
+/// `Telemetry::observe_plane`. The logger level comes from
+/// `--quiet`/`--verbose`.
 fn parse_telemetry(args: &Args) -> Result<(Telemetry, Logger), String> {
-    let wants = args.has("metrics-out") || args.has("trace-out") || args.has("progress");
+    let wants = args.has("metrics-out")
+        || args.has("trace-out")
+        || args.has("progress")
+        || args.has("listen-metrics")
+        || args.has("flight");
     let telemetry = if wants { Telemetry::enabled() } else { Telemetry::disabled() };
+    telemetry.attach_plane(Arc::new(LivePlane::with_defaults()));
     let level = Level::from_flags(args.has("quiet"), args.has("verbose"))?;
     Ok((telemetry.clone(), Logger::new(level, telemetry)))
+}
+
+/// `--listen-metrics HOST:PORT` (port 0 for ephemeral) serves the live
+/// exposition endpoint — `/metrics`, `/healthz`, `/jobs` — for the rest
+/// of the run. The bound address is printed so scripts scraping an
+/// ephemeral port can discover it. Returns the server handle; keep it
+/// alive for the duration of the run.
+fn spawn_metrics_server(
+    args: &Args,
+    telemetry: &Telemetry,
+    jobs: Option<JobsFn>,
+) -> Result<Option<MetricsServer>, String> {
+    let Some(addr) = args.get("listen-metrics") else { return Ok(None) };
+    let server = MetricsServer::spawn(addr, telemetry.clone(), jobs)
+        .map_err(|e| format!("--listen-metrics: {e}"))?;
+    println!("metrics listening on http://{}", server.local_addr());
+    Ok(Some(server))
+}
+
+/// `--flight PATH` arms the flight recorder: a panic anywhere in the
+/// run dumps the recent telemetry (schema-stamped `flight.json`) to
+/// PATH for `eks postmortem` to replay.
+fn arm_flight_recorder(args: &Args, telemetry: &Telemetry) {
+    if let Some(path) = args.get("flight") {
+        eks_telemetry::install_panic_hook(
+            telemetry.clone(),
+            telemetry.plane(),
+            eks_telemetry::FlightConfig::new(path),
+        );
+    }
 }
 
 /// Write the `--metrics-out` (Prometheus text exposition) and

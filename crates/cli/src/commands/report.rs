@@ -12,13 +12,16 @@ pub(super) fn cmd_report(args: &Args) -> Result<(), String> {
     let metrics_path = args.get("metrics").ok_or("report requires --metrics <file.prom>")?;
     let text = std::fs::read_to_string(metrics_path)
         .map_err(|e| format!("cannot read --metrics {metrics_path:?}: {e}"))?;
-    let samples =
-        parse_prometheus(&text).map_err(|e| format!("invalid Prometheus exposition: {e}"))?;
+    // Parse failures carry the offending path: a truncated or corrupt
+    // artifact (a run killed mid-write, say) must exit non-zero with an
+    // error naming the file, never render a half-report.
+    let samples = parse_prometheus(&text)
+        .map_err(|e| format!("invalid Prometheus exposition in {metrics_path:?}: {e}"))?;
     let records = match args.get("trace") {
         Some(path) => {
             let jsonl = std::fs::read_to_string(path)
                 .map_err(|e| format!("cannot read --trace {path:?}: {e}"))?;
-            parse_trace_jsonl(&jsonl).map_err(|e| format!("invalid trace JSONL: {e}"))?
+            parse_trace_jsonl(&jsonl).map_err(|e| format!("invalid trace JSONL in {path:?}: {e}"))?
         }
         None => Vec::new(),
     };
@@ -89,6 +92,36 @@ mod tests {
         let a = args(&["report", "--metrics", bad.to_str().unwrap()]);
         let err = run("report", &a).expect_err("malformed exposition");
         assert!(err.contains("invalid Prometheus"), "{err}");
+        assert!(
+            err.contains(bad.file_name().unwrap().to_str().unwrap()),
+            "error names the file: {err}"
+        );
         std::fs::remove_file(&bad).ok();
+    }
+
+    #[test]
+    fn mid_line_truncated_trace_is_a_friendly_error_naming_the_path() {
+        // A run killed mid-write leaves the last JSONL line cut off in
+        // the middle of an object; the report must refuse with a
+        // non-zero exit and an error carrying the file path.
+        let dir = std::env::temp_dir();
+        let tag = std::process::id();
+        let metrics = dir.join(format!("eks-cli-trunc-{tag}.prom"));
+        let trace = dir.join(format!("eks-cli-trunc-{tag}.jsonl"));
+        std::fs::write(&metrics, "eks_keys_tested_total 10\n").unwrap();
+        let whole = "{\"ts_ns\":1,\"dur_ns\":2,\"kind\":\"span\",\"name\":\"scan\"}";
+        let truncated: String = whole.chars().take(whole.len() - 12).collect();
+        std::fs::write(&trace, format!("{whole}\n{truncated}")).unwrap();
+        let a = args(&[
+            "report", "--metrics", metrics.to_str().unwrap(), "--trace", trace.to_str().unwrap(),
+        ]);
+        let err = run("report", &a).expect_err("truncated trace must not render");
+        assert!(err.contains("invalid trace JSONL"), "{err}");
+        assert!(
+            err.contains(trace.file_name().unwrap().to_str().unwrap()),
+            "error names the file: {err}"
+        );
+        std::fs::remove_file(&metrics).ok();
+        std::fs::remove_file(&trace).ok();
     }
 }

@@ -241,6 +241,9 @@ pub fn run_rounds_observed(
                     checkpoint.complete(parts[i]);
                 }
             }
+            // Round boundary: let an attached live plane close a window
+            // and run its anomaly pass over this round's deltas.
+            telemetry.observe_plane();
             continue;
         }
 
@@ -288,6 +291,9 @@ pub fn run_rounds_observed(
         if let Some(book) = &rates {
             publish_rates(telemetry, book, &members);
         }
+        // Round boundary: let an attached live plane close a window and
+        // run its anomaly pass over this round's deltas.
+        telemetry.observe_plane();
 
         if config.first_hit_only && dispatcher.any_hits() {
             break;

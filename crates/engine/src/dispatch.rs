@@ -44,11 +44,11 @@
 #![allow(clippy::indexing_slicing)]
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 use eks_keyspace::{Interval, Key, KeySpace};
-use eks_telemetry::{names, Counter, Histogram, Telemetry};
+use eks_telemetry::{names, Counter, Gauge, Histogram, LivePlane, Telemetry};
 
 use crate::backend::{Backend, ScanMode, ScanReport};
 use crate::rate::{eta_drift_pct, RateBook, RetuneControl};
@@ -138,6 +138,12 @@ pub struct DispatchReport {
 struct Gathered {
     hits: Vec<(u128, Key, usize)>,
     workers: Vec<WorkerStats>,
+    /// Live per-worker `eks_keys_tested_total{worker}` handles, parallel
+    /// to `workers`: each chunk's tested count is added as it merges, so
+    /// a mid-run scrape (and the sliding-window anomaly detector behind
+    /// it) sees per-worker progress without waiting for
+    /// [`Dispatcher::finish`]. Noop handles when telemetry is disabled.
+    live_tested: Vec<Counter>,
 }
 
 type ProgressFn<'a> = Box<dyn Fn(&ProgressEvent) + Sync + 'a>;
@@ -232,14 +238,43 @@ struct RetuneShared {
     control: RetuneControl,
     drift_pct: f64,
     steal: bool,
+    /// Per-slot `(worker label, rate-est gauge, rate-tuned gauge)`:
+    /// the elected retune tick publishes the live estimates through
+    /// these, so a mid-run scrape sees current rates, not the tuned
+    /// priors — the feedstock of the straggler detector.
+    slots: Vec<(String, Gauge, Gauge)>,
+    /// The live observability plane, when one is attached: flagged
+    /// workers get their re-scatter weight halved.
+    plane: Option<Arc<LivePlane>>,
 }
 
 impl RetuneShared {
+    /// Export the live rate estimates (and tuned baselines) as
+    /// per-worker gauges — run at every elected retune tick and once
+    /// more as the run ends.
+    fn publish_rates(&self) {
+        for (slot, (_, est, tuned)) in self.slots.iter().enumerate() {
+            est.set(self.rates.mkeys(slot));
+            tuned.set(self.rates.tuned_mkeys(slot));
+        }
+    }
+
     /// Drift check + re-scatter, run by the elected worker. Returns
     /// true when a re-scatter happened.
     fn maybe_rescatter(&self, deques: &IntervalDeques) -> bool {
         let remaining: Vec<u128> = (0..deques.len()).map(|s| deques.remaining(s)).collect();
-        let rates = self.rates.weights();
+        let mut rates = self.rates.weights();
+        if let Some(plane) = &self.plane {
+            // An anomaly-flagged worker is deprioritized beyond what its
+            // measured rate already says: halving its weight sheds keys
+            // onto healthy slots now instead of waiting for the rate
+            // estimate to decay chunk by chunk.
+            for (slot, (label, _, _)) in self.slots.iter().enumerate() {
+                if plane.is_flagged(label) {
+                    rates[slot] *= 0.5;
+                }
+            }
+        }
         // Under a stealing policy an empty slot feeds itself, so only
         // imbalance among loaded slots argues for a re-scatter; under
         // static scatter the empty slots are exactly the starved ones.
@@ -281,6 +316,7 @@ impl<'a> Dispatcher<'a> {
             gathered: Mutex::new(Gathered {
                 hits: Vec::new(),
                 workers: Vec::new(),
+                live_tested: Vec::new(),
             }),
             progress: None,
             telemetry,
@@ -295,10 +331,13 @@ impl<'a> Dispatcher<'a> {
         self
     }
 
-    /// Attach a telemetry handle: chunk scans get spans and latency
-    /// histograms, steals get events, and [`Dispatcher::finish`] flushes
-    /// the exact per-worker accounting into labelled counters. The
-    /// default ([`Telemetry::disabled`]) records nothing.
+    /// Attach a telemetry handle: chunk scans get spans, latency
+    /// histograms and live per-worker tested counters, steals get
+    /// events, and [`Dispatcher::finish`] flushes the scheduler stats
+    /// into labelled counters. Call this before [`Dispatcher::register`]
+    /// — registration binds each worker's live counter to the handle
+    /// attached at that moment. The default ([`Telemetry::disabled`])
+    /// records nothing.
     pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
         self.instruments = DispatchInstruments::new(&telemetry);
         self.telemetry = telemetry;
@@ -353,8 +392,11 @@ impl<'a> Dispatcher<'a> {
     /// Register a worker for accounting; labels appear in
     /// [`DispatchReport::per_worker`] in registration order.
     pub fn register(&self, label: impl Into<String>) -> WorkerId {
+        let stats = WorkerStats::new(label);
+        let live = self.telemetry.counter(names::KEYS_TESTED, &[("worker", stats.label.as_str())]);
         let mut g = self.gathered.lock().expect("dispatch lock");
-        g.workers.push(WorkerStats::new(label));
+        g.workers.push(stats);
+        g.live_tested.push(live);
         WorkerId(g.workers.len() - 1)
     }
 
@@ -403,6 +445,9 @@ impl<'a> Dispatcher<'a> {
         let event = {
             let mut g = self.gathered.lock().expect("dispatch lock");
             g.workers[worker.0].tested += report.tested;
+            // Mirror the exact accounting into the live labelled counter
+            // so scrapes and window flushes see it chunk by chunk.
+            g.live_tested[worker.0].add(u64::try_from(report.tested).unwrap_or(u64::MAX));
             g.hits.extend(report.hits.iter().cloned());
             ProgressEvent {
                 worker: worker.0,
@@ -414,6 +459,9 @@ impl<'a> Dispatcher<'a> {
         if let Some(hook) = &self.progress {
             hook(&event);
         }
+        // Give an attached live plane a chance to close a window and run
+        // the anomaly pass: a single atomic load when no window is due.
+        self.telemetry.observe_plane();
         report
     }
 
@@ -443,13 +491,33 @@ impl<'a> Dispatcher<'a> {
     pub fn run_deques(&self, leaves: &[DequeLeaf<'_>], deques: &IntervalDeques, opts: SchedOptions) {
         assert!(!leaves.is_empty(), "need at least one leaf");
         assert_eq!(leaves.len(), deques.len(), "one deque slot per leaf");
-        let retune = opts.retune.map(|r| RetuneShared {
-            rates: RateBook::new(
-                leaves.iter().map(|l| l.backend.tuned_rate(self.targets.algo())).collect(),
-            ),
-            control: RetuneControl::new(r.every_chunks),
-            drift_pct: f64::from(r.drift_pct),
-            steal: opts.steal,
+        let retune = opts.retune.map(|r| {
+            let slots = {
+                let g = self.gathered.lock().expect("dispatch lock");
+                leaves
+                    .iter()
+                    .map(|l| {
+                        let label = g.workers[l.worker.0].label.clone();
+                        let est = self
+                            .telemetry
+                            .gauge(names::WORKER_RATE_EST, &[("worker", label.as_str())]);
+                        let tuned = self
+                            .telemetry
+                            .gauge(names::WORKER_RATE_TUNED, &[("worker", label.as_str())]);
+                        (label, est, tuned)
+                    })
+                    .collect()
+            };
+            RetuneShared {
+                rates: RateBook::new(
+                    leaves.iter().map(|l| l.backend.tuned_rate(self.targets.algo())).collect(),
+                ),
+                control: RetuneControl::new(r.every_chunks),
+                drift_pct: f64::from(r.drift_pct),
+                steal: opts.steal,
+                slots,
+                plane: self.telemetry.plane(),
+            }
         });
         let retune = retune.as_ref();
         std::thread::scope(|scope| {
@@ -464,25 +532,9 @@ impl<'a> Dispatcher<'a> {
             self.credit_sched(leaf.worker, 0, deques.splits(slot), 0, 0);
         }
         if let Some(shared) = retune {
-            self.flush_rates(leaves, shared);
-        }
-    }
-
-    /// Export the final live-rate estimates (and their tuned baselines)
-    /// as per-worker gauges, once per run — the feedstock of the
-    /// rate-drift column in `eks report`.
-    fn flush_rates(&self, leaves: &[DequeLeaf<'_>], shared: &RetuneShared) {
-        if !self.telemetry.is_enabled() {
-            return;
-        }
-        let g = self.gathered.lock().expect("dispatch lock");
-        for (slot, leaf) in leaves.iter().enumerate() {
-            let label = g.workers[leaf.worker.0].label.as_str();
-            let labels = [("worker", label)];
-            self.telemetry.gauge(names::WORKER_RATE_EST, &labels).set(shared.rates.mkeys(slot));
-            self.telemetry
-                .gauge(names::WORKER_RATE_TUNED, &labels)
-                .set(shared.rates.tuned_mkeys(slot));
+            // Final export of the live-rate estimates — the feedstock of
+            // the rate-drift column in `eks report`.
+            shared.publish_rates();
         }
     }
 
@@ -504,11 +556,11 @@ impl<'a> Dispatcher<'a> {
         *busy_ns += elapsed;
         if let Some(shared) = retune {
             shared.rates.observe(slot, out.tested, elapsed);
-            if shared.control.tick()
-                && !self.stop.load(Ordering::Relaxed)
-                && shared.maybe_rescatter(deques)
-            {
-                self.instruments.rescatters.inc();
+            if shared.control.tick() {
+                shared.publish_rates();
+                if !self.stop.load(Ordering::Relaxed) && shared.maybe_rescatter(deques) {
+                    self.instruments.rescatters.inc();
+                }
             }
         }
         self.stop.load(Ordering::Relaxed)
@@ -670,10 +722,12 @@ impl<'a> Dispatcher<'a> {
     }
 
     /// Gather + merge: sort hits by identifier, keep only the
-    /// lowest-identifier one under first-hit, sum the accounting. With
-    /// telemetry attached, the exact per-worker accounting is flushed
-    /// into labelled counters here — once per run, so the registry total
-    /// always equals the sum the report carries.
+    /// lowest-identifier one under first-hit, sum the accounting. Keys
+    /// tested flow into their labelled counters live, chunk by chunk in
+    /// [`Dispatcher::scan_as`]; the scheduler stats (steals, splits,
+    /// busy/idle time) and the hit count are flushed here — once per
+    /// run — so the registry total still equals the sum the report
+    /// carries.
     pub fn finish(self) -> DispatchReport {
         let g = self.gathered.into_inner().expect("dispatch lock");
         let mut hits = g.hits;
@@ -685,8 +739,6 @@ impl<'a> Dispatcher<'a> {
         if self.telemetry.is_enabled() {
             for w in &g.workers {
                 let labels = [("worker", w.label.as_str())];
-                let tested64 = u64::try_from(w.tested).unwrap_or(u64::MAX);
-                self.telemetry.counter(names::KEYS_TESTED, &labels).add(tested64);
                 self.telemetry.counter(names::STEALS, &labels).add(w.steals);
                 self.telemetry.counter(names::SPLITS, &labels).add(w.splits);
                 self.telemetry.counter(names::BUSY_NS, &labels).add(w.busy_ns);

@@ -314,6 +314,9 @@ impl JobService {
             // The durability barrier: coverage + credit + hits land
             // atomically before the next lease is taken.
             self.store.save(job)?;
+            // Lease boundary: let an attached live plane close a window
+            // and run its anomaly pass over this lease's deltas.
+            self.telemetry.observe_plane();
             report.leases.push((job.id, lease));
             report.scanned += out.tested;
             if job.state.is_terminal() {

@@ -82,6 +82,36 @@ impl Clock for ManualClock {
     }
 }
 
+/// A clock-routed rate limiter: [`Throttle::ready`] returns true at
+/// most once per period of the telemetry clock. The `--progress`
+/// output throttle goes through this instead of a raw `Instant`, so a
+/// test with a [`ManualClock`] can step time and assert exactly which
+/// progress callbacks print.
+#[derive(Debug)]
+pub struct Throttle {
+    period_ns: u64,
+    last_ns: AtomicU64,
+}
+
+impl Throttle {
+    /// A throttle that next fires one `period_ns` after `now_ns`.
+    pub fn new(now_ns: u64, period_ns: u64) -> Self {
+        Self { period_ns, last_ns: AtomicU64::new(now_ns) }
+    }
+
+    /// True when a full period has elapsed since the last `true`
+    /// (thread-safe: concurrent callers race on one CAS, exactly one
+    /// wins each period).
+    pub fn ready(&self, now_ns: u64) -> bool {
+        let last = self.last_ns.load(Ordering::Relaxed);
+        now_ns.saturating_sub(last) >= self.period_ns
+            && self
+                .last_ns
+                .compare_exchange(last, now_ns, Ordering::Relaxed, Ordering::Relaxed)
+                .is_ok()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -110,5 +140,15 @@ mod tests {
     fn manual_clock_rejects_going_backwards() {
         let c = ManualClock::at(50);
         c.set(10);
+    }
+
+    #[test]
+    fn throttle_fires_once_per_period_on_the_given_clock() {
+        let t = Throttle::new(0, 100);
+        assert!(!t.ready(0), "a fresh throttle waits a full period");
+        assert!(!t.ready(99));
+        assert!(t.ready(100));
+        assert!(!t.ready(150), "the period restarts at the last fire");
+        assert!(t.ready(250));
     }
 }

@@ -1,0 +1,209 @@
+//! A minimal std-only HTTP/1.1 exposition endpoint: `/metrics`
+//! (Prometheus text 0.0.4), `/healthz` (JSON liveness), and `/jobs`
+//! (a JSON snapshot supplied by the embedding command).
+//!
+//! Built on the same blocking `TcpListener` pattern as the job
+//! service's line protocol: one accept loop on a background thread,
+//! one short-lived handler thread per connection, `Connection: close`
+//! semantics. This is an operator scrape endpoint, not a web server —
+//! it answers `GET`, closes, and rejects everything else with the
+//! smallest correct status line.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crate::Telemetry;
+
+/// Supplies the `/jobs` JSON body (the serve command closes over its
+/// spool; crack/cluster runs have no jobs and use the default).
+pub type JobsFn = Arc<dyn Fn() -> String + Send + Sync>;
+
+/// A running exposition endpoint. Dropping the handle leaves the
+/// server running for the rest of the process (scrape endpoints
+/// usually live exactly as long as the run); call
+/// [`MetricsServer::shutdown`] for an orderly stop in tests.
+pub struct MetricsServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+}
+
+impl std::fmt::Debug for MetricsServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MetricsServer").field("addr", &self.addr).finish_non_exhaustive()
+    }
+}
+
+impl MetricsServer {
+    /// Bind `addr` (e.g. `127.0.0.1:0` for an ephemeral port) and
+    /// serve the given telemetry until shutdown. `jobs` supplies the
+    /// `/jobs` body; `None` serves an empty job list.
+    pub fn spawn(addr: &str, telemetry: Telemetry, jobs: Option<JobsFn>) -> Result<Self, String> {
+        let listener =
+            TcpListener::bind(addr).map_err(|e| format!("cannot bind {addr}: {e}"))?;
+        let local = listener.local_addr().map_err(|e| format!("no local addr: {e}"))?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let accept_stop = stop.clone();
+        std::thread::Builder::new()
+            .name("eks-metrics-http".into())
+            .spawn(move || {
+                for conn in listener.incoming() {
+                    if accept_stop.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    let Ok(stream) = conn else { continue };
+                    let telemetry = telemetry.clone();
+                    let jobs = jobs.clone();
+                    // One short-lived thread per scrape: scrapers are
+                    // rare (a dashboard poll every second or two) and
+                    // this keeps a stuck client from blocking accepts.
+                    let _ = std::thread::Builder::new()
+                        .name("eks-metrics-conn".into())
+                        .spawn(move || handle_conn(stream, &telemetry, jobs.as_ref()));
+                }
+            })
+            .map_err(|e| format!("cannot spawn accept loop: {e}"))?;
+        Ok(Self { addr: local, stop })
+    }
+
+    /// The bound address (resolves port 0 to the real ephemeral port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop accepting. A self-connection unblocks the accept loop.
+    pub fn shutdown(&self) {
+        self.stop.store(true, Ordering::Relaxed);
+        let _ = TcpStream::connect(self.addr);
+    }
+}
+
+fn handle_conn(stream: TcpStream, telemetry: &Telemetry, jobs: Option<&JobsFn>) {
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(5)));
+    let mut reader = BufReader::new(stream);
+    let mut request_line = String::new();
+    if reader.read_line(&mut request_line).is_err() {
+        return;
+    }
+    // Drain the headers; the response does not depend on them.
+    loop {
+        let mut line = String::new();
+        match reader.read_line(&mut line) {
+            Ok(0) => break,
+            Ok(_) if line == "\r\n" || line == "\n" => break,
+            Ok(_) => continue,
+            Err(_) => return,
+        }
+    }
+    let mut stream = reader.into_inner();
+    let mut parts = request_line.split_whitespace();
+    let (method, path) = (parts.next().unwrap_or(""), parts.next().unwrap_or(""));
+    let response = if method != "GET" {
+        respond(405, "text/plain; charset=utf-8", "method not allowed\n")
+    } else {
+        match path {
+            "/metrics" => respond(
+                200,
+                "text/plain; version=0.0.4; charset=utf-8",
+                &telemetry.render_prometheus(),
+            ),
+            "/healthz" => respond(
+                200,
+                "application/json",
+                &format!("{{\"ok\":true,\"uptime_ns\":{}}}\n", telemetry.now_ns()),
+            ),
+            "/jobs" => {
+                let body =
+                    jobs.map_or_else(|| "{\"ok\":true,\"jobs\":[]}\n".to_string(), |f| f());
+                respond(200, "application/json", &body)
+            }
+            _ => respond(404, "text/plain; charset=utf-8", "not found\n"),
+        }
+    };
+    let _ = stream.write_all(response.as_bytes());
+}
+
+fn respond(status: u16, content_type: &str, body: &str) -> String {
+    let reason = match status {
+        200 => "OK",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        _ => "Error",
+    };
+    format!(
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    )
+}
+
+/// A one-shot HTTP GET against `addr` (no scheme), returning the body
+/// on any 200 response. This is the client side `eks top` and the CI
+/// smoke gates scrape with, so the endpoint is exercised end to end
+/// without any external tooling.
+pub fn http_get(addr: &str, path: &str) -> Result<String, String> {
+    let mut stream = TcpStream::connect(addr).map_err(|e| format!("cannot connect {addr}: {e}"))?;
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .map_err(|e| format!("timeout setup: {e}"))?;
+    stream
+        .write_all(format!("GET {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n").as_bytes())
+        .map_err(|e| format!("request write: {e}"))?;
+    let mut reader = BufReader::new(stream);
+    let mut status_line = String::new();
+    reader.read_line(&mut status_line).map_err(|e| format!("status read: {e}"))?;
+    if !status_line.contains(" 200 ") {
+        return Err(format!("{path}: {}", status_line.trim()));
+    }
+    loop {
+        let mut line = String::new();
+        match reader.read_line(&mut line) {
+            Ok(0) => break,
+            Ok(_) if line == "\r\n" || line == "\n" => break,
+            Ok(_) => continue,
+            Err(e) => return Err(format!("header read: {e}")),
+        }
+    }
+    let mut body = String::new();
+    std::io::Read::read_to_string(&mut reader, &mut body).map_err(|e| format!("body read: {e}"))?;
+    Ok(body)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{names, parse_prometheus};
+
+    #[test]
+    fn serves_metrics_healthz_and_jobs() {
+        let t = Telemetry::enabled();
+        t.counter(names::KEYS_TESTED, &[("worker", "w0")]).add(7);
+        let jobs: JobsFn = Arc::new(|| "{\"ok\":true,\"jobs\":[{\"id\":1}]}\n".to_string());
+        let server = MetricsServer::spawn("127.0.0.1:0", t, Some(jobs)).expect("bind");
+        let addr = server.local_addr().to_string();
+
+        let metrics = http_get(&addr, "/metrics").expect("/metrics");
+        let samples = parse_prometheus(&metrics).expect("scrape parses");
+        assert!(samples.iter().any(|s| s.name == names::KEYS_TESTED && s.value == 7.0));
+
+        let health = http_get(&addr, "/healthz").expect("/healthz");
+        assert!(health.contains("\"ok\":true"), "{health}");
+
+        let jobs_body = http_get(&addr, "/jobs").expect("/jobs");
+        assert!(jobs_body.contains("\"id\":1"), "{jobs_body}");
+
+        assert!(http_get(&addr, "/nope").is_err(), "unknown path is 404");
+        server.shutdown();
+    }
+
+    #[test]
+    fn default_jobs_body_is_an_empty_list() {
+        let server = MetricsServer::spawn("127.0.0.1:0", Telemetry::disabled(), None).expect("bind");
+        let addr = server.local_addr().to_string();
+        let body = http_get(&addr, "/jobs").expect("/jobs");
+        assert!(body.contains("\"jobs\":[]"), "{body}");
+        server.shutdown();
+    }
+}

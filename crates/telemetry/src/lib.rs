@@ -29,18 +29,29 @@
 //! - `eks report` renders both back into a human-readable run report
 //!   via [`report::render_report`].
 
+pub mod anomaly;
 pub mod clock;
+pub mod flight;
+pub mod http;
 pub mod metrics;
 pub mod parse;
 pub mod report;
 pub mod trace;
+pub mod window;
 
-pub use clock::{Clock, ManualClock, RealClock};
-pub use metrics::{Counter, Gauge, Histogram, Registry};
-pub use parse::{parse_prometheus, parse_trace_jsonl, PromSample};
+pub use anomaly::{Anomaly, AnomalyConfig, AnomalyDetector, AnomalyKind, LivePlane};
+pub use clock::{Clock, ManualClock, RealClock, Throttle};
+pub use flight::{
+    install_panic_hook, parse_flight, read_flight, render_flight, render_postmortem, FlightConfig,
+    FlightDump,
+};
+pub use http::{http_get, JobsFn, MetricsServer};
+pub use metrics::{Counter, Gauge, Histogram, MetricSample, Registry, SampleValue};
+pub use parse::{parse_json, parse_prometheus, parse_trace_jsonl, Json, PromSample};
 pub use trace::{TraceKind, TraceRecord, TraceSink};
+pub use window::{Window, WindowBook};
 
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 /// Canonical metric and span names, shared by every instrumented layer
 /// and by the report renderer so the two ends can never drift apart.
@@ -144,12 +155,25 @@ pub mod names {
     pub const EVENT_LEASE: &str = "lease";
     /// Event: a leveled log line routed through the sink.
     pub const EVENT_LOG: &str = "log";
+    /// Counter `{kind}`: live anomaly verdicts (`straggler`, `stall`,
+    /// `rate-collapse`) from the sliding-window detector.
+    pub const ANOMALIES: &str = "eks_anomaly_total";
+    /// Gauge `{worker}`: 1 while the anomaly detector flags the worker
+    /// (the rescatter plan deprioritizes it), 0 once it recovers.
+    pub const WORKER_FLAGGED: &str = "eks_worker_flagged";
+    /// Event: the anomaly detector classified a window.
+    pub const EVENT_ANOMALY: &str = "anomaly";
 }
 
 struct TelemetryInner {
     registry: Registry,
     trace: TraceSink,
     clock: Arc<dyn Clock>,
+    /// The optional live observability plane (window ring + anomaly
+    /// detector), attached once after construction. The plane never
+    /// holds a `Telemetry` back — it always receives the handle as an
+    /// argument — so this is not a reference cycle.
+    plane: OnceLock<Arc<LivePlane>>,
 }
 
 impl std::fmt::Debug for TelemetryInner {
@@ -184,6 +208,7 @@ impl Telemetry {
                 registry: Registry::new(),
                 trace: TraceSink::default(),
                 clock,
+                plane: OnceLock::new(),
             })),
         }
     }
@@ -230,6 +255,38 @@ impl Telemetry {
     pub fn push_record(&self, record: TraceRecord) {
         if let Some(inner) = &self.inner {
             inner.trace.push(record);
+        }
+    }
+
+    /// A typed snapshot of every registered metric sample (empty when
+    /// disabled). The sliding-window layer diffs consecutive snapshots.
+    pub fn metrics_snapshot(&self) -> Vec<MetricSample> {
+        self.inner.as_ref().map_or_else(Vec::new, |i| i.registry.samples())
+    }
+
+    /// Attach the live observability plane. At most one plane per
+    /// handle; later calls are ignored (first attach wins), and a
+    /// disabled handle ignores the plane entirely. Instrumented layers
+    /// then drive it through [`Telemetry::observe_plane`].
+    pub fn attach_plane(&self, plane: Arc<LivePlane>) {
+        if let Some(inner) = &self.inner {
+            let _ = inner.plane.set(plane);
+        }
+    }
+
+    /// The attached plane, if any.
+    pub fn plane(&self) -> Option<Arc<LivePlane>> {
+        self.inner.as_ref().and_then(|i| i.plane.get().cloned())
+    }
+
+    /// Poke the attached plane: flush a window and classify it if one
+    /// width of the clock has elapsed. The common nothing-due path is
+    /// one atomic load, so dispatch hot paths call this per chunk.
+    pub fn observe_plane(&self) {
+        if let Some(inner) = &self.inner {
+            if let Some(plane) = inner.plane.get() {
+                let _anomalies = plane.observe(self);
+            }
         }
     }
 
@@ -396,6 +453,28 @@ mod tests {
         let trace = t.trace_snapshot();
         assert_eq!(trace[0].ts_ns, 40);
         assert_eq!(trace[0].dur_ns, 0);
+    }
+
+    #[test]
+    fn attached_plane_flushes_through_observe() {
+        let clock = Arc::new(ManualClock::new());
+        let t = Telemetry::with_clock(clock.clone());
+        t.attach_plane(Arc::new(LivePlane::new(100, 4, AnomalyConfig::default())));
+        t.counter(names::KEYS_TESTED, &[("worker", "w0")]).add(5);
+        t.observe_plane();
+        assert_eq!(t.plane().unwrap().windows().flushed(), 0, "no width elapsed");
+        clock.advance(100);
+        t.observe_plane();
+        let plane = t.plane().unwrap();
+        assert_eq!(plane.windows().flushed(), 1);
+        assert_eq!(plane.windows().windows()[0].counter_total(names::KEYS_TESTED), 5);
+        // First attach wins; a disabled handle ignores planes.
+        t.attach_plane(Arc::new(LivePlane::with_defaults()));
+        assert_eq!(t.plane().unwrap().windows().flushed(), 1);
+        let off = Telemetry::disabled();
+        off.attach_plane(Arc::new(LivePlane::with_defaults()));
+        assert!(off.plane().is_none());
+        off.observe_plane();
     }
 
     #[test]

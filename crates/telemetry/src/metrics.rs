@@ -143,6 +143,42 @@ impl Histogram {
 /// Label pairs attached to a metric, e.g. `[("worker", "lanes8#0")]`.
 pub type Labels = Vec<(String, String)>;
 
+/// One sample's value in a typed [`Registry::samples`] snapshot.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SampleValue {
+    /// A monotonic counter's current total.
+    Counter(u64),
+    /// A gauge's last-set value.
+    Gauge(f64),
+    /// A histogram's raw (non-cumulative) log₂ buckets plus sum/count.
+    Histogram {
+        /// Per-bucket observation counts, `BUCKETS` long.
+        buckets: Vec<u64>,
+        /// Sum of all observed values.
+        sum: u64,
+        /// Number of observations.
+        count: u64,
+    },
+}
+
+/// One `(name, labels, value)` sample from [`Registry::samples`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricSample {
+    /// Metric family name.
+    pub name: String,
+    /// Sorted label pairs.
+    pub labels: Labels,
+    /// The typed value.
+    pub value: SampleValue,
+}
+
+impl MetricSample {
+    /// The value of label `key`, if present.
+    pub fn label(&self, key: &str) -> Option<&str> {
+        self.labels.iter().find(|(k, _)| k == key).map(|(_, v)| v.as_str())
+    }
+}
+
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 struct MetricKey {
     name: String,
@@ -253,6 +289,32 @@ impl Registry {
         }
         out.sort_by(|(a, _), (b, _)| a.name.cmp(&b.name).then_with(|| a.labels.cmp(&b.labels)));
         out
+    }
+
+    /// A typed snapshot of every registered sample, sorted by
+    /// `(name, labels)`. This is the programmatic sibling of the two
+    /// text expositions: the sliding-window layer diffs consecutive
+    /// snapshots into per-window deltas, and the flight recorder embeds
+    /// one in its crash dump.
+    pub fn samples(&self) -> Vec<MetricSample> {
+        self.sorted()
+            .into_iter()
+            .map(|(key, metric)| MetricSample {
+                name: key.name,
+                labels: key.labels,
+                value: match metric {
+                    Metric::Counter(c) => SampleValue::Counter(c.load(Ordering::Relaxed)),
+                    Metric::Gauge(g) => {
+                        SampleValue::Gauge(f64::from_bits(g.load(Ordering::Relaxed)))
+                    }
+                    Metric::Histogram(h) => SampleValue::Histogram {
+                        buckets: h.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect(),
+                        sum: h.sum.load(Ordering::Relaxed),
+                        count: h.count.load(Ordering::Relaxed),
+                    },
+                },
+            })
+            .collect()
     }
 
     /// Render the Prometheus text exposition format (version 0.0.4):
@@ -542,6 +604,29 @@ mod tests {
         assert!(json.contains("\"name\": \"a_total\""), "{json}");
         assert!(json.contains("\"type\": \"histogram\""), "{json}");
         assert!(json.contains("\"sum\": 9"), "{json}");
+    }
+
+    #[test]
+    fn typed_samples_mirror_the_expositions() {
+        let r = Registry::new();
+        r.counter("a_total", &[("worker", "w0")]).add(7);
+        r.gauge("g", &[]).set(2.5);
+        r.histogram("h_ns", &[]).observe(9);
+        let samples = r.samples();
+        assert_eq!(samples.len(), 3);
+        assert_eq!(samples[0].name, "a_total");
+        assert_eq!(samples[0].label("worker"), Some("w0"));
+        assert_eq!(samples[0].value, SampleValue::Counter(7));
+        assert_eq!(samples[1].value, SampleValue::Gauge(2.5));
+        match &samples[2].value {
+            SampleValue::Histogram { buckets, sum, count } => {
+                assert_eq!(buckets.len(), BUCKETS);
+                assert_eq!(*sum, 9);
+                assert_eq!(*count, 1);
+                assert_eq!(buckets[HistogramCore::bucket_of(9)], 1);
+            }
+            other => panic!("expected histogram, got {other:?}"),
+        }
     }
 
     #[test]

@@ -179,9 +179,34 @@ impl Json {
         }
     }
 
-    fn as_u64(&self) -> Option<u64> {
+    /// The value as a non-negative integer, when it is one.
+    pub fn as_u64(&self) -> Option<u64> {
         match self {
             Json::Num(n) if *n >= 0.0 && n.fract() == 0.0 => Some(*n as u64),
+            _ => None,
+        }
+    }
+
+    /// The value as a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s.as_str()),
+            _ => None,
+        }
+    }
+
+    /// The value as an array slice.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items.as_slice()),
             _ => None,
         }
     }
@@ -353,7 +378,7 @@ pub fn parse_trace_jsonl(text: &str) -> Result<Vec<TraceRecord>, String> {
     Ok(out)
 }
 
-fn trace_record_from_json(json: &Json) -> Result<TraceRecord, String> {
+pub(crate) fn trace_record_from_json(json: &Json) -> Result<TraceRecord, String> {
     let ts_ns = json
         .get("ts_ns")
         .and_then(Json::as_u64)

@@ -162,6 +162,10 @@ pub struct ReportData {
     pub efficiency_pct: Option<f64>,
     /// Total ns inside `scan` spans (the measured `K_search` term).
     pub scan_span_ns: u64,
+    /// Per-chunk scan latency `(p50, p95, p99)` in ns, derived from
+    /// the log₂-bucket `eks_scan_ns` histogram (bucket upper bounds,
+    /// so each figure is exact to within its power-of-two bucket).
+    pub scan_ns_quantiles: Option<(f64, f64, f64)>,
     /// Total ns inside `scatter` spans.
     pub scatter_span_ns: u64,
     /// Total ns inside `merge` spans (gather + merge).
@@ -172,6 +176,61 @@ pub struct ReportData {
     pub cancel_latency_mean_ns: Option<f64>,
     /// Join/leave events, in time order: `(ts_ns, kind, device)`.
     pub membership: Vec<(u64, String, String)>,
+}
+
+/// The value at quantile `q` of a raw (non-cumulative) log₂ bucket
+/// vector, reported as the matched bucket's inclusive upper bound
+/// (`2^i - 1`; bucket 0 holds zeros). Returns 0 for an empty
+/// histogram. Shared by the report's cost-model table and the anomaly
+/// detector's p99-shift check so both quote the same figure.
+pub fn quantile_from_log2_buckets(buckets: &[u64], q: f64) -> f64 {
+    let total: u64 = buckets.iter().sum();
+    if total == 0 {
+        return 0.0;
+    }
+    let rank = (q.clamp(0.0, 1.0) * total as f64).ceil().max(1.0) as u64;
+    let mut cum = 0u64;
+    for (i, b) in buckets.iter().enumerate() {
+        cum += b;
+        if cum >= rank {
+            return if i == 0 { 0.0 } else { ((1u128 << i) - 1) as f64 };
+        }
+    }
+    ((1u128 << (buckets.len().saturating_sub(1))) - 1) as f64
+}
+
+/// `(p50, p95, p99)` of one histogram family in a parsed exposition,
+/// merging every label set's cumulative `_bucket{le=...}` samples.
+fn quantiles_from_prom_buckets(samples: &[PromSample], name: &str) -> Option<(f64, f64, f64)> {
+    let bucket_name = format!("{name}_bucket");
+    // Sum cumulative counts per `le` across label sets, then sort by
+    // boundary; the merged series stays cumulative.
+    let mut by_le: Vec<(f64, f64)> = Vec::new();
+    for s in samples.iter().filter(|s| s.name == bucket_name) {
+        let le = match s.label("le") {
+            Some("+Inf") => f64::INFINITY,
+            Some(v) => v.parse().ok()?,
+            None => continue,
+        };
+        match by_le.iter_mut().find(|(b, _)| *b == le) {
+            Some((_, cum)) => *cum += s.value,
+            None => by_le.push((le, s.value)),
+        }
+    }
+    by_le.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+    let total = by_le.last().map(|(_, cum)| *cum).filter(|t| *t > 0.0)?;
+    let at = |q: f64| {
+        let rank = (q * total).ceil().max(1.0);
+        let mut best = 0.0;
+        for (le, cum) in &by_le {
+            best = if le.is_finite() { *le } else { best };
+            if *cum >= rank {
+                return best;
+            }
+        }
+        best
+    };
+    Some((at(0.50), at(0.95), at(0.99)))
 }
 
 fn sum_by_name(samples: &[PromSample], name: &str) -> f64 {
@@ -297,6 +356,8 @@ pub fn analyze(samples: &[PromSample], trace: &[TraceRecord]) -> ReportData {
         .iter()
         .find(|s| s.name == names::CLUSTER_EFFICIENCY_PCT)
         .map(|s| s.value);
+
+    data.scan_ns_quantiles = quantiles_from_prom_buckets(samples, names::SCAN_NS);
 
     let cancel_sum =
         sum_by_name(samples, &format!("{}_sum", names::CANCEL_LATENCY_NS));
@@ -427,6 +488,16 @@ pub fn render_report(samples: &[PromSample], trace: &[TraceRecord]) -> String {
 
     writeln!(out, "\ncost model (paper SIII, measured)").expect("write");
     writeln!(out, "  K_search (scan spans):   {:>12.3} ms", ms(data.scan_span_ns)).expect("write");
+    if let Some((p50, p95, p99)) = data.scan_ns_quantiles {
+        writeln!(
+            out,
+            "  scan p50/p95/p99:        {:>12.3} / {:.3} / {:.3} ms per chunk",
+            p50 / 1e6,
+            p95 / 1e6,
+            p99 / 1e6
+        )
+        .expect("write");
+    }
     writeln!(out, "  scatter (partitioning):  {:>12.3} ms", ms(data.scatter_span_ns))
         .expect("write");
     writeln!(out, "  gather/merge:            {:>12.3} ms", ms(data.merge_span_ns))
@@ -522,6 +593,41 @@ mod tests {
         assert_eq!(data.scan_span_ns, 500_000);
         assert_eq!(data.cancel_latency_mean_ns, Some(3000.0));
         assert_eq!(data.membership.len(), 1);
+    }
+
+    #[test]
+    fn scan_quantiles_come_from_the_log2_buckets() {
+        let t = Telemetry::enabled();
+        // 100 fast chunks near 1 µs, 5 slow ones near 1 ms, split
+        // across two workers so the per-le merge is exercised.
+        for i in 0..100u64 {
+            let worker = if i % 2 == 0 { "w0" } else { "w1" };
+            t.histogram(names::SCAN_NS, &[("worker", worker)]).observe(1_000);
+        }
+        for _ in 0..5 {
+            t.histogram(names::SCAN_NS, &[("worker", "w1")]).observe(1_000_000);
+        }
+        let samples = parse_prometheus(&t.render_prometheus()).unwrap();
+        let data = analyze(&samples, &[]);
+        let (p50, p95, p99) = data.scan_ns_quantiles.expect("quantiles derived");
+        // 1000 lands in [512, 1024) ⇒ upper bound 1023; 1e6 lands in
+        // [2^19, 2^20) ⇒ upper bound 2^20 - 1.
+        assert_eq!(p50, 1023.0);
+        assert_eq!(p95, 1023.0, "95th of 105 observations is still a fast chunk");
+        assert_eq!(p99, (1u64 << 20) as f64 - 1.0);
+        let report = render_report(&samples, &[]);
+        assert!(report.contains("scan p50/p95/p99"), "{report}");
+    }
+
+    #[test]
+    fn quantiles_of_raw_buckets_match_the_bucket_bounds() {
+        let mut buckets = vec![0u64; 40];
+        buckets[0] = 10; // zeros
+        buckets[5] = 90; // [16, 32)
+        assert_eq!(quantile_from_log2_buckets(&buckets, 0.05), 0.0);
+        assert_eq!(quantile_from_log2_buckets(&buckets, 0.50), 31.0);
+        assert_eq!(quantile_from_log2_buckets(&buckets, 0.99), 31.0);
+        assert_eq!(quantile_from_log2_buckets(&[0; 40], 0.99), 0.0, "empty histogram");
     }
 
     #[test]

@@ -1,17 +1,22 @@
 //! Property: telemetry totals reconcile *exactly* with the dispatcher's
-//! accounting. The per-worker `eks_keys_tested_total` counters are
-//! flushed once from the scheduler's own `WorkerStats` at
-//! `Dispatcher::finish`, so for any interleaving — including work
-//! stealing, where which worker tests which chunk is nondeterministic —
-//! the registry total, the sum of per-worker stats, and the report's
-//! `tested` must all be the same number. The manual clock keeps every
-//! trace timestamp deterministic while real threads race.
+//! accounting. The per-worker `eks_keys_tested_total` counters flow
+//! live — `Dispatcher::scan_as` credits each merged chunk into its
+//! worker's labelled counter the moment it lands — so for any
+//! interleaving, including work stealing, where which worker tests
+//! which chunk is nondeterministic, the registry total, the sum of
+//! per-worker stats, and the report's `tested` must all be the same
+//! number at every instant the run is quiescent. The sliding-window
+//! plane diffs that same registry, so its per-window deltas must
+//! telescope back to the identical totals even when a flusher thread
+//! races the workers. The manual clock keeps every trace timestamp
+//! deterministic while real threads race.
 
 // Indexing/slicing below is over fixed-size state arrays or lengths
 // established by construction; the workspace `clippy::indexing_slicing`
 // escalation guards new code, not these proven accesses.
 #![allow(clippy::indexing_slicing)]
 
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 use eks::cluster::{run_rounds_observed, ClusterNode, RoundConfig};
@@ -21,7 +26,7 @@ use eks::engine::SchedPolicy;
 use eks::gpusim::device::Device;
 use eks::hashes::HashAlgo;
 use eks::keyspace::{Charset, KeySpace, Order};
-use eks::telemetry::{names, parse_prometheus, ManualClock, Telemetry};
+use eks::telemetry::{names, parse_prometheus, ManualClock, Telemetry, WindowBook};
 
 /// Sum of every `eks_keys_tested_total` sample (one per worker label),
 /// read back through the exposition parser so the whole pipeline —
@@ -61,6 +66,75 @@ fn parallel_steal_metrics_reconcile_exactly() {
             report.tested,
             "registry total equals the dispatcher total"
         );
+    });
+}
+
+/// The observability satellite: window deltas telescope. A flusher
+/// thread races the steal-mode workers, snapshotting the registry at
+/// arbitrary instants — mid-chunk, mid-steal, whenever the scheduler
+/// happens to be between merges — and every flushed [`WindowBook`]
+/// window holds the diff since the previous snapshot. No matter where
+/// the cuts land, the per-window `eks_keys_tested_total` deltas summed
+/// over all windows (plus one final flush for the tail) must equal the
+/// registry total, the report total, and each worker's own stat. A
+/// tiny ring capacity on purpose: dropped-from-the-ring windows are
+/// collected from `flush`'s return value, proving the bounding never
+/// corrupts the diffs.
+#[test]
+fn window_deltas_telescope_to_registry_totals_under_steal() {
+    let space = KeySpace::new(Charset::lowercase(), 1, 3, Order::FirstCharFastest).unwrap();
+    forall("telemetry-window-telescope", 8, |rng| {
+        let targets = random_targets(rng);
+        let clock = Arc::new(ManualClock::new());
+        let telemetry = Telemetry::with_clock(clock.clone());
+        let book = WindowBook::new(1_000_000, 4);
+        let threads = rng.range(2, 4) as usize;
+        let config = ParallelConfig {
+            chunk: rng.range(64, 1024),
+            first_hit_only: rng.u64() % 2 == 0,
+            sched: SchedPolicy::Steal,
+            ..ParallelConfig::for_threads(threads)
+        };
+        let done = AtomicBool::new(false);
+        let (report, mut windows) = std::thread::scope(|s| {
+            let flusher = s.spawn(|| {
+                let mut flushed = Vec::new();
+                while !done.load(Ordering::Relaxed) {
+                    clock.advance(1_000_000);
+                    flushed.push(book.flush(&telemetry));
+                    std::thread::yield_now();
+                }
+                flushed
+            });
+            let report = crack_parallel_observed(
+                &space,
+                &targets,
+                space.interval(),
+                config,
+                &telemetry,
+                |_| {},
+            );
+            done.store(true, Ordering::Relaxed);
+            (report, flusher.join().expect("flusher thread"))
+        });
+        // One final flush catches whatever landed after the last cut.
+        windows.push(book.flush(&telemetry));
+
+        let windowed: u128 =
+            windows.iter().map(|w| u128::from(w.counter_total(names::KEYS_TESTED))).sum();
+        assert_eq!(windowed, report.tested, "window deltas telescope to the report total");
+        assert_eq!(
+            windowed,
+            keys_tested_total(&telemetry),
+            "window deltas telescope to the registry total"
+        );
+        for stat in &report.stats {
+            let per_worker: u128 = windows
+                .iter()
+                .map(|w| u128::from(w.counter_delta(names::KEYS_TESTED, "worker", &stat.label)))
+                .sum();
+            assert_eq!(per_worker, stat.tested, "worker {} telescopes", stat.label);
+        }
     });
 }
 
